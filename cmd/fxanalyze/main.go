@@ -1,0 +1,102 @@
+// Command fxanalyze is the offline analysis tool: it reads a trace
+// written by fxrun and computes the paper's characterizations — packet
+// statistics, windowed instantaneous bandwidth, power spectra, and
+// per-connection breakdowns.
+//
+// Usage:
+//
+//	fxanalyze -in 2dfft.trace -mode stats
+//	fxanalyze -in 2dfft.trace -mode spectrum -peaks 5
+//	fxanalyze -in 2dfft.trace -mode bandwidth > series.csv
+//	fxanalyze -in 2dfft.trace -mode connections
+//	fxanalyze -in 2dfft.trace -mode conn -src 1 -dst 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fxnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxanalyze: ")
+
+	var (
+		in     = flag.String("in", "", "input binary trace (required)")
+		mode   = flag.String("mode", "stats", "analysis: stats, bandwidth, spectrum, connections, conn")
+		window = flag.Int("window-ms", 10, "averaging window in ms")
+		peaks  = flag.Int("peaks", 5, "number of spectral peaks to report")
+		src    = flag.Int("src", -1, "source host for -mode conn")
+		dst    = flag.Int("dst", -1, "destination host for -mode conn")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := fxnet.ReadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin := fxnet.Duration(*window) * 1_000_000
+
+	switch *mode {
+	case "stats":
+		printStats(tr)
+	case "bandwidth":
+		series, dt := fxnet.BinnedBandwidth(tr, bin)
+		fmt.Println("t_sec,kbps")
+		for i, v := range series {
+			fmt.Printf("%.3f,%.3f\n", float64(i)*dt, v)
+		}
+	case "spectrum":
+		spec := fxnet.SpectrumOf(tr, bin)
+		fmt.Printf("# df=%.6f Hz, %d bins\n", spec.DF, len(spec.Power))
+		fmt.Printf("# top %d spikes:\n", *peaks)
+		for _, p := range spec.Peaks(*peaks, 2*spec.DF) {
+			fmt.Printf("#   %.4f Hz  power %.4g\n", p.Freq, p.Power)
+		}
+		fmt.Println("freq_hz,power")
+		for i := range spec.Freq {
+			fmt.Printf("%.6f,%.6g\n", spec.Freq[i], spec.Power[i])
+		}
+	case "connections":
+		fmt.Printf("%-20s %10s %12s\n", "connection", "packets", "KB/s")
+		for _, pr := range tr.Pairs() {
+			conn := tr.Connection(pr[0], pr[1])
+			fmt.Printf("%-20s %10d %12.2f\n",
+				fmt.Sprintf("%s > %s", tr.HostName(pr[0]), tr.HostName(pr[1])),
+				conn.Len(), fxnet.AverageBandwidthKBps(conn))
+		}
+	case "conn":
+		if *src < 0 || *dst < 0 {
+			log.Fatal("-mode conn requires -src and -dst")
+		}
+		printStats(tr.Connection(*src, *dst))
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func printStats(tr *fxnet.Trace) {
+	if tr.Len() == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	ss := fxnet.SizeStats(tr)
+	is := fxnet.InterarrivalStats(tr)
+	fmt.Printf("packets:        %d over %.3f s\n", tr.Len(), tr.Duration().Seconds())
+	fmt.Printf("size (bytes):   min=%.0f max=%.0f avg=%.1f sd=%.1f\n", ss.Min, ss.Max, ss.Mean, ss.SD)
+	fmt.Printf("interarrival:   min=%.2f max=%.1f avg=%.2f sd=%.2f ms\n", is.Min, is.Max, is.Mean, is.SD)
+	fmt.Printf("avg bandwidth:  %.1f KB/s\n", fxnet.AverageBandwidthKBps(tr))
+}

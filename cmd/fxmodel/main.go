@@ -1,0 +1,75 @@
+// Command fxmodel builds the paper's §7.2 analytic traffic model from a
+// measured trace: it computes the bandwidth power spectrum, truncates the
+// implied Fourier series to the strongest spikes, reports the fit, and
+// optionally writes a synthetic trace regenerated from the model.
+//
+// Usage:
+//
+//	fxrun -program 2dfft -o fft.trace
+//	fxmodel -in fft.trace -spikes 16
+//	fxmodel -in fft.trace -spikes 16 -synth synth.trace -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fxnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxmodel: ")
+	var (
+		in       = flag.String("in", "", "input binary trace (required)")
+		spikes   = flag.Int("spikes", 8, "number of spectral spikes to retain")
+		windowMs = flag.Int("window-ms", 10, "bandwidth averaging window (ms)")
+		synth    = flag.String("synth", "", "write a synthetic trace generated from the model")
+		duration = flag.Float64("duration", 30, "synthetic trace duration (s)")
+		pktSize  = flag.Int("pktsize", 1460, "synthetic packet size (captured bytes ≈ pktsize+58)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := fxnet.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bin := fxnet.Duration(*windowMs) * 1_000_000
+	series, dt := fxnet.BinnedBandwidth(tr, bin)
+	spec := fxnet.SpectrumOf(tr, bin)
+	m, met := fxnet.FitModel(series, dt, *spikes, 2*spec.DF)
+
+	fmt.Printf("trace: %d packets over %.1f s, mean %.1f KB/s\n",
+		tr.Len(), tr.Duration().Seconds(), fxnet.AverageBandwidthKBps(tr))
+	fmt.Printf("model (%d spikes): %s\n", len(m.Components), m)
+	fmt.Printf("fit: NRMSE=%.4f correlation=%.3f energy-fraction=%.3f\n",
+		met.NRMSE, met.Correlation, met.EnergyFraction)
+
+	if *synth == "" {
+		return
+	}
+	st := m.GenerateTrace(fxnet.Duration(*duration*1e9), bin, *pktSize, 0, 1)
+	st.Meta["model"] = m.String()
+	out, err := os.Create(*synth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := st.WriteBinary(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic: %d packets, mean %.1f KB/s → %s\n",
+		st.Len(), fxnet.AverageBandwidthKBps(st), *synth)
+}

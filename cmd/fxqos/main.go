@@ -1,0 +1,77 @@
+// Command fxqos demonstrates the paper's §7.3 negotiation model: programs
+// hand the network their [l(), b(), c] characterization; the network
+// hands back the processor count P (and per-connection burst bandwidth B)
+// that minimizes the burst interval, then admits programs until capacity
+// is exhausted.
+//
+// Usage:
+//
+//	fxqos -capacity 1.25e6 -maxp 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fxnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxqos: ")
+	var (
+		capacity = flag.Float64("capacity", 1.25e6, "network capacity in bytes/s")
+		maxP     = flag.Int("maxp", 32, "largest processor count the cluster offers")
+	)
+	flag.Parse()
+
+	// Characterizations of the measured kernels (N=512 calibration).
+	progs := []fxnet.QoSProgram{
+		{Name: "sor", Pattern: fxnet.Neighbor,
+			Local: func(P int) float64 { return 512.0 * 510 / float64(P) / 38500 },
+			Burst: func(P int) float64 { return 512 * 4 }},
+		{Name: "2dfft", Pattern: fxnet.AllToAll,
+			Local: func(P int) float64 { return 2 * 512 * 23040 / float64(P) / 8.4e6 },
+			Burst: func(P int) float64 { return 512 * 512 * 8 / float64(P*P) }},
+		{Name: "t2dfft", Pattern: fxnet.Partition,
+			Local: func(P int) float64 { return 512 * 23040 / float64(P) / 2.5e6 },
+			Burst: func(P int) float64 { return 4 * 512 * 512 * 8 / float64(P*P) }},
+		{Name: "seq", Pattern: fxnet.Broadcast,
+			Local: func(P int) float64 { return 40.0 / 160 },
+			Burst: func(P int) float64 { return 40 * 16 }},
+		{Name: "hist", Pattern: fxnet.Tree,
+			Local: func(P int) float64 { return 512.0 * 512 / float64(P) / 364000 },
+			Burst: func(P int) float64 { return 256 * 8 }},
+	}
+
+	fmt.Printf("network capacity: %.0f KB/s, cluster size ≤ %d\n\n", *capacity/1000, *maxP)
+
+	// Per-program negotiation on an empty network: how P trades against tbi.
+	fmt.Println("negotiation on an idle network:")
+	fmt.Printf("%-8s %4s %12s %12s %12s %14s\n", "program", "P", "B (KB/s)", "burst (s)", "tbi (s)", "mean (KB/s)")
+	for _, p := range progs {
+		net := fxnet.NewQoSNetwork(*capacity)
+		off, err := net.Negotiate(p, *maxP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %4d %12.1f %12.4f %12.4f %14.1f\n",
+			off.Program, off.P, off.BurstBandwidth/1000, off.BurstSeconds,
+			off.BurstInterval, off.MeanBandwidth/1000)
+	}
+
+	// Admission: programs arrive in order and share the medium; later
+	// arrivals see less free capacity and receive degraded offers.
+	fmt.Println("\nsequential admission (shared medium):")
+	net := fxnet.NewQoSNetwork(*capacity)
+	for _, p := range progs {
+		off, err := net.Admit(p, *maxP)
+		if err != nil {
+			fmt.Printf("%-8s REJECTED: %v\n", p.Name, err)
+			continue
+		}
+		fmt.Printf("%-8s admitted with P=%-3d tbi=%8.4fs, remaining capacity %8.1f KB/s\n",
+			off.Program, off.P, off.BurstInterval, net.Available()/1000)
+	}
+}

@@ -1,0 +1,81 @@
+// Command fxrun executes one compiler-parallelized program on the
+// simulated testbed and writes the captured packet trace, playing the
+// role of the paper's measurement workstation.
+//
+// Usage:
+//
+//	fxrun -program 2dfft -o 2dfft.trace
+//	fxrun -program airshed -hours 10 -format text -o airshed.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fxnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxrun: ")
+
+	var (
+		program = flag.String("program", "sor", "program to run: sor, 2dfft, t2dfft, seq, hist, airshed")
+		p       = flag.Int("p", 0, "processor count (0 = paper default of 4)")
+		n       = flag.Int("n", 0, "matrix dimension N (0 = paper default; kernels only)")
+		iters   = flag.Int("iters", 0, "outer iterations (0 = paper default; kernels only)")
+		hours   = flag.Int("hours", 0, "simulated hours (0 = paper default of 100; airshed only)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		bitrate = flag.Float64("bitrate", 0, "segment bit rate in b/s (0 = 10 Mb/s)")
+		out     = flag.String("o", "", "output trace file (default stdout)")
+		format  = flag.String("format", "bin", "trace format: bin or text")
+	)
+	flag.Parse()
+
+	cfg := fxnet.RunConfig{
+		Program: *program,
+		P:       *p,
+		Seed:    *seed,
+		BitRate: *bitrate,
+		Params:  fxnet.KernelParams{N: *n, Iters: *iters},
+	}
+	if *hours > 0 {
+		ap := fxnet.PaperAirshedParams()
+		ap.Hours = *hours
+		cfg.AirshedParams = ap
+	}
+
+	res, err := fxnet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets captured\n",
+		*program, res.Elapsed, res.Trace.Len())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "bin":
+		err = res.Trace.WriteBinary(w)
+	case "text":
+		err = res.Trace.WriteText(w)
+	default:
+		log.Fatalf("unknown format %q (want bin or text)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Compiler example: the premise behind the paper's §7.3 negotiation is
+// that for a compiler-parallelized program "the burst size is usually
+// known a priori (in the case of Fx, at compile-time)". This example
+// demonstrates exactly that with the mini-Fx compiler: HPF-style array
+// statements are compiled into communication schedules whose per-message
+// sizes, connection sets, and figure-1 patterns are all known before the
+// program runs — and then verified against the wire by executing one
+// schedule on the simulated testbed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fxnet"
+	"fxnet/internal/ethernet"
+	"fxnet/internal/fx"
+	"fxnet/internal/fxc"
+	"fxnet/internal/netstack"
+	"fxnet/internal/pvm"
+	"fxnet/internal/sim"
+	"fxnet/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	const n, p = 256, 4
+
+	// !HPF$ DISTRIBUTE a(BLOCK, *), b(BLOCK, *), c(*, BLOCK)
+	a := &fxnet.HPFArray{Name: "a", Rows: n, Cols: n, Dist: fxnet.DistRows, ElemBytes: 8}
+	b := &fxnet.HPFArray{Name: "b", Rows: n, Cols: n, Dist: fxnet.DistRows, ElemBytes: 8}
+	c := &fxnet.HPFArray{Name: "c", Rows: n, Cols: n, Dist: fxnet.DistCols, ElemBytes: 8}
+	input := &fxnet.HPFArray{Name: "input", Rows: n, Cols: n, Dist: fxnet.DistSerial, ElemBytes: 8}
+
+	stmts := []struct {
+		text  string
+		sched *fxnet.CommSchedule
+	}{
+		{"b(i,j) = f(a(i-1,j))        ! halo shift",
+			fxnet.CompileAssign(fxnet.HPFAssign{LHS: b, RHS: a, RowSub: fxc.I.Shifted(-1), ColSub: fxc.J}, p)},
+		{"b(i,j) = a(j,i)             ! transpose",
+			fxnet.CompileAssign(fxnet.HPFAssign{LHS: b, RHS: a, RowSub: fxnet.HPFAffine{CJ: 1}, ColSub: fxnet.HPFAffine{CI: 1}}, p)},
+		{"c(i,j) = a(i,j)             ! redistribution rows→cols",
+			fxnet.CompileAssign(fxnet.HPFAssign{LHS: c, RHS: a, RowSub: fxc.I, ColSub: fxc.J}, p)},
+		{"b(i,j) = input(i,j)         ! sequential input",
+			fxnet.CompileAssign(fxnet.HPFAssign{LHS: b, RHS: input, RowSub: fxc.I, ColSub: fxc.J}, p)},
+		{"s = sum(a)                  ! reduction",
+			fxnet.CompileReduce(fxnet.HPFReduce{Src: a, ResultBytes: 2048}, p)},
+		{"b(i,j) = a(i,j)             ! aligned copy",
+			fxnet.CompileAssign(fxnet.HPFAssign{LHS: b, RHS: a, RowSub: fxc.I, ColSub: fxc.J}, p)},
+	}
+
+	fmt.Printf("compile-time communication analysis (N=%d, P=%d):\n\n", n, p)
+	fmt.Printf("%-42s %-12s %6s %12s %12s\n", "statement", "pattern", "conns", "max msg (B)", "total (B)")
+	for _, st := range stmts {
+		pat, comm := st.sched.Classify()
+		patStr := "none (local)"
+		if comm {
+			patStr = pat.String()
+		}
+		fmt.Printf("%-42s %-12s %6d %12d %12d\n",
+			st.text, patStr, st.sched.Connections(), st.sched.MaxMessageBytes(), st.sched.TotalBytes())
+	}
+
+	// Execute the transpose schedule on the simulated testbed and verify
+	// the wire carries exactly the compiled bytes.
+	sched := stmts[1].sched
+	k := sim.New(1)
+	seg := ethernet.NewSegment(k, 0)
+	var hosts []*netstack.Host
+	for i := 0; i < p; i++ {
+		st := seg.Attach(fmt.Sprintf("alpha%d", i))
+		hosts = append(hosts, netstack.NewHost(k, st, st.Name(), netstack.DefaultConfig()))
+	}
+	col := trace.Capture(seg)
+	m := pvm.NewMachine(k, hosts, pvm.Config{})
+	team := fx.Launch(m, p, fx.CostModel{DefaultRate: 1e12}, "transpose", func(w *fx.Worker) {
+		fxc.Execute(w, sched, 100)
+	})
+	k.Run()
+	if !team.Done() {
+		log.Fatal("execution deadlocked")
+	}
+
+	var payload int
+	for _, pk := range col.Trace().Packets {
+		if pk.Proto == ethernet.ProtoTCP && pk.Flags&ethernet.FlagData != 0 {
+			payload += int(pk.Size) - 58 // strip Ethernet+IP+TCP framing
+		}
+	}
+	overhead := 24 * sched.Connections() // PVM header + length prefix per message
+	fmt.Printf("\ntranspose executed on the wire: %d payload bytes (compiled %d + %d PVM framing)\n",
+		payload, sched.TotalBytes(), overhead)
+	if payload != sched.TotalBytes()+overhead {
+		log.Fatalf("wire bytes diverge from the compile-time prediction")
+	}
+	fmt.Println("compile-time prediction matches the measured wire exactly.")
+}

@@ -1,0 +1,78 @@
+// QoS-negotiation example: the §7.3 model in action, including the
+// processor-count tension the paper highlights. A compute-heavy program
+// wants many processors; a communication-heavy one is told to use fewer,
+// because every added processor also splits the burst bandwidth the
+// network can commit per connection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fxnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A family of halo-exchange programs that differ only in how much
+	// data each connection bursts.
+	mk := func(name string, burstBytes float64) fxnet.QoSProgram {
+		return fxnet.QoSProgram{
+			Name:    name,
+			Pattern: fxnet.Neighbor,
+			Local: func(P int) float64 {
+				return 1e8 / float64(P) / 1e7 // 10 s of work, perfectly parallel
+			},
+			Burst: func(P int) float64 { return burstBytes },
+		}
+	}
+
+	fmt.Println("the §7.3 tension: burst size vs optimal processor count")
+	fmt.Printf("%14s %6s %12s %12s\n", "burst (KB)", "P*", "tbi (s)", "B (KB/s)")
+	for _, kb := range []float64{1, 10, 50, 200, 500, 1000} {
+		net := fxnet.NewQoSNetwork(1.25e6)
+		off, err := net.Negotiate(mk("halo", kb*1000), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14.0f %6d %12.3f %12.1f\n", kb, off.P, off.BurstInterval, off.BurstBandwidth/1000)
+	}
+
+	// Faster networks shift the optimum: the same program negotiated on
+	// 10 Mb/s vs 100 Mb/s vs 1 Gb/s capacity.
+	fmt.Println("\nthe same 200 KB-burst program on faster networks:")
+	fmt.Printf("%12s %6s %12s\n", "capacity", "P*", "tbi (s)")
+	for _, cap := range []float64{1.25e6, 12.5e6, 125e6} {
+		net := fxnet.NewQoSNetwork(cap)
+		off, err := net.Negotiate(mk("halo", 200_000), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f MB %6d %12.3f\n", cap/1e6, off.P, off.BurstInterval)
+	}
+
+	// Pattern matters: all-to-all splits capacity across P concurrent
+	// senders, broadcast across one.
+	fmt.Println("\npattern effect (fixed 100 KB bursts, 10 s parallel work):")
+	fmt.Printf("%-12s %6s %12s\n", "pattern", "P*", "tbi (s)")
+	for _, pc := range []struct {
+		name string
+		pat  fxnet.Pattern
+	}{
+		{"neighbor", fxnet.Neighbor},
+		{"all-to-all", fxnet.AllToAll},
+		{"partition", fxnet.Partition},
+		{"broadcast", fxnet.Broadcast},
+		{"tree", fxnet.Tree},
+	} {
+		prog := mk(pc.name, 100_000)
+		prog.Pattern = pc.pat
+		net := fxnet.NewQoSNetwork(1.25e6)
+		off, err := net.Negotiate(prog, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %6d %12.3f\n", pc.name, off.P, off.BurstInterval)
+	}
+}

@@ -1,0 +1,213 @@
+// Package fxnet reproduces "The Measured Network Traffic of
+// Compiler-Parallelized Programs" (Dinda, Garcia, Leung; CMU-CS-98-144 /
+// ICPP 2001) as a deterministic simulation study in pure Go.
+//
+// The package is a façade over the internal packages:
+//
+//   - internal/sim        — discrete-event simulation kernel
+//   - internal/ethernet   — shared 10 Mb/s CSMA/CD collision domain
+//   - internal/netstack   — TCP (MSS segmentation, delayed ACKs) and UDP
+//   - internal/pvm        — PVM 3.3-style daemons, tasks, fragment packing
+//   - internal/fx         — Fx SPMD runtime: patterns, distributions, cost model
+//   - internal/kernels    — SOR, 2DFFT, T2DFFT, SEQ, HIST with real numerics
+//   - internal/airshed    — the AIRSHED air-quality skeleton
+//   - internal/trace      — promiscuous capture, connections, codecs
+//   - internal/analysis   — size/interarrival stats, windowed bandwidth
+//   - internal/dsp        — FFT, periodograms, spectral peaks
+//   - internal/model      — truncated-Fourier traffic models (§7.2)
+//   - internal/qos        — [l(), b(), c] negotiation (§7.3)
+//
+// A typical session: run a program on the simulated testbed, characterize
+// its captured trace, and build a spectral model of its bandwidth demand:
+//
+//	res, err := fxnet.Run(fxnet.RunConfig{Program: "2dfft", Seed: 1})
+//	rep := fxnet.Characterize(res)
+//	m, fit := fxnet.FitModel(rep.AggSeries, rep.SeriesDT, 8, 0.1)
+package fxnet
+
+import (
+	"bufio"
+	"io"
+
+	"fxnet/internal/airshed"
+	"fxnet/internal/analysis"
+	"fxnet/internal/core"
+	"fxnet/internal/dsp"
+	"fxnet/internal/ethernet"
+	"fxnet/internal/fx"
+	"fxnet/internal/fxc"
+	"fxnet/internal/kernels"
+	"fxnet/internal/media"
+	"fxnet/internal/model"
+	"fxnet/internal/qos"
+	"fxnet/internal/sim"
+	"fxnet/internal/stats"
+	"fxnet/internal/trace"
+)
+
+// Re-exported experiment types.
+type (
+	// RunConfig configures one measured run (program, P, seed, overrides).
+	RunConfig = core.RunConfig
+	// Result is a completed run: trace, timings, worker handles.
+	Result = core.Result
+	// Report is the per-program characterization of the paper's figures.
+	Report = core.Report
+	// Trace is a captured packet trace.
+	Trace = trace.Trace
+	// Packet is one captured frame.
+	Packet = trace.Packet
+	// Spectrum is a one-sided power spectrum with Fourier coefficients.
+	Spectrum = dsp.Spectrum
+	// BandwidthModel is a truncated Fourier-series traffic model.
+	BandwidthModel = model.BandwidthModel
+	// FitMetrics quantify model fidelity.
+	FitMetrics = model.FitMetrics
+	// KernelParams are the kernel size parameters (N, Iters).
+	KernelParams = kernels.Params
+	// AirshedParams dimension the AIRSHED skeleton.
+	AirshedParams = airshed.Params
+	// Pattern is a global communication pattern.
+	Pattern = fx.Pattern
+	// CostModel maps kernel operation counts to virtual compute time.
+	CostModel = fx.CostModel
+	// Summary is a min/max/avg/sd statistic row.
+	Summary = stats.Summary
+	// QoSProgram is the [l(), b(), c] characterization of §7.3.
+	QoSProgram = qos.Program
+	// QoSNetwork grants burst-bandwidth commitments.
+	QoSNetwork = qos.Network
+	// QoSOffer is a negotiated (P, B, tbi) answer.
+	QoSOffer = qos.Offer
+	// Time is virtual simulation time (nanoseconds).
+	Time = sim.Time
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = sim.Duration
+)
+
+// The figure-1 communication patterns.
+const (
+	Neighbor  = fx.Neighbor
+	AllToAll  = fx.AllToAll
+	Partition = fx.Partition
+	Broadcast = fx.Broadcast
+	Tree      = fx.Tree
+)
+
+// Capture-record protocol and flag constants.
+const (
+	ProtoTCP = ethernet.ProtoTCP
+	ProtoUDP = ethernet.ProtoUDP
+	FlagAck  = ethernet.FlagAck
+	FlagData = ethernet.FlagData
+)
+
+// Compiler (mini-Fx) types: HPF-style distributed arrays, affine array
+// assignments, and the compile-time communication schedules they produce.
+type (
+	// HPFArray is a distributed 2-D array declaration.
+	HPFArray = fxc.Array
+	// HPFAssign is a parallel array assignment statement.
+	HPFAssign = fxc.Assign
+	// HPFReduce is a global reduction statement.
+	HPFReduce = fxc.Reduce
+	// HPFAffine is an affine subscript c0 + ci·i + cj·j.
+	HPFAffine = fxc.Affine
+	// CommSchedule is a compiled communication schedule.
+	CommSchedule = fxc.Schedule
+)
+
+// Array distributions for HPFArray.
+const (
+	DistRows   = fxc.DistRows
+	DistCols   = fxc.DistCols
+	DistSerial = fxc.DistSerial
+)
+
+// CompileAssign generates the communication schedule of an array
+// assignment on P processors (the Fx compiler's core step).
+func CompileAssign(st HPFAssign, p int) *CommSchedule { return fxc.CompileAssign(st, p) }
+
+// CompileReduce generates the tree schedule of a reduction.
+func CompileReduce(st HPFReduce, p int) *CommSchedule { return fxc.CompileReduce(st, p) }
+
+// PaperWindow is the paper's 10 ms bandwidth averaging interval.
+const PaperWindow = analysis.PaperWindow
+
+// Run executes one experiment on the simulated testbed.
+func Run(cfg RunConfig) (*Result, error) { return core.Run(cfg) }
+
+// Characterize computes the paper-figure characterization of a run.
+func Characterize(res *Result) *Report { return core.Characterize(res) }
+
+// Programs lists the runnable programs: the five kernels and "airshed".
+func Programs() []string { return core.ProgramNames() }
+
+// PaperAirshedParams returns the paper's AIRSHED configuration.
+func PaperAirshedParams() AirshedParams { return airshed.PaperParams() }
+
+// SizeStats, InterarrivalStats, and AverageBandwidthKBps expose the basic
+// trace characterizations for custom traces.
+func SizeStats(t *Trace) Summary            { return analysis.SizeStats(t) }
+func InterarrivalStats(t *Trace) Summary    { return analysis.InterarrivalStats(t) }
+func AverageBandwidthKBps(t *Trace) float64 { return analysis.AverageBandwidthKBps(t) }
+
+// BinnedBandwidth computes the evenly sampled instantaneous bandwidth
+// series (KB/s) the spectra are built from.
+func BinnedBandwidth(t *Trace, bin Duration) ([]float64, float64) {
+	return analysis.BinnedBandwidth(t, bin)
+}
+
+// SpectrumOf computes the periodogram of a trace's binned bandwidth.
+func SpectrumOf(t *Trace, bin Duration) *Spectrum { return analysis.Spectrum(t, bin) }
+
+// FitModel builds a k-spike truncated Fourier model of a bandwidth series
+// and reports its fit (§7.2).
+func FitModel(series []float64, dt float64, k int, minSepHz float64) (*BandwidthModel, FitMetrics) {
+	return model.Fit(series, dt, k, minSepHz)
+}
+
+// ReadTrace parses a trace in either the binary or the text format,
+// auto-detected from the leading bytes.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err == nil && string(head) == "FXTRACE1" {
+		return trace.ReadBinary(br)
+	}
+	return trace.ReadText(br)
+}
+
+// NewQoSNetwork creates a §7.3 network with the given capacity (bytes/s).
+func NewQoSNetwork(capacityBps float64) *QoSNetwork { return qos.NewNetwork(capacityBps) }
+
+// CalibratedCost returns the calibrated cost model for a program, for
+// ablations that perturb one parameter at a time.
+func CalibratedCost(program string) (CostModel, error) { return core.CalibratedCost(program) }
+
+// Media-traffic comparison sources (the traffic class the paper contrasts
+// parallel programs against).
+type (
+	// VBRConfig shapes a GOP-structured variable-bit-rate video source.
+	VBRConfig = media.VBRConfig
+	// OnOffConfig shapes superposed heavy-tailed on/off sources.
+	OnOffConfig = media.OnOffConfig
+)
+
+// GenerateVBR synthesizes a VBR video trace.
+func GenerateVBR(cfg VBRConfig, duration Duration, seed int64, src, dst int) *Trace {
+	return media.GenerateVBR(cfg, duration, seed, src, dst)
+}
+
+// GenerateOnOff synthesizes self-similar heavy-tailed on/off traffic.
+func GenerateOnOff(cfg OnOffConfig, duration Duration, seed int64) *Trace {
+	return media.GenerateOnOff(cfg, duration, seed)
+}
+
+// Hurst estimates the Hurst exponent of a bandwidth series by the
+// aggregated-variance method (≈0.5 short-range, >0.7 self-similar, <0.5
+// periodic).
+func Hurst(series []float64) float64 { return stats.HurstAggVar(series, nil) }
+
+// CoV is the coefficient of variation SD/|mean|.
+func CoV(xs []float64) float64 { return stats.CoV(xs) }

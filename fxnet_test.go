@@ -1,0 +1,176 @@
+// Smoke tests of the public façade at reduced scale (the paper-scale
+// regressions live in the benchmarks).
+package fxnet_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fxnet"
+)
+
+func TestFacadeRunAndCharacterize(t *testing.T) {
+	for _, name := range fxnet.Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := fxnet.RunConfig{Program: name, Seed: 1}
+			if name == "airshed" {
+				cfg.AirshedParams = fxnet.AirshedParams{Layers: 4, Species: 4, Grid: 32, Steps: 2, Hours: 2, Band: 2}
+			} else {
+				cfg.Params = fxnet.KernelParams{N: 16, Iters: 3}
+			}
+			res, err := fxnet.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := fxnet.Characterize(res)
+			if rep.AggKBps <= 0 || rep.AggSize.N == 0 {
+				t.Fatalf("empty characterization: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestFacadePrograms(t *testing.T) {
+	progs := fxnet.Programs()
+	if len(progs) != 6 {
+		t.Fatalf("programs = %v", progs)
+	}
+	if progs[5] != "airshed" {
+		t.Errorf("last program = %q", progs[5])
+	}
+}
+
+func TestFacadeSpectralModelLoop(t *testing.T) {
+	res, err := fxnet.Run(fxnet.RunConfig{
+		Program: "seq", Seed: 1, Params: fxnet.KernelParams{N: 16, Iters: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, dt := fxnet.BinnedBandwidth(res.Trace, fxnet.PaperWindow)
+	m, met := fxnet.FitModel(series, dt, 4, 0.1)
+	if m.DC <= 0 {
+		t.Errorf("model DC = %v", m.DC)
+	}
+	if met.NRMSE < 0 || met.NRMSE > 1 {
+		t.Errorf("NRMSE = %v", met.NRMSE)
+	}
+	if met.EnergyFraction < 0 || met.EnergyFraction > 1 {
+		t.Errorf("energy fraction = %v", met.EnergyFraction)
+	}
+}
+
+func TestFacadeQoS(t *testing.T) {
+	net := fxnet.NewQoSNetwork(1.25e6)
+	prog := fxnet.QoSProgram{
+		Name:    "demo",
+		Local:   func(P int) float64 { return 1.0 / float64(P) },
+		Burst:   func(P int) float64 { return 1e5 / float64(P*P) },
+		Pattern: fxnet.AllToAll,
+	}
+	off, err := net.Negotiate(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.P < 2 || off.P > 16 || math.IsInf(off.BurstInterval, 0) {
+		t.Errorf("offer = %+v", off)
+	}
+}
+
+func TestFacadeCalibratedCost(t *testing.T) {
+	cost, err := fxnet.CalibratedCost("2dfft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rates["fft.flop"] <= 0 {
+		t.Errorf("missing calibrated rate: %+v", cost.Rates)
+	}
+	if _, err := fxnet.CalibratedCost("nope"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestPaperAirshedParams(t *testing.T) {
+	p := fxnet.PaperAirshedParams()
+	if p.Species != 35 || p.Grid != 1024 {
+		t.Errorf("params = %+v", p)
+	}
+}
+
+func TestFacadeMediaSources(t *testing.T) {
+	video := fxnet.GenerateVBR(fxnet.VBRConfig{}, 5_000_000_000, 1, 0, 1)
+	if video.Len() == 0 {
+		t.Fatal("empty video trace")
+	}
+	onoff := fxnet.GenerateOnOff(fxnet.OnOffConfig{Sources: 2}, 5_000_000_000, 1)
+	if onoff.Len() == 0 {
+		t.Fatal("empty on/off trace")
+	}
+	series, _ := fxnet.BinnedBandwidth(video, fxnet.PaperWindow)
+	if h := fxnet.Hurst(series); h < 0 || h > 1 {
+		t.Errorf("Hurst = %v", h)
+	}
+	if cov := fxnet.CoV(series); cov <= 0 {
+		t.Errorf("CoV = %v", cov)
+	}
+}
+
+func TestFacadeCompiler(t *testing.T) {
+	a := &fxnet.HPFArray{Name: "a", Rows: 32, Cols: 32, Dist: fxnet.DistRows, ElemBytes: 8}
+	c := &fxnet.HPFArray{Name: "c", Rows: 32, Cols: 32, Dist: fxnet.DistCols, ElemBytes: 8}
+	sched := fxnet.CompileAssign(fxnet.HPFAssign{
+		LHS: c, RHS: a,
+		RowSub: fxnet.HPFAffine{CI: 1}, ColSub: fxnet.HPFAffine{CJ: 1},
+	}, 4)
+	if pat, comm := sched.Classify(); !comm || pat != fxnet.AllToAll {
+		t.Errorf("redistribution pattern = %v", pat)
+	}
+	red := fxnet.CompileReduce(fxnet.HPFReduce{Src: a, ResultBytes: 128}, 4)
+	if pat, _ := red.Classify(); pat != fxnet.Tree {
+		t.Errorf("reduce pattern = %v", pat)
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	res, err := fxnet.Run(fxnet.RunConfig{Program: "sor", Seed: 1, Params: fxnet.KernelParams{N: 16, Iters: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, txt bytes.Buffer
+	if err := res.Trace.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := fxnet.ReadTrace(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := fxnet.ReadTrace(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Len() != res.Trace.Len() || fromTxt.Len() != res.Trace.Len() {
+		t.Errorf("roundtrip lengths: bin %d, text %d, want %d", fromBin.Len(), fromTxt.Len(), res.Trace.Len())
+	}
+}
+
+func TestFacadeSpectrumAndStats(t *testing.T) {
+	res, err := fxnet.Run(fxnet.RunConfig{Program: "hist", Seed: 1, Params: fxnet.KernelParams{N: 32, Iters: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fxnet.SpectrumOf(res.Trace, fxnet.PaperWindow)
+	if spec.DominantFreq() <= 0 {
+		t.Error("no dominant frequency")
+	}
+	if ss := fxnet.SizeStats(res.Trace); ss.N == 0 {
+		t.Error("no size stats")
+	}
+	if is := fxnet.InterarrivalStats(res.Trace); is.N == 0 {
+		t.Error("no interarrival stats")
+	}
+}

@@ -1,0 +1,3 @@
+module fxnet
+
+go 1.22

@@ -1,0 +1,69 @@
+package airshed
+
+import "fxnet/internal/fx"
+
+// transposeForward redistributes the concentration array from by-layer
+// blocks to by-grid-point blocks with one all-to-all: each rank sends, to
+// every rank q, its owned layers × all species × q's grid slice — the
+// O(p·s·l/P²)-element message of the paper's §3.2. Elements are ordered
+// (layer, species, grid) within each part.
+func transposeForward(w *fx.Worker, block, points [][][]float32, tag int, p Params) {
+	parts := make([][]byte, w.P)
+	for q := 0; q < w.P; q++ {
+		qglo, qghi := fx.BlockRange(p.Grid, w.P, q)
+		buf := make([]float32, 0, len(block)*p.Species*(qghi-qglo))
+		for li := range block {
+			for si := 0; si < p.Species; si++ {
+				buf = append(buf, block[li][si][qglo:qghi]...)
+			}
+		}
+		parts[q] = fx.EncodeFloat32s(buf)
+	}
+	got := w.AllToAll(tag, parts)
+	for q := 0; q < w.P; q++ {
+		qllo, qlhi := fx.BlockRange(p.Layers, w.P, q)
+		vals := fx.DecodeFloat32s(got[q])
+		idx := 0
+		for li := qllo; li < qlhi; li++ {
+			for si := 0; si < p.Species; si++ {
+				for g := range points {
+					points[g][li][si] = vals[idx]
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// transposeReverse is the inverse redistribution: each rank sends, to
+// every layer owner q, the slice of its grid points for q's layers,
+// ordered (layer, species, grid).
+func transposeReverse(w *fx.Worker, block, points [][][]float32, tag int, p Params) {
+	parts := make([][]byte, w.P)
+	for q := 0; q < w.P; q++ {
+		qllo, qlhi := fx.BlockRange(p.Layers, w.P, q)
+		buf := make([]float32, 0, (qlhi-qllo)*p.Species*len(points))
+		for li := qllo; li < qlhi; li++ {
+			for si := 0; si < p.Species; si++ {
+				for g := range points {
+					buf = append(buf, points[g][li][si])
+				}
+			}
+		}
+		parts[q] = fx.EncodeFloat32s(buf)
+	}
+	got := w.AllToAll(tag, parts)
+	for q := 0; q < w.P; q++ {
+		qglo, qghi := fx.BlockRange(p.Grid, w.P, q)
+		vals := fx.DecodeFloat32s(got[q])
+		idx := 0
+		for li := range block {
+			for si := 0; si < p.Species; si++ {
+				for g := qglo; g < qghi; g++ {
+					block[li][si][g] = vals[idx]
+					idx++
+				}
+			}
+		}
+	}
+}

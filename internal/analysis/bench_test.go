@@ -1,0 +1,38 @@
+package analysis
+
+import "testing"
+
+// The benchmarks reuse burstyTrace from analysis_test.go: ~10k packets of
+// periodic bursts over 100 s.
+
+func BenchmarkBinnedBandwidth(b *testing.B) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BinnedBandwidth(tr, PaperWindow)
+	}
+}
+
+func BenchmarkSlidingBandwidth(b *testing.B) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SlidingBandwidth(tr, PaperWindow)
+	}
+}
+
+func BenchmarkSpectrum(b *testing.B) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Spectrum(tr, PaperWindow)
+	}
+}
+
+func BenchmarkBursts(b *testing.B) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Bursts(tr, 50_000_000)
+	}
+}

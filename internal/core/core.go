@@ -1,0 +1,393 @@
+// Package core orchestrates the paper's experiments end to end: it
+// assembles the simulated testbed (a shared 10 Mb/s Ethernet of
+// workstations with a passive monitor in promiscuous mode), launches an
+// Fx program over PVM, captures the packet trace, and computes the
+// characterizations of the paper's figures.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fxnet/internal/airshed"
+	"fxnet/internal/analysis"
+	"fxnet/internal/dsp"
+	"fxnet/internal/ethernet"
+	"fxnet/internal/fx"
+	"fxnet/internal/kernels"
+	"fxnet/internal/netstack"
+	"fxnet/internal/pvm"
+	"fxnet/internal/sim"
+	"fxnet/internal/stats"
+	"fxnet/internal/trace"
+)
+
+// Airshed is the registry name of the AIRSHED application (the kernels
+// have their own registry in the kernels package).
+const Airshed = "airshed"
+
+// ProgramNames lists every runnable program.
+func ProgramNames() []string {
+	return append(kernels.Names(), Airshed)
+}
+
+// RunConfig configures one measured run.
+type RunConfig struct {
+	// Program is a kernel name ("sor", "2dfft", "t2dfft", "seq", "hist")
+	// or "airshed".
+	Program string
+	// P is the processor count; 0 selects the paper's default (4).
+	P int
+	// Params override the kernel parameters; zero-valued fields keep the
+	// paper defaults. Ignored for airshed.
+	Params kernels.Params
+	// AirshedParams override the AIRSHED dimensions; a zero value keeps
+	// the paper configuration.
+	AirshedParams airshed.Params
+	// Seed drives all simulation randomness.
+	Seed int64
+	// BitRate of the shared segment; 0 selects 10 Mb/s.
+	BitRate float64
+	// Cost overrides the cost model; nil derives the calibrated model.
+	Cost *fx.CostModel
+	// DisableDesched removes OS-stall injection (for exact-period
+	// ablations).
+	DisableDesched bool
+	// ForceCopyLoop (for the fragment-packing ablation) makes every
+	// kernel use single-fragment copy-loop sends; ForceFragments makes
+	// kernels use fragment sends. At most one may be set.
+	ForceCopyLoop  bool
+	ForceFragments bool
+	// Net overrides transport parameters; zero keeps defaults.
+	Net netstack.Config
+	// KeepaliveInterval for PVM daemons; 0 keeps the default 2 s.
+	KeepaliveInterval sim.Duration
+	// FrameLossProb injects FCS corruption: each frame is independently
+	// lost with this probability, and TCP recovers by retransmission.
+	FrameLossProb float64
+	// Switched replaces the shared collision domain with a store-and-
+	// forward full-duplex switch (capture then models a SPAN port) — the
+	// modernization ablation.
+	Switched bool
+	// Nagle enables sender-side coalescing. PVM sets TCP_NODELAY, so the
+	// measured configuration leaves it off; turning it on shows how
+	// coalescing would erase the fragment and per-element message
+	// signatures.
+	Nagle bool
+	// CrossTrafficKBps injects a VBR-video-like background flow of the
+	// given mean rate from an extra host toward alpha0, contending with
+	// the program for the medium.
+	CrossTrafficKBps float64
+	// GuaranteeProgram (switched only) gives the program's connections
+	// strict priority over best-effort cross traffic — the QoS guarantee
+	// the paper's introduction motivates.
+	GuaranteeProgram bool
+}
+
+// Result is a completed measured run.
+type Result struct {
+	Config   RunConfig
+	Trace    *trace.Trace
+	Elapsed  sim.Time
+	SegStats ethernet.Stats
+	Workers  []*fx.Worker
+	// RepConn is the representative connection (src, dst host) for the
+	// program, or (-1, -1).
+	RepConn [2]int
+}
+
+// Run executes one experiment to completion and returns the captured
+// trace and run metadata.
+func Run(cfg RunConfig) (*Result, error) {
+	spec, isKernel := kernels.Lookup(cfg.Program)
+	if !isKernel && cfg.Program != Airshed {
+		return nil, fmt.Errorf("core: unknown program %q (have %v)", cfg.Program, ProgramNames())
+	}
+	if cfg.ForceCopyLoop && cfg.ForceFragments {
+		return nil, fmt.Errorf("core: ForceCopyLoop and ForceFragments both set")
+	}
+
+	p := cfg.P
+	if p == 0 {
+		if isKernel {
+			p = spec.P
+		} else {
+			p = 4
+		}
+	}
+
+	k := sim.New(cfg.Seed)
+	var (
+		medium   ethernet.TrafficSource
+		attach   func(name string) ethernet.Port
+		segStats func() ethernet.Stats
+	)
+	if cfg.Switched {
+		sw := ethernet.NewSwitch(k, cfg.BitRate, 10*sim.Microsecond)
+		medium = sw
+		attach = func(name string) ethernet.Port { return sw.Attach(name) }
+		segStats = func() ethernet.Stats { return ethernet.Stats{Frames: sw.Delivered, Bytes: sw.DeliveredBytes} }
+		if cfg.FrameLossProb > 0 {
+			return nil, fmt.Errorf("core: frame loss injection is only modeled on the shared segment")
+		}
+	} else {
+		seg := ethernet.NewSegment(k, cfg.BitRate)
+		if cfg.FrameLossProb > 0 {
+			seg.SetDropProb(cfg.FrameLossProb)
+		}
+		medium = seg
+		attach = func(name string) ethernet.Port { return seg.Attach(name) }
+		segStats = seg.Stats
+	}
+	netCfg := cfg.Net
+	if netCfg.SendWindow == 0 {
+		netCfg = netstack.DefaultConfig()
+	}
+	if cfg.Nagle {
+		netCfg.Nagle = true
+	}
+	hosts := make([]*netstack.Host, p)
+	names := make([]string, 0, p+1)
+	for i := range hosts {
+		st := attach(fmt.Sprintf("alpha%d", i))
+		hosts[i] = netstack.NewHost(k, st, st.Name(), netCfg)
+		names = append(names, st.Name())
+	}
+	// The measurement workstation: attached, promiscuous, silent.
+	attach("monitor")
+	names = append(names, "monitor")
+	col := trace.Capture(medium)
+
+	if cfg.GuaranteeProgram {
+		sw, ok := medium.(*ethernet.Switch)
+		if !ok {
+			return nil, fmt.Errorf("core: GuaranteeProgram requires Switched")
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i != j {
+					sw.Guarantee(i, j)
+				}
+			}
+		}
+	}
+
+	var crossHost *netstack.Host
+	if cfg.CrossTrafficKBps > 0 {
+		st := attach("video")
+		names = append(names, "video")
+		crossHost = netstack.NewHost(k, st, "video", netCfg)
+	}
+
+	pvmCfg := pvm.DefaultConfig()
+	if cfg.KeepaliveInterval != 0 {
+		pvmCfg.KeepaliveInterval = cfg.KeepaliveInterval
+	}
+	machine := pvm.NewMachine(k, hosts, pvmCfg)
+
+	cost := buildCost(cfg, spec, isKernel)
+
+	var team *fx.Team
+	repConn := [2]int{-1, -1}
+	if isKernel {
+		params := spec.Params
+		if cfg.Params.N != 0 {
+			params.N = cfg.Params.N
+		}
+		if cfg.Params.Iters != 0 {
+			params.Iters = cfg.Params.Iters
+		}
+		useFrags := spec.UseFragments
+		if cfg.ForceCopyLoop {
+			useFrags = false
+		}
+		if cfg.ForceFragments {
+			useFrags = true
+		}
+		repConn = spec.RepresentativeConn
+		run := spec.Run
+		coalesce := cfg.ForceCopyLoop
+		team = fx.Launch(machine, p, cost, spec.Name, func(w *fx.Worker) {
+			w.UseFragments = useFrags
+			w.CoalesceFragments = coalesce
+			run(w, params)
+		})
+	} else {
+		ap := cfg.AirshedParams
+		if ap.Layers == 0 {
+			ap = airshed.PaperParams()
+		}
+		repConn = [2]int{1, 0}
+		team = fx.Launch(machine, p, cost, Airshed, func(w *fx.Worker) {
+			airshed.Run(w, ap)
+		})
+	}
+
+	if crossHost != nil {
+		startCrossTraffic(k, crossHost, hosts[0].Addr(), cfg.CrossTrafficKBps, team)
+	}
+
+	elapsed := k.Run()
+	if !team.Done() {
+		return nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", cfg.Program, elapsed)
+	}
+
+	tr := col.Trace()
+	tr.Hosts = names
+	tr.Meta["program"] = cfg.Program
+	tr.Meta["P"] = fmt.Sprint(p)
+	tr.Meta["seed"] = fmt.Sprint(cfg.Seed)
+
+	return &Result{
+		Config:   cfg,
+		Trace:    tr,
+		Elapsed:  elapsed,
+		SegStats: segStats(),
+		Workers:  team.Workers,
+		RepConn:  repConn,
+	}, nil
+}
+
+// CalibratedCost returns the calibrated cost model for a program, as a
+// starting point for ablations that perturb it.
+func CalibratedCost(program string) (fx.CostModel, error) {
+	spec, isKernel := kernels.Lookup(program)
+	if !isKernel && program != Airshed {
+		return fx.CostModel{}, fmt.Errorf("core: unknown program %q", program)
+	}
+	return buildCost(RunConfig{Program: program}, spec, isKernel), nil
+}
+
+// startCrossTraffic spawns a VBR-video-like background sender: 30 frames
+// per second, lognormal frame sizes around the target mean rate, each
+// frame packetized as UDP toward dst. It stops when the program finishes.
+func startCrossTraffic(k *sim.Kernel, h *netstack.Host, dst int, kbps float64, team *fx.Team) {
+	rng := k.Rand("core.crosstraffic")
+	const fps = 30
+	meanFrame := kbps * 1000 / fps
+	k.Go("crosstraffic", func(p *sim.Proc) {
+		for !team.Done() {
+			size := int(meanFrame * math.Exp(0.4*rng.NormFloat64()-0.08))
+			for size > 0 {
+				chunk := min(size, 1400)
+				h.SendUDP(dst, 4000, 4000, make([]byte, chunk))
+				size -= chunk
+			}
+			p.Sleep(sim.DurationOf(1.0 / fps))
+		}
+	})
+}
+
+// buildCost derives the calibrated cost model for the program.
+func buildCost(cfg RunConfig, spec kernels.Spec, isKernel bool) fx.CostModel {
+	if cfg.Cost != nil {
+		return *cfg.Cost
+	}
+	cost := fx.DefaultCostModel()
+	rates := make(map[string]float64)
+	if isKernel {
+		for k, v := range spec.Rates {
+			rates[k] = v
+		}
+	} else {
+		for k, v := range airshed.Rates {
+			rates[k] = v
+		}
+	}
+	cost.Rates = rates
+	if cfg.DisableDesched {
+		cost.DeschedProb = 0
+	}
+	return cost
+}
+
+// Report is the per-program characterization of the paper's figures 3–7
+// (and 8–11 for AIRSHED).
+type Report struct {
+	Program string
+
+	// Figure 3 / 8: packet sizes (bytes).
+	AggSize  stats.Summary
+	ConnSize stats.Summary // zero Summary when no representative connection
+
+	// Figure 4 / 9: interarrival times (ms).
+	AggInterarrival  stats.Summary
+	ConnInterarrival stats.Summary
+
+	// Figure 5 / §6.2: average bandwidth (KB/s).
+	AggKBps  float64
+	ConnKBps float64
+
+	// Figure 6 / 10: instantaneous bandwidth (10 ms bins).
+	AggSeries  []float64
+	ConnSeries []float64
+	SeriesDT   float64
+
+	// Figure 7 / 11: power spectra.
+	AggSpectrum  *dsp.Spectrum
+	ConnSpectrum *dsp.Spectrum
+
+	// Packet-size modality (trimodal for SOR/2DFFT/HIST).
+	SizeModes int
+
+	// Mean pairwise correlation of per-connection bandwidth (burst-level
+	// bins).
+	Correlation float64
+
+	// Coincidence is the mean fraction of data-bearing connections active
+	// in each communication phase — the paper's "correlated traffic along
+	// many connections" at phase granularity.
+	Coincidence float64
+}
+
+// Characterize computes the full report for a run.
+func Characterize(res *Result) *Report {
+	tr := res.Trace
+	rep := &Report{
+		Program:         res.Config.Program,
+		AggSize:         analysis.SizeStats(tr),
+		AggInterarrival: analysis.InterarrivalStats(tr),
+		AggKBps:         analysis.AverageBandwidthKBps(tr),
+		SizeModes:       analysis.ModeCount(tr, 0.005),
+	}
+	rep.AggSeries, rep.SeriesDT = analysis.BinnedBandwidth(tr, analysis.PaperWindow)
+	rep.AggSpectrum = analysis.SpectrumOfSeries(rep.AggSeries, rep.SeriesDT)
+
+	if res.RepConn[0] >= 0 {
+		conn := tr.Connection(res.RepConn[0], res.RepConn[1])
+		rep.ConnSize = analysis.SizeStats(conn)
+		rep.ConnInterarrival = analysis.InterarrivalStats(conn)
+		rep.ConnKBps = analysis.AverageBandwidthKBps(conn)
+		rep.ConnSeries, _ = analysis.BinnedBandwidth(conn, analysis.PaperWindow)
+		rep.ConnSpectrum = analysis.SpectrumOfSeries(rep.ConnSeries, rep.SeriesDT)
+	}
+
+	// Correlation over the data-bearing host-to-host connections.
+	var pairs [][2]int
+	for _, pr := range tr.Pairs() {
+		if pr[1] != 0xFF { // skip broadcast pseudo-destination
+			pairs = append(pairs, pr)
+		}
+	}
+	if len(pairs) > 1 {
+		// Burst-level bins: at the 10 ms scale the shared medium
+		// serializes connections (mutual exclusion looks like
+		// anti-correlation); the paper's in-phase claim is about
+		// communication phases, so correlate at 250 ms.
+		rep.Correlation = analysis.ConnectionCorrelation(tr, pairs, 250*sim.Millisecond)
+	}
+
+	// Phase coincidence over TCP-data connections only (daemon
+	// keepalives would dilute it).
+	data := tr.Filter(func(p trace.Packet) bool {
+		return p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagData != 0
+	})
+	var dataPairs [][2]int
+	for _, pr := range data.Pairs() {
+		dataPairs = append(dataPairs, pr)
+	}
+	if len(dataPairs) > 1 {
+		rep.Coincidence = analysis.PhaseCoincidence(data, dataPairs, 100*sim.Millisecond)
+	}
+	return rep
+}

@@ -1,0 +1,59 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []complex128 {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkFFTRadix2_1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTRadix2_16384(b *testing.B) {
+	x := benchSignal(16384)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein_1000(b *testing.B) {
+	x := benchSignal(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkPeriodogram_20000Samples(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Periodogram(x, 0.01, PeriodogramOptions{RemoveMean: true, PadPow2: true})
+	}
+}
+
+func BenchmarkFFT2D_64x64(b *testing.B) {
+	m := benchSignal(64 * 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT2D(m, 64, 64)
+	}
+}

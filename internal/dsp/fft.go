@@ -1,0 +1,172 @@
+// Package dsp implements the signal-processing machinery the paper's
+// analysis relies on: a fast Fourier transform (radix-2 with a Bluestein
+// fallback for arbitrary lengths), window functions, the periodogram power
+// spectrum of the windowed instantaneous bandwidth, and spectral peak
+// ("spike") extraction used to build the analytic traffic models of §7.2.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x:
+//
+//	X[k] = Σ_n x[n]·exp(−2πi·kn/N)
+//
+// The input is not modified. Any length is accepted: powers of two use the
+// iterative radix-2 algorithm, other lengths use Bluestein's algorithm.
+// An empty input returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse DFT of X, normalized by 1/N, so that
+// IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// fftRadix2 computes an in-place unnormalized DFT (or conjugate DFT when
+// inverse is true) of a power-of-two length slice.
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := a[start+j+half] * w
+				a[start+j] = u + v
+				a[start+j+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length via the chirp-z transform,
+// using three power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign·πi·k²/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT2D transforms a dense rows×cols matrix stored row-major: first a DFT
+// of each row, then of each column. Used as the sequential reference for
+// the 2DFFT and T2DFFT kernels.
+func FFT2D(m []complex128, rows, cols int) []complex128 {
+	if len(m) != rows*cols {
+		panic("dsp: FFT2D shape mismatch")
+	}
+	out := make([]complex128, len(m))
+	for r := 0; r < rows; r++ {
+		copy(out[r*cols:(r+1)*cols], FFT(m[r*cols:(r+1)*cols]))
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = out[r*cols+c]
+		}
+		fc := FFT(col)
+		for r := 0; r < rows; r++ {
+			out[r*cols+c] = fc[r]
+		}
+	}
+	return out
+}

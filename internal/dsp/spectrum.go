@@ -1,0 +1,212 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Window identifies a tapering window applied before the periodogram.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+)
+
+// Apply returns x multiplied by the window, leaving x unchanged.
+func (w Window) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	n := float64(len(x) - 1)
+	for i, v := range x {
+		var g float64
+		switch w {
+		case Hann:
+			g = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/n)
+		case Hamming:
+			g = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/n)
+		default:
+			g = 1
+		}
+		out[i] = v * g
+	}
+	return out
+}
+
+// Spectrum is a one-sided power spectrum of a uniformly sampled signal,
+// together with the complex Fourier coefficients needed to reconstruct the
+// signal (equation 2 of the paper).
+type Spectrum struct {
+	// Freq[i] is the frequency of bin i in Hz, from 0 (DC) upward.
+	Freq []float64
+	// Power[i] = |X[i]|², the paper's (N·KB/s)² units when the input is a
+	// KB/s bandwidth series.
+	Power []float64
+	// Coeff[i] = X[i]/N, the complex Fourier-series coefficient a_i.
+	Coeff []complex128
+	// DF is the frequency resolution (Hz per bin).
+	DF float64
+	// N is the number of input samples before padding.
+	N int
+	// DT is the sample spacing in seconds.
+	DT float64
+}
+
+// PeriodogramOptions control Periodogram.
+type PeriodogramOptions struct {
+	// Window tapering applied before the FFT.
+	Window Window
+	// RemoveMean subtracts the sample mean first, suppressing the DC spike
+	// so that low-frequency structure is visible. The removed mean is
+	// still reported as the DC coefficient so reconstruction works.
+	RemoveMean bool
+	// PadPow2 zero-pads the signal to the next power of two, which both
+	// speeds the FFT and interpolates the spectrum.
+	PadPow2 bool
+}
+
+// Periodogram computes the one-sided power spectrum of x sampled every dt
+// seconds. This mirrors the paper's analysis: the input is the 10 ms-binned
+// instantaneous average bandwidth, and the result is the periodogram whose
+// spikes characterize the program's periodicity.
+func Periodogram(x []float64, dt float64, opt PeriodogramOptions) *Spectrum {
+	n := len(x)
+	if n == 0 || dt <= 0 {
+		return &Spectrum{DT: dt}
+	}
+	mean := 0.0
+	if opt.RemoveMean {
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+	}
+	work := make([]float64, n)
+	for i, v := range x {
+		work[i] = v - mean
+	}
+	if opt.Window != Rectangular {
+		work = opt.Window.Apply(work)
+	}
+	m := n
+	if opt.PadPow2 {
+		m = NextPow2(n)
+	}
+	padded := make([]complex128, m)
+	for i, v := range work {
+		padded[i] = complex(v, 0)
+	}
+	X := FFT(padded)
+	half := m/2 + 1
+	s := &Spectrum{
+		Freq:  make([]float64, half),
+		Power: make([]float64, half),
+		Coeff: make([]complex128, half),
+		DF:    1 / (float64(m) * dt),
+		N:     n,
+		DT:    dt,
+	}
+	for i := 0; i < half; i++ {
+		s.Freq[i] = float64(i) * s.DF
+		s.Power[i] = real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		s.Coeff[i] = X[i] / complex(float64(m), 0)
+	}
+	// Restore the removed mean as the DC coefficient.
+	s.Coeff[0] += complex(mean, 0)
+	s.Power[0] = cmplx.Abs(s.Coeff[0]*complex(float64(m), 0)) * cmplx.Abs(s.Coeff[0]*complex(float64(m), 0))
+	return s
+}
+
+// Peak is a spectral spike: a local maximum of the power spectrum.
+type Peak struct {
+	Bin   int
+	Freq  float64
+	Power float64
+	Coeff complex128
+}
+
+// Peaks returns the k strongest local maxima above DC, strongest first.
+// A bin is a local maximum if its power exceeds both neighbors'. Peaks
+// closer than minSepHz to an already-selected stronger peak are skipped,
+// which collapses spectral leakage side lobes into their parent spike.
+func (s *Spectrum) Peaks(k int, minSepHz float64) []Peak {
+	type cand struct {
+		bin int
+		pow float64
+	}
+	var cands []cand
+	for i := 1; i < len(s.Power)-1; i++ {
+		if s.Power[i] > s.Power[i-1] && s.Power[i] >= s.Power[i+1] {
+			cands = append(cands, cand{i, s.Power[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].pow != cands[b].pow {
+			return cands[a].pow > cands[b].pow
+		}
+		return cands[a].bin < cands[b].bin
+	})
+	var peaks []Peak
+	for _, c := range cands {
+		if len(peaks) == k {
+			break
+		}
+		tooClose := false
+		for _, p := range peaks {
+			if math.Abs(s.Freq[c.bin]-p.Freq) < minSepHz {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			continue
+		}
+		peaks = append(peaks, Peak{Bin: c.bin, Freq: s.Freq[c.bin], Power: c.pow, Coeff: s.Coeff[c.bin]})
+	}
+	return peaks
+}
+
+// DominantFreq returns the frequency of the strongest non-DC spike, or 0
+// if the spectrum has no interior local maximum.
+func (s *Spectrum) DominantFreq() float64 {
+	p := s.Peaks(1, 0)
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0].Freq
+}
+
+// TotalPower returns the sum of Power over all non-DC bins.
+func (s *Spectrum) TotalPower() float64 {
+	var sum float64
+	for i := 1; i < len(s.Power); i++ {
+		sum += s.Power[i]
+	}
+	return sum
+}
+
+// BandPower sums Power over bins with lo ≤ Freq < hi (excluding DC).
+func (s *Spectrum) BandPower(lo, hi float64) float64 {
+	var sum float64
+	for i := 1; i < len(s.Power); i++ {
+		if s.Freq[i] >= lo && s.Freq[i] < hi {
+			sum += s.Power[i]
+		}
+	}
+	return sum
+}
+
+// Slice returns frequencies and powers restricted to [0, maxHz], the form
+// the paper plots (e.g. figure 11's 0–0.1, 0–1 and 0–20 Hz views).
+func (s *Spectrum) Slice(maxHz float64) (freq, power []float64) {
+	for i, f := range s.Freq {
+		if f > maxHz {
+			break
+		}
+		freq = append(freq, f)
+		power = append(power, s.Power[i])
+	}
+	return freq, power
+}

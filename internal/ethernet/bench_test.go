@@ -1,0 +1,51 @@
+package ethernet
+
+import (
+	"testing"
+
+	"fxnet/internal/sim"
+)
+
+// BenchmarkSharedSaturation measures the event cost of pushing b.N full
+// frames through the CSMA/CD segment with a single sender.
+func BenchmarkSharedSaturation(b *testing.B) {
+	k := sim.New(1)
+	seg := NewSegment(k, 0)
+	a := seg.Attach("a")
+	seg.Attach("b").OnReceive(func(f *Frame) {})
+	for i := 0; i < b.N; i++ {
+		a.Send(&Frame{Dst: 1, NetLen: 1500})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSharedContention measures four stations contending.
+func BenchmarkSharedContention(b *testing.B) {
+	k := sim.New(1)
+	seg := NewSegment(k, 0)
+	sts := make([]*Station, 4)
+	for i := range sts {
+		sts[i] = seg.Attach(string(rune('a' + i)))
+		sts[i].OnReceive(func(f *Frame) {})
+	}
+	for i := 0; i < b.N; i++ {
+		st := sts[i%4]
+		st.Send(&Frame{Dst: (st.ID() + 1) % 4, NetLen: 700})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSwitchForwarding measures the store-and-forward path.
+func BenchmarkSwitchForwarding(b *testing.B) {
+	k := sim.New(1)
+	sw := NewSwitch(k, 0, 10*sim.Microsecond)
+	a := sw.Attach("a")
+	sw.Attach("b").OnReceive(func(f *Frame) {})
+	for i := 0; i < b.N; i++ {
+		a.Send(&Frame{Dst: 1, NetLen: 1500})
+	}
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,471 @@
+// Package ethernet models the paper's measurement substrate: a single
+// shared 10 Mb/s Ethernet collision domain (the multi-segment bridged LAN
+// of DEC 3000/400 workstations behaves as one collision domain in the
+// paper) with CSMA/CD — carrier sense, inter-frame gap arbitration,
+// collision detection near simultaneous starts, and truncated binary
+// exponential backoff.
+//
+// Frames carry both real payload bytes for delivery and the protocol
+// metadata (transport protocol, ports, flags) that the capture layer
+// records, mirroring what tcpdump extracts from the wire.
+package ethernet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fxnet/internal/sim"
+)
+
+// Wire constants for 10BASE Ethernet. Sizes are bytes; the paper counts a
+// packet's size as Ethernet header + IP + transport + data + trailer
+// (58–1518 bytes), excluding the preamble, so CapturedSize does too.
+const (
+	HeaderBytes   = 14 // dst MAC, src MAC, ethertype
+	TrailerBytes  = 4  // frame check sequence
+	PreambleBytes = 8  // preamble + SFD, on the wire but not captured
+	MinWireBytes  = 64 // minimum frame (padding applies below this)
+	MaxWireBytes  = 1518
+	// MaxNetBytes is the MTU-limited network-layer packet size.
+	MaxNetBytes = MaxWireBytes - HeaderBytes - TrailerBytes // 1500
+)
+
+// Timing constants.
+const (
+	SlotTime        = sim.Duration(51200) // 51.2 µs
+	InterFrameGap   = sim.Duration(9600)  // 9.6 µs
+	JamTime         = sim.Duration(4800)  // 48 bit times
+	CollisionWindow = sim.Duration(25600) // max propagation delay, ½ slot
+	DefaultBitRate  = 10e6                // 10 Mb/s, 1.25 MB/s aggregate
+	backoffCap      = 10                  // BEB exponent cap
+)
+
+// Broadcast is the destination address that delivers to every station.
+const Broadcast = -1
+
+// Proto identifies the transport protocol of a frame for capture.
+type Proto uint8
+
+// Transport protocols the capture layer distinguishes.
+const (
+	ProtoOther Proto = iota
+	ProtoTCP
+	ProtoUDP
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return "other"
+	}
+}
+
+// Frame flag bits, recorded in captures for analysis.
+const (
+	FlagAck  = 1 << iota // TCP segment carrying only an acknowledgment
+	FlagSyn              // TCP connection setup
+	FlagFin              // TCP teardown
+	FlagData             // carries application payload
+)
+
+// Frame is one Ethernet frame. NetLen is the network-layer length (IP
+// header + transport header + payload) used for sizing; Payload carries
+// the actual application bytes for delivery to the destination stack.
+type Frame struct {
+	Src, Dst int // station indexes; Dst may be Broadcast
+	Proto    Proto
+	SrcPort  uint16
+	DstPort  uint16
+	Flags    uint8
+	NetLen   int    // bytes at the network layer
+	Payload  []byte // application bytes (may be shorter than NetLen)
+	Opaque   any    // stack-private data carried to the receiver
+}
+
+// CapturedSize is the size tcpdump would report: header + network bytes +
+// trailer, no preamble and no padding.
+func (f *Frame) CapturedSize() int { return HeaderBytes + f.NetLen + TrailerBytes }
+
+// WireBytes is the number of bytes serialized on the wire, including
+// preamble and minimum-frame padding.
+func (f *Frame) WireBytes() int {
+	n := f.CapturedSize()
+	if n < MinWireBytes {
+		n = MinWireBytes
+	}
+	return n + PreambleBytes
+}
+
+// Capture is the record a promiscuous tap receives for every successfully
+// delivered frame — the same tuple the paper's tcpdump traces provide.
+type Capture struct {
+	Time    sim.Time
+	Size    int // CapturedSize of the frame
+	Src     int
+	Dst     int
+	Proto   Proto
+	SrcPort uint16
+	DstPort uint16
+	Flags   uint8
+}
+
+// Stats counts segment-level activity.
+type Stats struct {
+	Frames        int64 // successfully delivered frames
+	Bytes         int64 // captured bytes of delivered frames
+	Collisions    int64 // collision episodes
+	MaxBackoffHit int64 // times a station reached the backoff exponent cap
+	Corrupted     int64 // frames dropped by injected FCS corruption
+}
+
+// Segment is one shared collision domain.
+type Segment struct {
+	k        *sim.Kernel
+	bitRate  float64
+	stations []*Station
+	taps     []func(Capture)
+	rng      *rand.Rand
+
+	state    segState
+	txStart  sim.Time
+	txFrom   *Station
+	txEnd    *sim.Event
+	idleAt   sim.Time // instant the medium last became idle
+	waiters  []*Station
+	arbAt    sim.Time
+	arbEvent *sim.Event
+
+	// dropProb is the injected frame-corruption probability: a corrupted
+	// frame occupies the wire but fails its FCS everywhere, so neither
+	// the capture taps nor the destination see it.
+	dropProb float64
+	dropRng  *rand.Rand
+
+	stats Stats
+}
+
+// SetDropProb enables fault injection: each frame is independently
+// corrupted with probability p ∈ [0, 1].
+func (s *Segment) SetDropProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("ethernet: drop probability out of range")
+	}
+	s.dropProb = p
+	if s.dropRng == nil {
+		s.dropRng = s.k.Rand("ethernet.drop")
+	}
+}
+
+type segState int
+
+const (
+	segIdle segState = iota
+	segBusy
+	segJam
+)
+
+// NewSegment creates a shared segment on kernel k with the given bit rate
+// (bits per second); a non-positive rate selects DefaultBitRate.
+func NewSegment(k *sim.Kernel, bitRate float64) *Segment {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	return &Segment{
+		k:       k,
+		bitRate: bitRate,
+		rng:     k.Rand("ethernet.segment"),
+		idleAt:  -sim.Time(InterFrameGap), // medium usable at t=0
+	}
+}
+
+// BitRate reports the segment's raw bit rate in bits per second.
+func (s *Segment) BitRate() float64 { return s.bitRate }
+
+// Stats returns a copy of the segment counters.
+func (s *Segment) Stats() Stats { return s.stats }
+
+// Tap registers a promiscuous-mode capture callback, invoked at the end of
+// every successfully delivered frame.
+func (s *Segment) Tap(fn func(Capture)) { s.taps = append(s.taps, fn) }
+
+// Attach creates a new station on the segment and returns it. The name is
+// used in diagnostics only; the returned station's ID is its address.
+func (s *Segment) Attach(name string) *Station {
+	st := &Station{seg: s, id: len(s.stations), name: name}
+	s.stations = append(s.stations, st)
+	return st
+}
+
+// Stations returns the attached stations in attachment order.
+func (s *Segment) Stations() []*Station { return s.stations }
+
+// txDuration is the serialization time of frame f at the segment rate.
+func (s *Segment) txDuration(f *Frame) sim.Duration {
+	bits := float64(f.WireBytes() * 8)
+	return sim.DurationOf(bits / s.bitRate)
+}
+
+// Station is one attached network adaptor with a FIFO transmit queue.
+type Station struct {
+	seg      *Segment
+	id       int
+	name     string
+	queue    []*Frame
+	attempts int
+	pending  bool // a contention attempt is registered or scheduled
+	waiting  bool // registered in seg.waiters
+	recv     func(*Frame)
+
+	// TxFrames / TxBytes count frames this station put on the wire.
+	TxFrames int64
+	TxBytes  int64
+}
+
+// ID reports the station's address on the segment.
+func (st *Station) ID() int { return st.id }
+
+// Name reports the diagnostic name given at Attach.
+func (st *Station) Name() string { return st.name }
+
+// OnReceive registers the upcall invoked (in event context) for every
+// frame addressed to this station or broadcast. A station has exactly one
+// receiver; calling OnReceive again replaces it.
+func (st *Station) OnReceive(fn func(*Frame)) { st.recv = fn }
+
+// QueueLen reports the number of frames waiting to transmit.
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Send enqueues a frame for transmission. The frame's Src is forced to
+// this station. Sending to self panics: the loopback path belongs to the
+// host stack, not the wire.
+func (st *Station) Send(f *Frame) {
+	if f.Dst == st.id {
+		panic(fmt.Sprintf("ethernet: station %q sending to itself", st.name))
+	}
+	if f.NetLen > MaxNetBytes {
+		panic(fmt.Sprintf("ethernet: frame NetLen %d exceeds MTU %d", f.NetLen, MaxNetBytes))
+	}
+	f.Src = st.id
+	st.queue = append(st.queue, f)
+	if !st.pending {
+		st.pending = true
+		st.contend()
+	}
+}
+
+// contend attempts to acquire the medium for the head-of-queue frame.
+func (st *Station) contend() {
+	s := st.seg
+	now := s.k.Now()
+	switch s.state {
+	case segIdle:
+		if ready := s.idleAt.Add(InterFrameGap); now < ready {
+			st.joinWaiters()
+			s.scheduleArb(ready)
+			return
+		}
+		s.startTx(st)
+	case segBusy:
+		if now.Sub(s.txStart) <= CollisionWindow {
+			s.collide(st)
+			return
+		}
+		st.joinWaiters()
+	case segJam:
+		st.joinWaiters()
+		s.scheduleArb(s.idleAt.Add(InterFrameGap))
+	}
+}
+
+func (st *Station) joinWaiters() {
+	if st.waiting {
+		return
+	}
+	st.waiting = true
+	st.seg.waiters = append(st.seg.waiters, st)
+}
+
+// backoff schedules the station's next contention attempt after a
+// truncated binary exponential backoff delay.
+func (st *Station) backoff(from sim.Time) {
+	s := st.seg
+	st.attempts++
+	exp := st.attempts
+	if exp > backoffCap {
+		exp = backoffCap
+		s.stats.MaxBackoffHit++
+	}
+	slots := s.rng.Intn(1 << exp)
+	at := from.Add(sim.Duration(slots) * SlotTime)
+	if at < s.k.Now() {
+		at = s.k.Now()
+	}
+	s.k.At(at, "eth.retry:"+st.name, st.contend)
+}
+
+// startTx begins serializing st's head frame onto the wire.
+func (s *Segment) startTx(st *Station) {
+	f := st.queue[0]
+	s.state = segBusy
+	s.txFrom = st
+	s.txStart = s.k.Now()
+	s.txEnd = s.k.After(s.txDuration(f), "eth.txend:"+st.name, func() { s.deliver(st, f) })
+}
+
+// deliver completes a successful transmission: update state, pop the
+// queue, invoke taps and the destination upcall, then rearbitrate.
+func (s *Segment) deliver(st *Station, f *Frame) {
+	now := s.k.Now()
+	s.state = segIdle
+	s.idleAt = now
+	s.txFrom = nil
+	s.txEnd = nil
+
+	st.queue = st.queue[1:]
+	st.attempts = 0
+	st.TxFrames++
+	st.TxBytes += int64(f.CapturedSize())
+
+	if s.dropProb > 0 && s.dropRng.Float64() < s.dropProb {
+		s.stats.Corrupted++
+		// The wire was occupied, but the frame is gone: skip taps and
+		// delivery, then rearbitrate as usual.
+		if len(st.queue) > 0 {
+			st.joinWaiters()
+		} else {
+			st.pending = false
+		}
+		if len(s.waiters) > 0 {
+			s.scheduleArb(now.Add(InterFrameGap))
+		}
+		return
+	}
+
+	s.stats.Frames++
+	s.stats.Bytes += int64(f.CapturedSize())
+
+	cap := Capture{
+		Time: now, Size: f.CapturedSize(),
+		Src: f.Src, Dst: f.Dst, Proto: f.Proto,
+		SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
+	}
+	for _, tap := range s.taps {
+		tap(cap)
+	}
+	for _, dst := range s.stations {
+		if dst == st {
+			continue
+		}
+		if f.Dst == Broadcast || f.Dst == dst.id {
+			if dst.recv != nil {
+				dst.recv(f)
+			}
+		}
+	}
+
+	// The sender either requeues for its next frame or goes quiet.
+	if len(st.queue) > 0 {
+		st.joinWaiters()
+	} else {
+		st.pending = false
+	}
+	if len(s.waiters) > 0 {
+		s.scheduleArb(now.Add(InterFrameGap))
+	}
+}
+
+// collide handles a collision between the in-flight transmitter and
+// latecomer st (or, via collideAll, among simultaneous contenders).
+func (s *Segment) collide(st *Station) {
+	s.stats.Collisions++
+	if s.txEnd != nil {
+		s.txEnd.Cancel()
+		s.txEnd = nil
+	}
+	tx := s.txFrom
+	s.txFrom = nil
+	now := s.k.Now()
+	s.state = segJam
+	jamEnd := now.Add(JamTime)
+	s.idleAt = jamEnd
+	s.k.At(jamEnd, "eth.jamend", func() {
+		if s.state == segJam {
+			s.state = segIdle
+		}
+		if len(s.waiters) > 0 {
+			s.scheduleArb(s.idleAt.Add(InterFrameGap))
+		}
+	})
+	tx.backoff(jamEnd)
+	st.backoff(jamEnd)
+}
+
+// collideAll handles n ≥ 2 stations starting in the same arbitration slot.
+func (s *Segment) collideAll(contenders []*Station) {
+	s.stats.Collisions++
+	now := s.k.Now()
+	s.state = segJam
+	jamEnd := now.Add(JamTime)
+	s.idleAt = jamEnd
+	s.k.At(jamEnd, "eth.jamend", func() {
+		if s.state == segJam {
+			s.state = segIdle
+		}
+		if len(s.waiters) > 0 {
+			s.scheduleArb(s.idleAt.Add(InterFrameGap))
+		}
+	})
+	for _, st := range contenders {
+		st.backoff(jamEnd)
+	}
+}
+
+// scheduleArb arranges a single arbitration event at time t (or the
+// earliest already-scheduled arbitration, whichever is sooner).
+func (s *Segment) scheduleArb(t sim.Time) {
+	if t < s.k.Now() {
+		t = s.k.Now()
+	}
+	if s.arbEvent != nil && !s.arbEvent.Cancelled() {
+		if s.arbAt <= t {
+			return
+		}
+		s.arbEvent.Cancel()
+	}
+	s.arbAt = t
+	s.arbEvent = s.k.At(t, "eth.arb", s.arbitrate)
+}
+
+// arbitrate resolves contention at an idle-medium instant: one waiter
+// transmits; several collide.
+func (s *Segment) arbitrate() {
+	s.arbEvent = nil
+	if s.state != segIdle {
+		return // busy again; deliver/jam-end will rearbitrate
+	}
+	if ready := s.idleAt.Add(InterFrameGap); s.k.Now() < ready {
+		s.scheduleArb(ready)
+		return
+	}
+	var contenders []*Station
+	for _, st := range s.waiters {
+		st.waiting = false
+		if len(st.queue) > 0 {
+			contenders = append(contenders, st)
+		} else {
+			st.pending = false
+		}
+	}
+	s.waiters = s.waiters[:0]
+	switch len(contenders) {
+	case 0:
+	case 1:
+		s.startTx(contenders[0])
+	default:
+		s.collideAll(contenders)
+	}
+}

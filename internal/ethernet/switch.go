@@ -1,0 +1,214 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"fxnet/internal/sim"
+)
+
+// Port is the attachment point a host stack binds to: both the shared
+// segment's Station and the Switch's SwitchPort implement it, so the same
+// transport stack runs over either medium.
+type Port interface {
+	ID() int
+	Name() string
+	Send(*Frame)
+	OnReceive(func(*Frame))
+}
+
+// TrafficSource is any medium a promiscuous capture can tap. On the
+// shared segment this is the paper's setup — every frame crosses one
+// wire; on a switch it models a monitoring (SPAN) port.
+type TrafficSource interface {
+	Tap(fn func(Capture))
+}
+
+var (
+	_ Port          = (*Station)(nil)
+	_ Port          = (*SwitchPort)(nil)
+	_ TrafficSource = (*Segment)(nil)
+	_ TrafficSource = (*Switch)(nil)
+)
+
+// Switch is a store-and-forward Ethernet switch with full-duplex links:
+// each port has an independent ingress (host→switch) and egress
+// (switch→host) wire at the link rate, with output queuing and no
+// collisions — the "next generation LAN" the paper's introduction
+// anticipates. It exists for the shared-vs-switched ablation.
+type Switch struct {
+	k       *sim.Kernel
+	bitRate float64
+	latency sim.Duration
+	ports   []*SwitchPort
+	taps    []func(Capture)
+
+	// guaranteed marks (src, dst) connections with a QoS commitment:
+	// their frames use the high-priority egress queue, modeling the
+	// per-connection guarantees of the ATM-class networks the paper's
+	// introduction anticipates.
+	guaranteed map[[2]int]bool
+
+	// Delivered / DeliveredBytes count egress completions.
+	Delivered      int64
+	DeliveredBytes int64
+	// MaxQueue tracks the deepest egress queue observed.
+	MaxQueue int
+}
+
+// Guarantee gives the (src, dst) connection strict egress priority over
+// best-effort traffic.
+func (sw *Switch) Guarantee(src, dst int) {
+	if sw.guaranteed == nil {
+		sw.guaranteed = make(map[[2]int]bool)
+	}
+	sw.guaranteed[[2]int{src, dst}] = true
+}
+
+// NewSwitch creates a switch whose links run at bitRate bits/s (0 selects
+// 10 Mb/s, matching the shared segment for like-for-like comparisons)
+// with the given store-and-forward latency.
+func NewSwitch(k *sim.Kernel, bitRate float64, latency sim.Duration) *Switch {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	if latency < 0 {
+		panic("ethernet: negative switch latency")
+	}
+	return &Switch{k: k, bitRate: bitRate, latency: latency}
+}
+
+// Tap registers a monitoring callback invoked at each egress completion,
+// modeling a SPAN/mirror port.
+func (sw *Switch) Tap(fn func(Capture)) { sw.taps = append(sw.taps, fn) }
+
+// Attach adds a port.
+func (sw *Switch) Attach(name string) *SwitchPort {
+	p := &SwitchPort{sw: sw, id: len(sw.ports), name: name}
+	sw.ports = append(sw.ports, p)
+	return p
+}
+
+// Ports returns the attached ports in order.
+func (sw *Switch) Ports() []*SwitchPort { return sw.ports }
+
+func (sw *Switch) txDuration(f *Frame) sim.Duration {
+	return sim.DurationOf(float64(f.WireBytes()*8) / sw.bitRate)
+}
+
+// SwitchPort is one full-duplex attachment.
+type SwitchPort struct {
+	sw   *Switch
+	id   int
+	name string
+	recv func(*Frame)
+
+	// Ingress (host → switch).
+	inQ    []*Frame
+	inBusy bool
+
+	// Egress (switch → host): a strict-priority pair of queues.
+	outHi   []*Frame
+	outQ    []*Frame
+	outBusy bool
+}
+
+// ID reports the port's address.
+func (p *SwitchPort) ID() int { return p.id }
+
+// Name reports the port name.
+func (p *SwitchPort) Name() string { return p.name }
+
+// OnReceive registers the delivery upcall.
+func (p *SwitchPort) OnReceive(fn func(*Frame)) { p.recv = fn }
+
+// QueueLen reports queued frames (ingress + egress).
+func (p *SwitchPort) QueueLen() int { return len(p.inQ) + len(p.outQ) + len(p.outHi) }
+
+// Send transmits a frame toward the switch.
+func (p *SwitchPort) Send(f *Frame) {
+	if f.Dst == p.id {
+		panic(fmt.Sprintf("ethernet: port %q sending to itself", p.name))
+	}
+	if f.NetLen > MaxNetBytes {
+		panic(fmt.Sprintf("ethernet: frame NetLen %d exceeds MTU %d", f.NetLen, MaxNetBytes))
+	}
+	f.Src = p.id
+	p.inQ = append(p.inQ, f)
+	if !p.inBusy {
+		p.pumpIngress()
+	}
+}
+
+// pumpIngress serializes the next queued frame up the link.
+func (p *SwitchPort) pumpIngress() {
+	if len(p.inQ) == 0 {
+		p.inBusy = false
+		return
+	}
+	p.inBusy = true
+	f := p.inQ[0]
+	p.inQ = p.inQ[1:]
+	sw := p.sw
+	sw.k.After(sw.txDuration(f)+InterFrameGap, "switch.ingress:"+p.name, func() {
+		sw.k.After(sw.latency, "switch.forward", func() { sw.forward(p, f) })
+		p.pumpIngress()
+	})
+}
+
+// forward places the frame on the destination port's egress queue (all
+// other ports for broadcast).
+func (sw *Switch) forward(from *SwitchPort, f *Frame) {
+	for _, dst := range sw.ports {
+		if dst == from {
+			continue
+		}
+		if f.Dst == Broadcast || f.Dst == dst.id {
+			if sw.guaranteed[[2]int{f.Src, f.Dst}] {
+				dst.outHi = append(dst.outHi, f)
+			} else {
+				dst.outQ = append(dst.outQ, f)
+			}
+			if n := len(dst.outQ) + len(dst.outHi); n > sw.MaxQueue {
+				sw.MaxQueue = n
+			}
+			if !dst.outBusy {
+				dst.pumpEgress()
+			}
+		}
+	}
+}
+
+// pumpEgress serializes the next egress frame down to the host,
+// guaranteed traffic first.
+func (p *SwitchPort) pumpEgress() {
+	var f *Frame
+	switch {
+	case len(p.outHi) > 0:
+		f = p.outHi[0]
+		p.outHi = p.outHi[1:]
+	case len(p.outQ) > 0:
+		f = p.outQ[0]
+		p.outQ = p.outQ[1:]
+	default:
+		p.outBusy = false
+		return
+	}
+	p.outBusy = true
+	sw := p.sw
+	sw.k.After(sw.txDuration(f)+InterFrameGap, "switch.egress:"+p.name, func() {
+		sw.Delivered++
+		sw.DeliveredBytes += int64(f.CapturedSize())
+		cap := Capture{
+			Time: sw.k.Now(), Size: f.CapturedSize(),
+			Src: f.Src, Dst: f.Dst, Proto: f.Proto,
+			SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
+		}
+		for _, tap := range sw.taps {
+			tap(cap)
+		}
+		if p.recv != nil {
+			p.recv(f)
+		}
+		p.pumpEgress()
+	})
+}

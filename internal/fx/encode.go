@@ -1,0 +1,98 @@
+package fx
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The encode helpers serialize the numeric array slices the kernels ship
+// between processes. Fx programs declare REAL*4 (float32) and COMPLEX*8
+// (complex64) data; AIRSHED's concentration array is REAL*8 (float64).
+// Everything is little-endian.
+
+// EncodeFloat32s packs xs into a fresh byte slice.
+func EncodeFloat32s(xs []float32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+// DecodeFloat32s unpacks a slice written by EncodeFloat32s.
+func DecodeFloat32s(b []byte) []float32 {
+	if len(b)%4 != 0 {
+		panic("fx: DecodeFloat32s length not a multiple of 4")
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// EncodeFloat64s packs xs into a fresh byte slice.
+func EncodeFloat64s(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a slice written by EncodeFloat64s.
+func DecodeFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("fx: DecodeFloat64s length not a multiple of 8")
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// EncodeComplex64s packs xs (real, imag float32 pairs).
+func EncodeComplex64s(xs []complex64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[8*i:], math.Float32bits(real(x)))
+		binary.LittleEndian.PutUint32(out[8*i+4:], math.Float32bits(imag(x)))
+	}
+	return out
+}
+
+// DecodeComplex64s unpacks a slice written by EncodeComplex64s.
+func DecodeComplex64s(b []byte) []complex64 {
+	if len(b)%8 != 0 {
+		panic("fx: DecodeComplex64s length not a multiple of 8")
+	}
+	out := make([]complex64, len(b)/8)
+	for i := range out {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(b[8*i:]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(b[8*i+4:]))
+		out[i] = complex(re, im)
+	}
+	return out
+}
+
+// EncodeInt64s packs xs.
+func EncodeInt64s(xs []int64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// DecodeInt64s unpacks a slice written by EncodeInt64s.
+func DecodeInt64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("fx: DecodeInt64s length not a multiple of 8")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

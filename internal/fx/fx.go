@@ -1,0 +1,372 @@
+// Package fx models the Fx parallelizing compiler's run-time system: SPMD
+// programs whose P processes interleave local computation phases with
+// compiled global communication phases over PVM direct-route connections.
+//
+// The five communication patterns of the paper's figure 1 — neighbor,
+// all-to-all (shift schedule), partition, broadcast, and tree — are
+// provided as collective operations. Compute phases advance virtual time
+// through a calibrated cost model that also injects the occasional OS
+// "deschedule" stall the paper observed merging 2DFFT's bursts.
+package fx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fxnet/internal/pvm"
+	"fxnet/internal/sim"
+)
+
+// Pattern identifies one of the paper's global communication patterns.
+type Pattern int
+
+// The figure 1 patterns.
+const (
+	Neighbor Pattern = iota
+	AllToAll
+	Partition
+	Broadcast
+	Tree
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Neighbor:
+		return "neighbor"
+	case AllToAll:
+		return "all-to-all"
+	case Partition:
+		return "partition"
+	case Broadcast:
+		return "broadcast"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Connections reports the number of simplex connections the pattern uses
+// on P processors — the §7.1 comparison: neighbor uses at most 2P,
+// all-to-all P(P−1), an equal two-set partition P²/4, broadcast P−1, and
+// a tree P−1 up-edges plus P−1 release edges.
+func (p Pattern) Connections(P int) int {
+	if P < 2 {
+		return 0
+	}
+	switch p {
+	case Neighbor:
+		return 2 * (P - 1) // chain: interior procs talk to both sides
+	case AllToAll:
+		return P * (P - 1)
+	case Partition:
+		return (P / 2) * (P - P/2)
+	case Broadcast:
+		return P - 1
+	case Tree:
+		return 2 * (P - 1)
+	default:
+		return 0
+	}
+}
+
+// CostModel converts a kernel's abstract operation counts into virtual
+// compute time. Rates are in operations per virtual second; the class
+// names let each kernel calibrate independently (documented per kernel in
+// EXPERIMENTS.md). DeschedProb injects, per compute phase, an OS
+// descheduling stall with mean DeschedMean — the effect the paper blames
+// for 2DFFT's occasionally merged communication bursts.
+type CostModel struct {
+	DefaultRate float64
+	Rates       map[string]float64
+	DeschedProb float64
+	DeschedMean sim.Duration
+	JitterFrac  float64
+}
+
+// DefaultCostModel approximates a 133 MHz Alpha 21064 running
+// memory-bound dense-matrix code.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DefaultRate: 2e6,
+		DeschedProb: 0.01,
+		DeschedMean: 150 * sim.Millisecond,
+		JitterFrac:  0.01,
+	}
+}
+
+// Rate returns the operations-per-second rate for a class.
+func (c CostModel) Rate(class string) float64 {
+	if r, ok := c.Rates[class]; ok && r > 0 {
+		return r
+	}
+	if c.DefaultRate > 0 {
+		return c.DefaultRate
+	}
+	return 2e6
+}
+
+// WithRate returns a copy of the model with one class rate overridden.
+func (c CostModel) WithRate(class string, rate float64) CostModel {
+	m := make(map[string]float64, len(c.Rates)+1)
+	for k, v := range c.Rates {
+		m[k] = v
+	}
+	m[class] = rate
+	c.Rates = m
+	return c
+}
+
+// Worker is one SPMD process: rank r of P, bound to a PVM task.
+type Worker struct {
+	Rank, P int
+	task    *pvm.Task
+	team    *Team
+	cost    CostModel
+	rng     *rand.Rand
+
+	// UseFragments selects the fragment-list send path (T2DFFT) instead
+	// of the copy-loop path for this worker's Send calls.
+	UseFragments bool
+	// CoalesceFragments forces even explicit SendFrags calls through the
+	// copy-loop path — the packing ablation's control arm.
+	CoalesceFragments bool
+
+	barrierGen int
+
+	// ComputeTime accumulates virtual time spent in compute phases.
+	ComputeTime sim.Duration
+	// Descheds counts injected OS stalls.
+	Descheds int
+}
+
+// Team is a launched SPMD program instance.
+type Team struct {
+	Workers []*Worker
+	baseTID int
+	done    int
+}
+
+// Done reports whether every worker has returned.
+func (t *Team) Done() bool { return t.done == len(t.Workers) }
+
+// Launch starts an SPMD program with P workers on machine m, worker r on
+// host r. body is the compiled program each process executes. The team's
+// workers share the cost model but draw independent jitter streams.
+func Launch(m *pvm.Machine, P int, cost CostModel, name string, body func(w *Worker)) *Team {
+	if P < 1 || P > len(m.Hosts()) {
+		panic(fmt.Sprintf("fx: P=%d with %d hosts", P, len(m.Hosts())))
+	}
+	team := &Team{baseTID: len(m.Tasks())}
+	for r := 0; r < P; r++ {
+		w := &Worker{Rank: r, P: P, team: team, cost: cost}
+		team.Workers = append(team.Workers, w)
+		rank := r
+		t := m.Spawn(fmt.Sprintf("%s[%d]", name, r), r, func(task *pvm.Task) {
+			w.task = task
+			w.rng = task.Host().Kernel().Rand(fmt.Sprintf("fx.%s.%d", name, rank))
+			body(w)
+			team.done++
+		})
+		w.task = t
+	}
+	return team
+}
+
+// tid maps a rank in this team to its PVM TID.
+func (w *Worker) tid(rank int) int { return w.team.baseTID + rank }
+
+// Now reports current virtual time.
+func (w *Worker) Now() sim.Time { return w.task.Proc().Now() }
+
+// Task exposes the underlying PVM task (counters, etc.).
+func (w *Worker) Task() *pvm.Task { return w.task }
+
+// Compute advances virtual time by ops operations of the given cost
+// class, with calibrated rate, multiplicative jitter, and the occasional
+// descheduling stall.
+func (w *Worker) Compute(class string, ops float64) {
+	if ops <= 0 {
+		return
+	}
+	secs := ops / w.cost.Rate(class)
+	if w.cost.JitterFrac > 0 {
+		secs *= math.Max(0, 1+w.cost.JitterFrac*w.rng.NormFloat64())
+	}
+	d := sim.DurationOf(secs)
+	if w.cost.DeschedProb > 0 && w.rng.Float64() < w.cost.DeschedProb {
+		d += sim.DurationOf(w.cost.DeschedMean.Seconds() * w.rng.ExpFloat64())
+		w.Descheds++
+	}
+	w.ComputeTime += d
+	w.task.Sleep(d)
+}
+
+// Idle advances virtual time without modeling computation (I/O waits).
+func (w *Worker) Idle(d sim.Duration) { w.task.Sleep(d) }
+
+// Send transmits body to rank dst using the worker's packing mode.
+func (w *Worker) Send(dst, tag int, body []byte) {
+	if w.UseFragments {
+		w.task.SendFrags(w.tid(dst), tag, [][]byte{body})
+		return
+	}
+	w.task.Send(w.tid(dst), tag, body)
+}
+
+// SendFrags transmits a fragment-list message (multiple packs, no copy
+// loop). Under CoalesceFragments the fragments are first copied into one
+// contiguous buffer, as the copy-loop kernels do.
+func (w *Worker) SendFrags(dst, tag int, frags [][]byte) {
+	if w.CoalesceFragments {
+		var total int
+		for _, f := range frags {
+			total += len(f)
+		}
+		buf := make([]byte, 0, total)
+		for _, f := range frags {
+			buf = append(buf, f...)
+		}
+		w.task.Send(w.tid(dst), tag, buf)
+		return
+	}
+	w.task.SendFrags(w.tid(dst), tag, frags)
+}
+
+// Recv blocks until a message from rank src with the tag arrives.
+func (w *Worker) Recv(src, tag int) []byte {
+	return w.task.RecvBody(w.tid(src), tag)
+}
+
+// NeighborExchange performs the neighbor pattern of figure 1: every
+// interior rank exchanges with both sides; rank 0 and rank P−1 exchange
+// with their single neighbor. Returns the data received from rank−1 and
+// rank+1 (nil at the chain ends).
+func (w *Worker) NeighborExchange(tag int, toPrev, toNext []byte) (fromPrev, fromNext []byte) {
+	if w.Rank > 0 {
+		w.Send(w.Rank-1, tag, toPrev)
+	}
+	if w.Rank < w.P-1 {
+		w.Send(w.Rank+1, tag, toNext)
+	}
+	if w.Rank > 0 {
+		fromPrev = w.Recv(w.Rank-1, tag)
+	}
+	if w.Rank < w.P-1 {
+		fromNext = w.Recv(w.Rank+1, tag)
+	}
+	return fromPrev, fromNext
+}
+
+// AllToAll performs the all-to-all pattern with the shift schedule Fx
+// compiles: at step s each rank sends parts[(rank+s)%P] to rank+s and
+// receives from rank−s. parts[rank] is returned in place as the local
+// part. The result slice r is such that r[i] is the part contributed by
+// rank i.
+func (w *Worker) AllToAll(tag int, parts [][]byte) [][]byte {
+	if len(parts) != w.P {
+		panic(fmt.Sprintf("fx: AllToAll with %d parts for P=%d", len(parts), w.P))
+	}
+	out := make([][]byte, w.P)
+	out[w.Rank] = parts[w.Rank]
+	for s := 1; s < w.P; s++ {
+		dst := (w.Rank + s) % w.P
+		src := (w.Rank - s + w.P) % w.P
+		w.Send(dst, tag+s, parts[dst])
+		out[src] = w.Recv(src, tag+s)
+	}
+	return out
+}
+
+// Bcast performs the broadcast pattern: root sends data to every other
+// rank (P−1 point-to-point messages, as Fx's sequential-I/O broadcast
+// does); non-roots receive and return it.
+func (w *Worker) Bcast(root, tag int, data []byte) []byte {
+	if w.Rank == root {
+		for r := 0; r < w.P; r++ {
+			if r != root {
+				w.Send(r, tag, data)
+			}
+		}
+		return data
+	}
+	return w.Recv(root, tag)
+}
+
+// Reduce performs the tree (up-sweep) pattern: at step i, ranks that are
+// odd multiples of 2^i send their value to the even multiple below and
+// drop out; combine merges an incoming value into the local one. The
+// fully reduced value lands on rank 0, which returns it; other ranks
+// return nil.
+func (w *Worker) Reduce(tag int, data []byte, combine func(local, incoming []byte) []byte) []byte {
+	local := data
+	for stride := 1; stride < w.P; stride <<= 1 {
+		if w.Rank&stride != 0 {
+			w.Send(w.Rank-stride, tag, local)
+			return nil
+		}
+		if w.Rank+stride < w.P {
+			local = combine(local, w.Recv(w.Rank+stride, tag))
+		}
+	}
+	return local
+}
+
+// TreeBcast performs the tree down-sweep: rank 0's data propagates by
+// doubling (the reverse of Reduce). Every rank returns the data.
+func (w *Worker) TreeBcast(tag int, data []byte) []byte {
+	span := 1
+	for span < w.P {
+		span <<= 1
+	}
+	local := data
+	for stride := span >> 1; stride >= 1; stride >>= 1 {
+		switch w.Rank % (2 * stride) {
+		case 0:
+			if w.Rank+stride < w.P {
+				w.Send(w.Rank+stride, tag, local)
+			}
+		case stride:
+			local = w.Recv(w.Rank-stride, tag)
+		}
+	}
+	return local
+}
+
+// Barrier synchronizes all ranks in the team: an empty tree reduce to
+// rank 0 followed by an empty broadcast release. Fx enforces this
+// synchronization implicitly through its communication schedules; some
+// SPMD communication systems make it an explicit barrier.
+func (w *Worker) Barrier() {
+	const barrierTagBase = 1 << 20
+	tag := barrierTagBase + 2*w.barrierGen
+	w.barrierGen++
+	w.Reduce(tag, nil, func(a, b []byte) []byte { return nil })
+	w.Bcast(0, tag+1, nil)
+}
+
+// BlockRange computes the block distribution of n items over P
+// processors: rank r owns [lo, hi). Remainder items go to the first
+// ranks, as Fx's BLOCK distribution does.
+func BlockRange(n, P, rank int) (lo, hi int) {
+	base := n / P
+	rem := n % P
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// BlockOwner returns the rank owning item i under BlockRange.
+func BlockOwner(n, P, i int) int {
+	for r := 0; r < P; r++ {
+		lo, hi := BlockRange(n, P, r)
+		if i >= lo && i < hi {
+			return r
+		}
+	}
+	panic("fx: BlockOwner out of range")
+}

@@ -1,0 +1,129 @@
+package fxc
+
+import (
+	"strings"
+	"testing"
+
+	"fxnet/internal/fx"
+)
+
+const sampleProgram = `
+! the 2DFFT's communication, in the mini dialect
+array a(64,64) complex*8 block(rows)
+array c(64,64) complex*8 block(cols)
+array in(64,64) real*8 serial
+array h(64,64) real*4 block(rows)
+
+assign c(i,j) = a(i,j)      ! redistribution
+assign h(i,j) = h(i-1,j)    ! halo shift
+assign h(i,j) = in(i,j)     ! sequential input
+reduce h 2048               ! histogram-style reduction
+`
+
+func TestParseProgram(t *testing.T) {
+	p, err := ParseProgram(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Arrays) != 4 {
+		t.Fatalf("arrays = %d", len(p.Arrays))
+	}
+	a := p.Arrays["a"]
+	if a.Rows != 64 || a.Cols != 64 || a.Dist != DistRows || a.ElemBytes != 8 {
+		t.Errorf("a = %+v", a)
+	}
+	if p.Arrays["c"].Dist != DistCols {
+		t.Error("c distribution wrong")
+	}
+	if p.Arrays["in"].Dist != DistSerial {
+		t.Error("in distribution wrong")
+	}
+	if p.Arrays["h"].ElemBytes != 4 {
+		t.Error("real*4 size wrong")
+	}
+	if len(p.Stmts) != 4 || len(p.Texts) != 4 {
+		t.Fatalf("stmts = %d", len(p.Stmts))
+	}
+}
+
+func TestParsedProgramCompiles(t *testing.T) {
+	p, err := ParseProgram(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := p.CompileAll(4)
+	wantPatterns := []fx.Pattern{fx.AllToAll, fx.Neighbor, fx.Broadcast, fx.Tree}
+	for i, sched := range scheds {
+		pat, comm := sched.Classify()
+		if !comm {
+			t.Fatalf("stmt %d: no communication", i)
+		}
+		if pat != wantPatterns[i] {
+			t.Errorf("stmt %d (%s): pattern %v, want %v", i, p.Texts[i], pat, wantPatterns[i])
+		}
+	}
+	// Reduction carries 3 × 2048 bytes on P=4.
+	if got := scheds[3].TotalBytes(); got != 3*2048 {
+		t.Errorf("reduce bytes = %d", got)
+	}
+}
+
+func TestParseSubscripts(t *testing.T) {
+	cases := map[string]Affine{
+		"i":   {CI: 1},
+		"j":   {CJ: 1},
+		"i-1": {CI: 1, C0: -1},
+		"j+3": {CJ: 1, C0: 3},
+		"0":   {},
+		"7":   {C0: 7},
+	}
+	for in, want := range cases {
+		got, err := parseAffine(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q = %+v, want %+v", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown keyword":  "frobnicate a b",
+		"bad shape":        "array a(64) real*4 block(rows)",
+		"bad type":         "array a(4,4) real*3 block(rows)",
+		"bad dist":         "array a(4,4) real*4 cyclic",
+		"redeclared":       "array a(4,4) real*4 serial\narray a(4,4) real*4 serial",
+		"undeclared lhs":   "assign b(i,j) = b(i,j)",
+		"undeclared rhs":   "array a(4,4) real*4 serial\nassign a(i,j) = b(i,j)",
+		"no equals":        "array a(4,4) real*4 serial\nassign a(i,j) a(i,j)",
+		"lhs not identity": "array a(4,4) real*4 serial\nassign a(j,i) = a(i,j)",
+		"bad subscript":    "array a(4,4) real*4 serial\nassign a(i,j) = a(i*2,j)",
+		"bad reduce size":  "array a(4,4) real*4 serial\nreduce a zero",
+		"reduce undecl":    "reduce q 10",
+	}
+	for name, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	p, err := ParseProgram("\n! nothing\n# also nothing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 0 || len(p.Arrays) != 0 {
+		t.Errorf("program = %+v", p)
+	}
+}
+
+func TestParseErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := ParseProgram("array a(4,4) real*4 serial\nbogus")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package kernels implements the five Fx test-suite kernels the paper
+// measures — SOR, 2DFFT, T2DFFT, SEQ, and HIST — with real computation on
+// distributed data: actual relaxation sweeps, actual FFTs, actual
+// histograms. Message payloads are the real bytes of the arrays being
+// exchanged, so packet sizes on the simulated wire are exact.
+//
+// Each kernel carries calibrated cost-model rates (operations per virtual
+// second) chosen once so that the burst periods and bandwidths land in
+// the regime of the paper's 1998 testbed; EXPERIMENTS.md documents the
+// calibration. The computation itself is verified against sequential
+// references in the package tests.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"fxnet/internal/fx"
+)
+
+// Params are the common kernel parameters.
+type Params struct {
+	// N is the matrix dimension (kernels operate on N×N data).
+	N int
+	// Iters is the outer iteration count (the paper uses 100; 5 for SEQ).
+	Iters int
+}
+
+// Spec describes one kernel for the experiment harness.
+type Spec struct {
+	Name    string
+	Pattern fx.Pattern
+	// P is the paper's processor count for this kernel.
+	P int
+	// Params are the paper-scale defaults.
+	Params Params
+	// Rates are the calibrated cost-model rates.
+	Rates map[string]float64
+	// UseFragments marks kernels that pack messages as fragment lists.
+	UseFragments bool
+	// Run executes the kernel body on one worker.
+	Run func(w *fx.Worker, p Params)
+	// RepresentativeConn designates the (src, dst) host pair the paper
+	// plots for this kernel, or (-1, -1) when the pattern has no
+	// representative connection (SEQ, HIST).
+	RepresentativeConn [2]int
+}
+
+// All lists the five kernels with paper-scale defaults.
+var All = []Spec{
+	{
+		Name:    "sor",
+		Pattern: fx.Neighbor,
+		P:       4,
+		Params:  Params{N: 512, Iters: 100},
+		Rates:   map[string]float64{"sor.update": 38500},
+		Run:     func(w *fx.Worker, p Params) { SOR(w, p) },
+		// The paper picks an arbitrary adjacent pair.
+		RepresentativeConn: [2]int{1, 0},
+	},
+	{
+		Name:               "2dfft",
+		Pattern:            fx.AllToAll,
+		P:                  4,
+		Params:             Params{N: 512, Iters: 100},
+		Rates:              map[string]float64{"fft.flop": 8.4e6},
+		Run:                func(w *fx.Worker, p Params) { FFT2D(w, p) },
+		RepresentativeConn: [2]int{1, 0},
+	},
+	{
+		Name:         "t2dfft",
+		Pattern:      fx.Partition,
+		P:            4,
+		Params:       Params{N: 512, Iters: 100},
+		Rates:        map[string]float64{"tfft.flop": 2.5e6},
+		UseFragments: true,
+		Run:          func(w *fx.Worker, p Params) { T2DFFT(w, p) },
+		// A sender-half to receiver-half pair.
+		RepresentativeConn: [2]int{0, 2},
+	},
+	{
+		Name:               "seq",
+		Pattern:            fx.Broadcast,
+		P:                  4,
+		Params:             Params{N: 40, Iters: 5},
+		Rates:              map[string]float64{"seq.produce": 160},
+		Run:                func(w *fx.Worker, p Params) { SEQ(w, p) },
+		RepresentativeConn: [2]int{-1, -1},
+	},
+	{
+		Name:               "hist",
+		Pattern:            fx.Tree,
+		P:                  4,
+		Params:             Params{N: 512, Iters: 100},
+		Rates:              map[string]float64{"hist.bin": 364000},
+		Run:                func(w *fx.Worker, p Params) { HIST(w, p) },
+		RepresentativeConn: [2]int{-1, -1},
+	},
+}
+
+// Lookup finds a kernel spec by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the kernel names in registry order.
+func Names() []string {
+	out := make([]string, len(All))
+	for i, s := range All {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// initValue is the deterministic data generator shared by the kernels and
+// their sequential references: a smooth, mildly oscillatory field in
+// [0, 1).
+func initValue(i, j, n int) float64 {
+	x := float64(i) / float64(n)
+	y := float64(j) / float64(n)
+	v := 0.5 + 0.25*math.Sin(7*math.Pi*x)*math.Cos(5*math.Pi*y) + 0.2*x*y
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1 {
+		v = math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// checkRank panics when a kernel is launched with an unusable rank/P
+// combination.
+func checkRank(w *fx.Worker, kernel string, minP int) {
+	if w.P < minP {
+		panic(fmt.Sprintf("kernels: %s requires P ≥ %d, got %d", kernel, minP, w.P))
+	}
+}

@@ -1,0 +1,127 @@
+package kernels
+
+import "fxnet/internal/fx"
+
+const tfftTagBase = 200000
+
+// initComplexT generates the m-th matrix of the T2DFFT pipeline's input
+// stream.
+func initComplexT(m, i, j, n int) complex64 {
+	v := initComplex(i, j, n)
+	scale := complex64(complex(1+0.01*float64(m%7), 0))
+	return v * scale
+}
+
+// T2DFFT runs the pipelined, task-parallel 2D FFT: the first P/2 ranks
+// perform row FFTs on a stream of matrices and ship the results to the
+// second P/2 ranks, which perform the column FFTs. This is the paper's
+// partition pattern.
+//
+// Unlike the other kernels, the message for each receiver is packed as a
+// list of fragments (a few matrix rows per pack) with no intermediate
+// copy loop, so PVM hands each fragment to the socket separately — the
+// mechanism the paper identifies behind T2DFFT's smeared packet sizes and
+// noisier spectra.
+//
+// Receivers return their owned columns of the final matrix; senders
+// return nil.
+func T2DFFT(w *fx.Worker, p Params) [][]complex64 {
+	checkRank(w, "t2dfft", 2)
+	if w.P%2 != 0 {
+		panic("kernels: t2dfft requires even P")
+	}
+	n := p.N
+	half := w.P / 2
+
+	if w.Rank < half {
+		// Sender: row FFTs, then partitioned sends.
+		s := w.Rank
+		rlo, rhi := fx.BlockRange(n, half, s)
+		for m := 0; m < p.Iters; m++ {
+			rows := make([][]complex64, rhi-rlo)
+			for r := range rows {
+				rows[r] = make([]complex64, n)
+				for j := 0; j < n; j++ {
+					rows[r][j] = initComplexT(m, rlo+r, j, n)
+				}
+			}
+			for _, row := range rows {
+				fftRow(row)
+			}
+			w.Compute("tfft.flop", float64(len(rows))*fftFlops(n))
+
+			for q := 0; q < half; q++ {
+				qlo, qhi := fx.BlockRange(n, half, q)
+				recvCols := qhi - qlo
+				// Fragment granularity: a few rows per pack, ~4 KB.
+				rowsPerFrag := 4096 / (8 * recvCols)
+				if rowsPerFrag < 1 {
+					rowsPerFrag = 1
+				}
+				var frags [][]byte
+				for r0 := 0; r0 < len(rows); r0 += rowsPerFrag {
+					r1 := min(r0+rowsPerFrag, len(rows))
+					block := make([]complex64, 0, (r1-r0)*recvCols)
+					for r := r0; r < r1; r++ {
+						block = append(block, rows[r][qlo:qhi]...)
+					}
+					frags = append(frags, fx.EncodeComplex64s(block))
+				}
+				w.SendFrags(half+q, tfftTagBase+m, frags)
+			}
+		}
+		return nil
+	}
+
+	// Receiver: assemble columns, column FFTs.
+	q := w.Rank - half
+	clo, chi := fx.BlockRange(n, half, q)
+	myCols := chi - clo
+	var result [][]complex64
+	for m := 0; m < p.Iters; m++ {
+		cols := make([][]complex64, myCols)
+		for c := range cols {
+			cols[c] = make([]complex64, n)
+		}
+		for s := 0; s < half; s++ {
+			rlo, rhi := fx.BlockRange(n, half, s)
+			block := fx.DecodeComplex64s(w.Recv(s, tfftTagBase+m))
+			idx := 0
+			for i := rlo; i < rhi; i++ {
+				for c := 0; c < myCols; c++ {
+					cols[c][i] = block[idx]
+					idx++
+				}
+			}
+		}
+		for _, col := range cols {
+			fftRow(col)
+		}
+		w.Compute("tfft.flop", float64(myCols)*fftFlops(n))
+		result = cols
+	}
+	return result
+}
+
+// T2DFFTSequential computes the transform of the m-th pipeline matrix
+// single-process with the same rounding discipline, returned as columns.
+func T2DFFTSequential(p Params, m int) [][]complex64 {
+	n := p.N
+	rows := make([][]complex64, n)
+	for i := range rows {
+		rows[i] = make([]complex64, n)
+		for j := 0; j < n; j++ {
+			rows[i][j] = initComplexT(m, i, j, n)
+		}
+		fftRow(rows[i])
+	}
+	cols := make([][]complex64, n)
+	for c := range cols {
+		cols[c] = make([]complex64, n)
+		for i := 0; i < n; i++ {
+			cols[c][i] = rows[i][c]
+		}
+		fftRow(cols[c])
+	}
+	return cols
+}

@@ -1,0 +1,320 @@
+// Package linalg provides the small dense and banded linear algebra the
+// AIRSHED substrate needs: matrices, LU factorization with partial
+// pivoting, triangular solves, and a banded (skyline-free) variant used
+// for the per-layer finite-element stiffness systems that AIRSHED factors
+// once per simulated hour and backsolves l×s times per transport phase.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU is a dense LU factorization PA = LU with partial pivoting.
+type LU struct {
+	lu   *Matrix
+	perm []int
+	sign int
+}
+
+// Factor computes the LU factorization of square matrix a, leaving a
+// unchanged. It returns an error if the matrix is singular to working
+// precision.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factor of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), perm: make([]int, n), sign: 1}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	lu := f.lu
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, max := col, math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				p, max = r, v
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[col*n+j] = lu.Data[col*n+j], lu.Data[p*n+j]
+			}
+			f.perm[p], f.perm[col] = f.perm[col], f.perm[p]
+			f.sign = -f.sign
+		}
+		piv := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			m := lu.At(r, col) / piv
+			lu.Set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu.Data[r*n+j] -= m * lu.Data[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve performs the forward and back substitution (the paper's AIRSHED
+// "backsolve") for right-hand side b, returning x with A·x = b.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: Solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward: L has unit diagonal.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := f.lu.Data[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.Data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.Data[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// Banded is a symmetric-bandwidth banded matrix: element (i, j) is stored
+// only when |i−j| ≤ Band. Rows are stored as 2·Band+1 diagonals. This is
+// the natural shape of a 1D finite-element stiffness matrix and keeps the
+// AIRSHED preprocessing O(n·band²) instead of O(n³).
+type Banded struct {
+	N, Band int
+	Data    []float64 // row i, offset d∈[−Band,Band] at Data[i*(2B+1)+d+B]
+}
+
+// NewBanded allocates a zero n×n banded matrix with the given half
+// bandwidth.
+func NewBanded(n, band int) *Banded {
+	if band < 0 || band >= n && n > 0 {
+		panic("linalg: invalid bandwidth")
+	}
+	return &Banded{N: n, Band: band, Data: make([]float64, n*(2*band+1))}
+}
+
+func (b *Banded) idx(i, j int) (int, bool) {
+	d := j - i
+	if d < -b.Band || d > b.Band {
+		return 0, false
+	}
+	return i*(2*b.Band+1) + d + b.Band, true
+}
+
+// At returns element (i, j); out-of-band elements are zero.
+func (b *Banded) At(i, j int) float64 {
+	if k, ok := b.idx(i, j); ok {
+		return b.Data[k]
+	}
+	return 0
+}
+
+// Set assigns element (i, j); assigning outside the band panics.
+func (b *Banded) Set(i, j int, v float64) {
+	k, ok := b.idx(i, j)
+	if !ok {
+		panic(fmt.Sprintf("linalg: (%d,%d) outside band %d", i, j, b.Band))
+	}
+	b.Data[k] = v
+}
+
+// Add accumulates v into element (i, j).
+func (b *Banded) Add(i, j int, v float64) {
+	k, ok := b.idx(i, j)
+	if !ok {
+		panic(fmt.Sprintf("linalg: (%d,%d) outside band %d", i, j, b.Band))
+	}
+	b.Data[k] += v
+}
+
+// Dense expands the banded matrix to dense form (for tests).
+func (b *Banded) Dense() *Matrix {
+	m := NewMatrix(b.N, b.N)
+	for i := 0; i < b.N; i++ {
+		for j := max(0, i-b.Band); j <= min(b.N-1, i+b.Band); j++ {
+			m.Set(i, j, b.At(i, j))
+		}
+	}
+	return m
+}
+
+// MulVec returns b·x.
+func (b *Banded) MulVec(x []float64) []float64 {
+	if len(x) != b.N {
+		panic("linalg: banded MulVec dimension mismatch")
+	}
+	y := make([]float64, b.N)
+	for i := 0; i < b.N; i++ {
+		lo, hi := max(0, i-b.Band), min(b.N-1, i+b.Band)
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += b.At(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// BandedLU is an LU factorization of a banded matrix without pivoting
+// (valid for the diagonally dominant stiffness systems AIRSHED builds).
+type BandedLU struct {
+	N, Band int
+	lu      *Banded
+	// FactorFlops is the floating-point operation count of the
+	// factorization, used by the compute-time cost model.
+	FactorFlops float64
+}
+
+// FactorBanded factors a diagonally dominant banded matrix, leaving it
+// unchanged. It returns an error on a zero pivot.
+func FactorBanded(a *Banded) (*BandedLU, error) {
+	lu := NewBanded(a.N, a.Band)
+	copy(lu.Data, a.Data)
+	f := &BandedLU{N: a.N, Band: a.Band, lu: lu}
+	for col := 0; col < a.N; col++ {
+		piv := lu.At(col, col)
+		if piv == 0 {
+			return nil, fmt.Errorf("linalg: zero pivot at %d", col)
+		}
+		for r := col + 1; r <= min(a.N-1, col+a.Band); r++ {
+			m := lu.At(r, col) / piv
+			lu.Set(r, col, m)
+			f.FactorFlops++
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j <= min(a.N-1, col+a.Band); j++ {
+				lu.Add(r, j, -m*lu.At(col, j))
+				f.FactorFlops += 2
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve backsolves for one right-hand side. It also reports the flop
+// count of the solve for the cost model.
+func (f *BandedLU) Solve(b []float64) (x []float64, flops float64) {
+	if len(b) != f.N {
+		panic("linalg: banded Solve dimension mismatch")
+	}
+	x = append([]float64(nil), b...)
+	for i := 1; i < f.N; i++ {
+		lo := max(0, i-f.Band)
+		var s float64
+		for j := lo; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+			flops += 2
+		}
+		x[i] -= s
+	}
+	for i := f.N - 1; i >= 0; i-- {
+		hi := min(f.N-1, i+f.Band)
+		var s float64
+		for j := i + 1; j <= hi; j++ {
+			s += f.lu.At(i, j) * x[j]
+			flops += 2
+		}
+		x[i] = (x[i] - s) / f.lu.At(i, i)
+		flops += 2
+	}
+	return x, flops
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AXPY computes y ← a·x + y in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}

@@ -1,0 +1,181 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"fxnet/internal/analysis"
+	"fxnet/internal/sim"
+	"fxnet/internal/stats"
+)
+
+// Tone frequencies chosen to sit exactly on FFT bins of a 4096-sample,
+// 10 ms series (bin width 1/40.96 Hz), so the spike coefficients carry
+// the full tone energy with no leakage.
+const (
+	toneA = 82.0 / 40.96  // ≈ 2.002 Hz
+	toneB = 287.0 / 40.96 // ≈ 7.007 Hz
+)
+
+// twoTone builds a bandwidth-like series: DC + two cosines.
+func twoTone(n int, dt float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) * dt
+		out[i] = 100 + 40*math.Cos(2*math.Pi*toneA*t) + 10*math.Cos(2*math.Pi*toneB*t+0.5)
+	}
+	return out
+}
+
+func TestFitRecoversDCAndTones(t *testing.T) {
+	dt := 0.01
+	series := twoTone(4096, dt)
+	m, met := Fit(series, dt, 2, 1.0)
+	if math.Abs(m.DC-100) > 0.5 {
+		t.Errorf("DC = %v, want ≈100", m.DC)
+	}
+	if len(m.Components) != 2 {
+		t.Fatalf("components = %d", len(m.Components))
+	}
+	if math.Abs(m.Components[0].Freq-toneA) > 0.05 {
+		t.Errorf("strongest component at %v Hz, want %v", m.Components[0].Freq, toneA)
+	}
+	if math.Abs(m.Components[1].Freq-toneB) > 0.05 {
+		t.Errorf("second component at %v Hz, want %v", m.Components[1].Freq, toneB)
+	}
+	// Amplitude: 2|a| ≈ 40 for the 2 Hz tone.
+	amp := 2 * cmplxAbs(m.Components[0].Coeff)
+	if math.Abs(amp-40) > 2 {
+		t.Errorf("amplitude = %v, want ≈40", amp)
+	}
+	if met.NRMSE > 0.05 {
+		t.Errorf("NRMSE = %v", met.NRMSE)
+	}
+	if met.Correlation < 0.99 {
+		t.Errorf("correlation = %v", met.Correlation)
+	}
+	if met.EnergyFraction < 0.9 {
+		t.Errorf("energy fraction = %v", met.EnergyFraction)
+	}
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func TestConvergenceWithMoreSpikes(t *testing.T) {
+	// The paper's claim: as the number of retained spikes grows, the
+	// reconstruction converges to the signal. Use a square-ish periodic
+	// burst signal with many harmonics.
+	dt := 0.01
+	n := 4096
+	series := make([]float64, n)
+	for i := range series {
+		if (i/25)%4 == 0 { // 1 Hz period, 25% duty cycle
+			series[i] = 400
+		}
+	}
+	var errs []float64
+	for _, k := range []int{1, 3, 8, 20} {
+		_, met := Fit(series, dt, k, 0.3)
+		errs = append(errs, met.NRMSE)
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1]+1e-9 {
+			t.Fatalf("NRMSE not monotone: %v", errs)
+		}
+	}
+	if errs[len(errs)-1] >= errs[0] {
+		t.Errorf("no convergence: %v", errs)
+	}
+}
+
+func TestEvalAndSeriesAgree(t *testing.T) {
+	m := &BandwidthModel{DC: 5, Components: []Component{{Freq: 1, Coeff: complex(2, 1)}}}
+	s := m.Series(10, 0.1)
+	for i, v := range s {
+		if got := m.Eval(float64(i) * 0.1); got != v {
+			t.Fatalf("Series[%d] = %v, Eval = %v", i, v, got)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &BandwidthModel{DC: 42, Components: []Component{{Freq: 5, Coeff: complex(3, 4)}}}
+	s := m.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestGenerateTraceMatchesModel(t *testing.T) {
+	dt := 0.01
+	series := twoTone(2048, dt)
+	m, _ := Fit(series, dt, 2, 1.0)
+	tr := m.GenerateTrace(20*sim.Second, analysis.PaperWindow, 1000, 0, 1)
+	if tr.Len() == 0 {
+		t.Fatal("no packets generated")
+	}
+	// The synthetic trace's average bandwidth should match the model DC.
+	avg := analysis.AverageBandwidthKBps(tr)
+	if math.Abs(avg-m.DC) > 0.1*m.DC {
+		t.Errorf("synthetic avg = %v, model DC = %v", avg, m.DC)
+	}
+	// And its spectrum should spike at the model's dominant frequency.
+	spec := analysis.Spectrum(tr, analysis.PaperWindow)
+	got := spec.DominantFreq()
+	if math.Abs(got-toneA) > 0.1 {
+		t.Errorf("synthetic dominant = %v Hz, want %v", got, toneA)
+	}
+}
+
+func TestGenerateTraceClampsNegative(t *testing.T) {
+	// A model that swings negative must still produce a valid trace.
+	m := &BandwidthModel{DC: 10, Components: []Component{{Freq: 1, Coeff: complex(20, 0)}}}
+	tr := m.GenerateTrace(5*sim.Second, analysis.PaperWindow, 500, 0, 1)
+	for _, p := range tr.Packets {
+		if p.Size != 500 {
+			t.Fatalf("packet size %d", p.Size)
+		}
+	}
+	// Bytes must be ≈ integral of max(0, model), which exceeds DC×T here.
+	if float64(tr.TotalBytes()) < 10*1000*5 {
+		t.Errorf("total bytes = %d below DC budget", tr.TotalBytes())
+	}
+}
+
+func TestGenerateTraceBadPacketSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for pktSize=0")
+		}
+	}()
+	(&BandwidthModel{DC: 1}).GenerateTrace(sim.Second, analysis.PaperWindow, 0, 0, 1)
+}
+
+func TestFromSpectrumEmpty(t *testing.T) {
+	m, met := Fit(nil, 0.01, 3, 1)
+	if len(m.Components) != 0 {
+		t.Errorf("components from empty series: %v", m.Components)
+	}
+	if met.NRMSE != 0 || met.EnergyFraction != 0 {
+		t.Errorf("metrics = %+v", met)
+	}
+}
+
+func TestRoundTripThroughAnalysisSpectrum(t *testing.T) {
+	// Model built from a synthetic trace's spectrum reproduces the trace's
+	// periodicity — the full §7.2 loop.
+	orig := &BandwidthModel{DC: 200, Components: []Component{{Freq: 4, Coeff: complex(60, 0)}}}
+	tr := orig.GenerateTrace(30*sim.Second, analysis.PaperWindow, 1400, 0, 1)
+	series, dt := analysis.BinnedBandwidth(tr, analysis.PaperWindow)
+	m2, met := Fit(series, dt, 1, 1)
+	if math.Abs(m2.DC-200) > 20 {
+		t.Errorf("recovered DC = %v", m2.DC)
+	}
+	if len(m2.Components) == 0 || math.Abs(m2.Components[0].Freq-4) > 0.2 {
+		t.Errorf("recovered components = %v", m2.Components)
+	}
+	if met.Correlation < 0.75 {
+		t.Errorf("correlation = %v", met.Correlation)
+	}
+	_ = stats.Mean(series)
+}

@@ -1,0 +1,628 @@
+// Package netstack models the per-host transport stack of the paper's
+// OSF/1 workstations: IP encapsulation over Ethernet, UDP datagrams (used
+// by the PVM daemons), and a TCP implementation with MSS segmentation, a
+// fixed sliding window, cumulative and delayed acknowledgments, and
+// connection setup/teardown. The collision-free MAC delivers frames
+// reliably and in order per sender, so no retransmission machinery is
+// needed; what matters for the traffic study is segmentation — which
+// produces the paper's trimodal packet sizes — and the ACK stream.
+package netstack
+
+import (
+	"fmt"
+
+	"fxnet/internal/ethernet"
+	"fxnet/internal/sim"
+)
+
+// Header sizes in bytes.
+const (
+	IPHeaderBytes  = 20
+	TCPHeaderBytes = 20
+	UDPHeaderBytes = 8
+	// MSS is the maximum TCP segment payload on Ethernet.
+	MSS = ethernet.MaxNetBytes - IPHeaderBytes - TCPHeaderBytes // 1460
+	// MaxUDPPayload keeps daemon datagrams within one frame.
+	MaxUDPPayload = ethernet.MaxNetBytes - IPHeaderBytes - UDPHeaderBytes
+)
+
+// Config holds the tunable transport parameters.
+type Config struct {
+	// SendWindow is the TCP send window in bytes (the socket buffer the
+	// sender may have un-acknowledged on the wire).
+	SendWindow int
+	// AckEvery is the delayed-ACK segment threshold: an ACK is emitted
+	// immediately after this many unacknowledged data segments.
+	AckEvery int
+	// DelayedAckTimeout bounds how long a single segment can wait for its
+	// acknowledgment.
+	DelayedAckTimeout sim.Duration
+	// RTO is the initial retransmission timeout; it backs off
+	// exponentially up to MaxRTO on repeated losses of the same segment.
+	RTO    sim.Duration
+	MaxRTO sim.Duration
+	// Nagle enables sender-side small-segment coalescing. PVM sets
+	// TCP_NODELAY, so the measured configuration leaves this false; the
+	// packing ablation turns it on to show how it would erase the
+	// fragment signature.
+	Nagle bool
+}
+
+// DefaultConfig mirrors mid-1990s BSD-derived stacks: 16 KB socket
+// buffers, ack-every-other-segment, 200 ms delayed-ACK timer.
+func DefaultConfig() Config {
+	return Config{
+		SendWindow:        16 * 1024,
+		AckEvery:          2,
+		DelayedAckTimeout: 200 * sim.Millisecond,
+		RTO:               1 * sim.Second,
+		MaxRTO:            8 * sim.Second,
+	}
+}
+
+// UDPHandler receives a datagram delivered to a bound UDP port.
+type UDPHandler func(srcHost int, srcPort uint16, payload []byte)
+
+// Host is one machine's network stack bound to an Ethernet attachment —
+// a shared-segment station or a switch port.
+type Host struct {
+	k    *sim.Kernel
+	st   ethernet.Port
+	name string
+	cfg  Config
+
+	udp       map[uint16]UDPHandler
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	nextPort  uint16
+}
+
+type connKey struct {
+	remoteHost            int
+	localPort, remotePort uint16
+}
+
+// NewHost attaches a stack to port st. The host's address is the port
+// ID.
+func NewHost(k *sim.Kernel, st ethernet.Port, name string, cfg Config) *Host {
+	if cfg.SendWindow <= 0 {
+		cfg = DefaultConfig()
+	}
+	h := &Host{
+		k: k, st: st, name: name, cfg: cfg,
+		udp:       make(map[uint16]UDPHandler),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  1024,
+	}
+	st.OnReceive(h.receive)
+	return h
+}
+
+// Addr reports the host's address (its station ID).
+func (h *Host) Addr() int { return h.st.ID() }
+
+// Name reports the host name.
+func (h *Host) Name() string { return h.name }
+
+// Kernel returns the simulation kernel.
+func (h *Host) Kernel() *sim.Kernel { return h.k }
+
+func (h *Host) ephemeralPort() uint16 {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort == 0 {
+		h.nextPort = 1024
+	}
+	return p
+}
+
+// BindUDP registers a datagram handler on a port, replacing any previous
+// binding.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) { h.udp[port] = fn }
+
+// SendUDP transmits one datagram. Oversize payloads panic: the daemons
+// this models never fragment.
+func (h *Host) SendUDP(dstHost int, srcPort, dstPort uint16, payload []byte) {
+	if len(payload) > MaxUDPPayload {
+		panic(fmt.Sprintf("netstack: UDP payload %d exceeds %d", len(payload), MaxUDPPayload))
+	}
+	h.st.Send(&ethernet.Frame{
+		Dst:     dstHost,
+		Proto:   ethernet.ProtoUDP,
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Flags:   ethernet.FlagData,
+		NetLen:  IPHeaderBytes + UDPHeaderBytes + len(payload),
+		Payload: payload,
+	})
+}
+
+// tcpInfo is the stack-private TCP header carried in Frame.Opaque.
+type tcpInfo struct {
+	seq, ack int64
+	syn, fin bool
+	dataLen  int
+}
+
+// receive dispatches an inbound frame to UDP or TCP handling.
+func (h *Host) receive(f *ethernet.Frame) {
+	switch f.Proto {
+	case ethernet.ProtoUDP:
+		if fn, ok := h.udp[f.DstPort]; ok {
+			fn(f.Src, f.SrcPort, f.Payload)
+		}
+	case ethernet.ProtoTCP:
+		h.receiveTCP(f)
+	}
+}
+
+func (h *Host) receiveTCP(f *ethernet.Frame) {
+	info, _ := f.Opaque.(*tcpInfo)
+	if info == nil {
+		return
+	}
+	key := connKey{remoteHost: f.Src, localPort: f.DstPort, remotePort: f.SrcPort}
+	if c, ok := h.conns[key]; ok {
+		c.handle(f, info)
+		return
+	}
+	if info.syn && !info.fin {
+		if l, ok := h.listeners[f.DstPort]; ok {
+			l.handleSyn(f, info)
+		}
+	}
+}
+
+// Listener accepts inbound TCP connections on a port.
+type Listener struct {
+	h       *Host
+	port    uint16
+	backlog sim.Chan[*Conn]
+}
+
+// Listen binds a TCP listener to a port. Binding a port twice panics.
+func (h *Host) Listen(port uint16) *Listener {
+	if _, dup := h.listeners[port]; dup {
+		panic(fmt.Sprintf("netstack: port %d already listening on %s", port, h.name))
+	}
+	l := &Listener{h: h, port: port}
+	h.listeners[port] = l
+	return l
+}
+
+// Accept blocks until a connection completes its handshake.
+func (l *Listener) Accept(p *sim.Proc) *Conn {
+	return l.backlog.Get(p)
+}
+
+func (l *Listener) handleSyn(f *ethernet.Frame, info *tcpInfo) {
+	h := l.h
+	key := connKey{remoteHost: f.Src, localPort: l.port, remotePort: f.SrcPort}
+	if _, dup := h.conns[key]; dup {
+		return // duplicate SYN
+	}
+	c := newConn(h, f.Src, l.port, f.SrcPort)
+	c.state = stateSynRcvd
+	h.conns[key] = c
+	// SYN-ACK.
+	c.sendControl(ethernet.FlagSyn|ethernet.FlagAck, &tcpInfo{syn: true, ack: 1})
+	// The connection is usable once the final ACK of the handshake (or
+	// first data) arrives; deliver it to Accept then.
+	c.onEstablished = func() { l.backlog.Put(c) }
+}
+
+// Conn states.
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	h                     *Host
+	remoteHost            int
+	localPort, remotePort uint16
+	state                 connState
+	onEstablished         func()
+	established           sim.Gate
+
+	// Send side.
+	sndNext   int64 // next byte sequence to assign
+	sndQueued int64 // bytes handed to the station
+	sndUna    int64 // lowest unacknowledged byte
+	sndQ      []*sendSeg
+	buffered  int // bytes in sndQ (the socket send buffer)
+	writers   sim.Gate
+	finSent   bool
+
+	// Reliability: segments on the wire but unacknowledged, oldest
+	// first, plus the retransmission timer state.
+	unacked    []*sendSeg
+	rtoTimer   *sim.Event
+	rtoBackoff int
+	dupAcks    int
+	fastAt     int64 // sndUna at the last fast retransmit (one per window)
+	synTimer   *sim.Event
+
+	// Receive side.
+	rcvNext     int64 // next expected byte
+	rcvBuf      []byte
+	readers     sim.Gate
+	unackedSegs int
+	delAck      *sim.Event
+	peerClosed  bool
+
+	// Counters for tests and diagnostics.
+	SegsOut, AcksOut, SegsIn int64
+	Retransmits              int64
+	DupSegsIn                int64
+}
+
+type sendSeg struct {
+	data []byte
+	seq  int64
+	fin  bool
+}
+
+func newConn(h *Host, remote int, localPort, remotePort uint16) *Conn {
+	return &Conn{h: h, remoteHost: remote, localPort: localPort, remotePort: remotePort}
+}
+
+// Connect opens a TCP connection to dstHost:dstPort, blocking p until the
+// three-way handshake completes.
+func (h *Host) Connect(p *sim.Proc, dstHost int, dstPort uint16) *Conn {
+	if dstHost == h.Addr() {
+		panic("netstack: TCP loopback not modeled; use host-local IPC")
+	}
+	c := newConn(h, dstHost, h.ephemeralPort(), dstPort)
+	c.state = stateSynSent
+	h.conns[connKey{dstHost, c.localPort, c.remotePort}] = c
+	c.sendSyn()
+	for c.state != stateEstablished {
+		c.established.Wait(p)
+	}
+	return c
+}
+
+// sendSyn emits the SYN and arms its retransmission timer, so a lost SYN
+// or SYN-ACK cannot deadlock connection setup.
+func (c *Conn) sendSyn() {
+	c.sendControl(ethernet.FlagSyn, &tcpInfo{syn: true})
+	c.synTimer = c.h.k.After(c.h.cfg.RTO, "tcp.synrto", func() {
+		if c.state == stateSynSent {
+			c.Retransmits++
+			c.sendSyn()
+		}
+	})
+}
+
+// LocalPort reports the connection's local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr reports the peer host address and port.
+func (c *Conn) RemoteAddr() (int, uint16) { return c.remoteHost, c.remotePort }
+
+// sendControl emits a zero-data control segment (SYN/ACK/FIN variants).
+func (c *Conn) sendControl(flags uint8, info *tcpInfo) {
+	c.h.st.Send(&ethernet.Frame{
+		Dst:     c.remoteHost,
+		Proto:   ethernet.ProtoTCP,
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Flags:   flags,
+		NetLen:  IPHeaderBytes + TCPHeaderBytes,
+		Opaque:  info,
+	})
+	if flags&ethernet.FlagAck != 0 && flags&ethernet.FlagSyn == 0 {
+		c.AcksOut++
+	}
+}
+
+// Write queues data on the connection as one application-layer fragment:
+// it is cut into MSS-sized segments, and the final short segment is never
+// coalesced with a later Write unless Nagle is enabled (each PVM fragment
+// is a separate socket write, which is what gives T2DFFT its distinctive
+// packet sizes). Write blocks p while the socket send buffer (buffered +
+// in flight ≥ SendWindow) is full, returning once every byte is buffered
+// — the semantics of a blocking socket write.
+func (c *Conn) Write(p *sim.Proc, data []byte) {
+	if c.state == stateClosed {
+		panic("netstack: Write on closed connection")
+	}
+	for off := 0; off < len(data); off += MSS {
+		end := off + MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		for c.buffered+int(c.sndQueued-c.sndUna)+len(chunk) > c.h.cfg.SendWindow {
+			c.writers.Wait(p)
+		}
+		seg := &sendSeg{data: chunk, seq: c.sndNext}
+		c.sndNext += int64(len(seg.data))
+		c.buffered += len(seg.data)
+		c.sndQ = append(c.sndQ, seg)
+		c.pump()
+	}
+}
+
+// pump admits queued segments while the send window has room, applying
+// Nagle coalescing when configured.
+func (c *Conn) pump() {
+	for len(c.sndQ) > 0 {
+		seg := c.sndQ[0]
+		if c.h.cfg.Nagle && !seg.fin && len(seg.data) < MSS {
+			seg = c.nagleCoalesce()
+			if seg == nil {
+				return // hold the small segment until outstanding data is acked
+			}
+			c.transmit(seg)
+			continue
+		}
+		if !seg.fin && c.sndQueued+int64(len(seg.data))-c.sndUna > int64(c.h.cfg.SendWindow) {
+			return
+		}
+		c.sndQ = c.sndQ[1:]
+		if seg.fin {
+			c.sendControl(ethernet.FlagFin, &tcpInfo{fin: true, seq: seg.seq})
+			continue
+		}
+		c.transmit(seg)
+	}
+}
+
+// transmit admits one segment: accounting, wire, and retransmit queue.
+func (c *Conn) transmit(seg *sendSeg) {
+	c.sndQueued += int64(len(seg.data))
+	c.buffered -= len(seg.data)
+	c.SegsOut++
+	c.unacked = append(c.unacked, seg)
+	c.sendData(seg)
+	c.armRTO(false)
+}
+
+// nagleCoalesce merges consecutive queued small segments into one up to
+// MSS. It returns nil when the (still sub-MSS) merged segment must wait
+// for outstanding data to drain, per Nagle's rule.
+func (c *Conn) nagleCoalesce() *sendSeg {
+	total := 0
+	n := 0
+	for n < len(c.sndQ) && !c.sndQ[n].fin && total+len(c.sndQ[n].data) <= MSS {
+		total += len(c.sndQ[n].data)
+		n++
+	}
+	if n == 0 {
+		n, total = 1, len(c.sndQ[0].data) // single oversize-window case
+	}
+	if total < MSS && len(c.unacked) > 0 {
+		return nil
+	}
+	if c.sndQueued+int64(total)-c.sndUna > int64(c.h.cfg.SendWindow) {
+		return nil
+	}
+	// Byte-granular fill: top up from the next segment so coalesced
+	// segments are exactly MSS when the buffer has the bytes.
+	take := 0
+	if total < MSS && n < len(c.sndQ) && !c.sndQ[n].fin {
+		take = MSS - total
+		if take > len(c.sndQ[n].data) {
+			take = len(c.sndQ[n].data)
+		}
+		total += take
+	}
+	if n == 1 && take == 0 {
+		seg := c.sndQ[0]
+		c.sndQ = c.sndQ[1:]
+		return seg
+	}
+	merged := &sendSeg{seq: c.sndQ[0].seq, data: make([]byte, 0, total)}
+	for i := 0; i < n; i++ {
+		merged.data = append(merged.data, c.sndQ[i].data...)
+	}
+	if take > 0 {
+		next := c.sndQ[n]
+		merged.data = append(merged.data, next.data[:take]...)
+		next.data = next.data[take:]
+		next.seq += int64(take)
+	}
+	c.sndQ = c.sndQ[n:]
+	return merged
+}
+
+// sendData puts one data segment on the wire.
+func (c *Conn) sendData(seg *sendSeg) {
+	c.h.st.Send(&ethernet.Frame{
+		Dst:     c.remoteHost,
+		Proto:   ethernet.ProtoTCP,
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Flags:   ethernet.FlagData,
+		NetLen:  IPHeaderBytes + TCPHeaderBytes + len(seg.data),
+		Payload: seg.data,
+		Opaque:  &tcpInfo{seq: seg.seq, dataLen: len(seg.data)},
+	})
+}
+
+// armRTO (re)arms the retransmission timer. With reset, the exponential
+// backoff returns to the base timeout (called on forward progress).
+func (c *Conn) armRTO(reset bool) {
+	if reset {
+		c.rtoBackoff = 0
+	}
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	if len(c.unacked) == 0 {
+		return
+	}
+	rto := c.h.cfg.RTO << c.rtoBackoff
+	if max := c.h.cfg.MaxRTO; max > 0 && rto > max {
+		rto = max
+	}
+	c.rtoTimer = c.h.k.After(rto, "tcp.rto", c.onRTO)
+}
+
+// onRTO goes back N: the receiver keeps no out-of-order buffer, so every
+// unacknowledged segment is resent in order, then the timer backs off.
+func (c *Conn) onRTO() {
+	if len(c.unacked) == 0 {
+		return
+	}
+	c.rtoBackoff++
+	c.goBackN()
+}
+
+// fastRetransmit triggers the same go-back-N resend after triple
+// duplicate ACKs, without growing the backoff.
+func (c *Conn) fastRetransmit() {
+	if len(c.unacked) == 0 {
+		return
+	}
+	c.goBackN()
+}
+
+func (c *Conn) goBackN() {
+	for _, seg := range c.unacked {
+		c.Retransmits++
+		c.sendData(seg)
+	}
+	c.armRTO(false)
+}
+
+// handle processes an inbound segment for an existing connection.
+func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
+	switch {
+	case info.syn && f.Flags&ethernet.FlagAck != 0: // SYN-ACK at client
+		if c.state == stateSynSent {
+			if c.synTimer != nil {
+				c.synTimer.Cancel()
+				c.synTimer = nil
+			}
+			c.state = stateEstablished
+			// ack=0 in the data sequence space: the handshake must not
+			// disturb byte-count window accounting.
+			c.sendControl(ethernet.FlagAck, &tcpInfo{ack: 0})
+			c.established.Broadcast()
+		}
+		return
+	case info.syn: // retransmitted SYN at server: the SYN-ACK was lost
+		if c.state == stateSynRcvd {
+			c.sendControl(ethernet.FlagSyn|ethernet.FlagAck, &tcpInfo{syn: true, ack: 1})
+		}
+		return
+	case info.fin:
+		c.peerClosed = true
+		c.sendControl(ethernet.FlagAck, &tcpInfo{ack: c.rcvNext})
+		c.readers.Broadcast()
+		return
+	}
+	if c.state == stateSynRcvd {
+		c.state = stateEstablished
+		if c.onEstablished != nil {
+			c.onEstablished()
+			c.onEstablished = nil
+		}
+		c.established.Broadcast()
+	}
+	if info.dataLen > 0 {
+		switch {
+		case info.seq == c.rcvNext:
+			c.SegsIn++
+			c.rcvNext += int64(info.dataLen)
+			c.rcvBuf = append(c.rcvBuf, f.Payload...)
+			c.readers.Broadcast()
+			c.unackedSegs++
+			if c.unackedSegs >= c.h.cfg.AckEvery {
+				c.sendAckNow()
+			} else if c.delAck == nil || c.delAck.Cancelled() {
+				c.delAck = c.h.k.After(c.h.cfg.DelayedAckTimeout, "tcp.delack", c.sendAckNow)
+			}
+		default:
+			// Duplicate (retransmission after a lost ACK) or a
+			// hole after a lost segment (go-back-N: no out-of-order
+			// buffering). Either way, re-announce the cumulative ACK
+			// immediately so the sender converges.
+			c.DupSegsIn++
+			c.unackedSegs = 0
+			if c.delAck != nil {
+				c.delAck.Cancel()
+				c.delAck = nil
+			}
+			c.sendControl(ethernet.FlagAck, &tcpInfo{ack: c.rcvNext})
+		}
+	}
+	if f.Flags&ethernet.FlagAck != 0 {
+		switch {
+		case info.ack > c.sndUna:
+			c.sndUna = info.ack
+			c.dupAcks = 0
+			for len(c.unacked) > 0 {
+				seg := c.unacked[0]
+				if seg.seq+int64(len(seg.data)) > info.ack {
+					break
+				}
+				c.unacked = c.unacked[1:]
+			}
+			c.armRTO(true)
+			c.pump()
+			c.writers.Broadcast()
+		case info.ack == c.sndUna && info.dataLen == 0 && len(c.unacked) > 0 && !info.syn && !info.fin:
+			// One fast retransmit per loss window: a go-back-N resend
+			// itself provokes duplicate ACKs, which must not re-trigger.
+			c.dupAcks++
+			if c.dupAcks >= 3 && c.fastAt != c.sndUna+1 {
+				c.fastAt = c.sndUna + 1
+				c.fastRetransmit()
+			}
+		}
+	}
+}
+
+func (c *Conn) sendAckNow() {
+	if c.unackedSegs == 0 {
+		return
+	}
+	c.unackedSegs = 0
+	if c.delAck != nil {
+		c.delAck.Cancel()
+		c.delAck = nil
+	}
+	c.sendControl(ethernet.FlagAck, &tcpInfo{ack: c.rcvNext})
+}
+
+// Buffered reports the bytes available to Read without blocking.
+func (c *Conn) Buffered() int { return len(c.rcvBuf) }
+
+// Read blocks p until n bytes are available, then returns them. If the
+// peer closes before n bytes arrive, Read panics — the message protocols
+// built on top never truncate.
+func (c *Conn) Read(p *sim.Proc, n int) []byte {
+	for len(c.rcvBuf) < n {
+		if c.peerClosed {
+			panic(fmt.Sprintf("netstack: connection closed with %d/%d bytes buffered", len(c.rcvBuf), n))
+		}
+		c.readers.Wait(p)
+	}
+	out := c.rcvBuf[:n:n]
+	c.rcvBuf = c.rcvBuf[n:]
+	return out
+}
+
+// Close sends a FIN after all queued data. It does not block.
+func (c *Conn) Close() {
+	if c.finSent || c.state == stateClosed {
+		return
+	}
+	c.finSent = true
+	c.sndQ = append(c.sndQ, &sendSeg{fin: true, seq: c.sndNext})
+	c.pump()
+}
+
+// PeerClosed reports whether a FIN has arrived from the peer.
+func (c *Conn) PeerClosed() bool { return c.peerClosed }

@@ -1,0 +1,318 @@
+// Package pvm models the PVM 3.3 communication substrate the Fx run-time
+// used: a virtual machine of hosts each running a daemon (pvmd), tasks
+// identified by TIDs, a pack/unpack message API that stores messages as
+// fragment lists, and the direct task-to-task TCP routing (PvmRouteDirect)
+// all of the paper's programs select.
+//
+// Two behaviours matter for the measured traffic and are modeled exactly:
+//
+//   - Copy-loop assembly: most Fx kernels assemble a message into one
+//     contiguous buffer before packing, so PVM sends a single large
+//     fragment which TCP cuts into maximal segments — the trimodal packet
+//     sizes of figure 3.
+//   - Fragment-list assembly: T2DFFT packs multiple pieces per message;
+//     each fragment is handed to the socket separately, producing many
+//     non-maximal packets — the smeared size distribution the paper
+//     attributes to "PVM's handling of the message as a cluster of
+//     fragments".
+//
+// The daemons exchange small periodic UDP keepalives with the master
+// daemon, reproducing the background UDP the paper counts as part of each
+// connection's traffic.
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fxnet/internal/netstack"
+	"fxnet/internal/sim"
+)
+
+// Well-known ports.
+const (
+	DaemonPort     = 7000 // UDP, pvmd-to-pvmd control
+	DirectPortBase = 5000 // TCP, task direct-route listener = base + TID
+)
+
+// headerBytes is the PVM message header: magic, source TID, tag, body
+// length, fragment count — 20 bytes, all little-endian uint32.
+const headerBytes = 20
+
+const headerMagic = 0x50564d33 // "PVM3"
+
+// AnySource and AnyTag are wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config tunes the virtual machine.
+type Config struct {
+	// KeepaliveInterval is the period of slave→master daemon UDP
+	// keepalives (and master echoes). Zero disables daemon traffic.
+	KeepaliveInterval sim.Duration
+	// KeepalivePayload is the datagram body size in bytes.
+	KeepalivePayload int
+}
+
+// DefaultConfig returns the daemon cadence used in the experiments: a
+// sparse 30 s heartbeat, consistent with the paper's multi-second
+// maximum interarrival gaps during AIRSHED's quiet preprocessing phases.
+func DefaultConfig() Config {
+	return Config{
+		KeepaliveInterval: 30 * sim.Second,
+		KeepalivePayload:  32,
+	}
+}
+
+// Machine is a PVM virtual machine spanning a set of hosts.
+type Machine struct {
+	k       *sim.Kernel
+	hosts   []*netstack.Host
+	cfg     Config
+	tasks   []*Task
+	live    int
+	daemons []*daemon
+}
+
+// NewMachine assembles a virtual machine over hosts and starts a daemon
+// on each. Host 0 is the master daemon.
+func NewMachine(k *sim.Kernel, hosts []*netstack.Host, cfg Config) *Machine {
+	m := &Machine{k: k, hosts: hosts, cfg: cfg}
+	for i, h := range hosts {
+		d := &daemon{m: m, host: h, index: i}
+		m.daemons = append(m.daemons, d)
+		d.start()
+	}
+	return m
+}
+
+// Hosts returns the machine's hosts.
+func (m *Machine) Hosts() []*netstack.Host { return m.hosts }
+
+// Tasks returns the spawned tasks in TID order.
+func (m *Machine) Tasks() []*Task { return m.tasks }
+
+// daemon is a minimal pvmd: it answers keepalives and, on slave hosts,
+// emits them periodically while any task is live.
+type daemon struct {
+	m     *Machine
+	host  *netstack.Host
+	index int
+}
+
+func (d *daemon) start() {
+	d.host.BindUDP(DaemonPort, func(src int, srcPort uint16, payload []byte) {
+		// Master echoes each slave keepalive, as pvmd does for its
+		// heartbeat protocol.
+		if d.index == 0 && src != d.host.Addr() {
+			d.host.SendUDP(src, DaemonPort, DaemonPort, payload)
+		}
+	})
+	if d.index == 0 || d.m.cfg.KeepaliveInterval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if d.m.live == 0 {
+			return // virtual machine quiescent: stop generating events
+		}
+		d.host.SendUDP(d.m.hosts[0].Addr(), DaemonPort, DaemonPort,
+			make([]byte, d.m.cfg.KeepalivePayload))
+		d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
+	}
+	d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
+}
+
+// message is one queued inbound message.
+type message struct {
+	src, tag int
+	body     []byte
+}
+
+// Task is a PVM task (one per processor in the Fx model).
+type Task struct {
+	m    *Machine
+	tid  int
+	host *netstack.Host
+	proc *sim.Proc
+	name string
+
+	out  map[int]*netstack.Conn
+	mbox []*message
+	gate sim.Gate
+
+	// Counters.
+	MsgsSent, BytesSent int64
+	MsgsRecv, BytesRecv int64
+}
+
+// Spawn creates a task on hosts[hostIndex] running body. The TID is the
+// spawn order. Spawn also starts the task's direct-route listener.
+func (m *Machine) Spawn(name string, hostIndex int, body func(t *Task)) *Task {
+	t := &Task{
+		m:    m,
+		tid:  len(m.tasks),
+		host: m.hosts[hostIndex],
+		name: name,
+		out:  make(map[int]*netstack.Conn),
+	}
+	m.tasks = append(m.tasks, t)
+	m.live++
+
+	l := t.host.Listen(uint16(DirectPortBase + t.tid))
+	m.k.Go(fmt.Sprintf("pvm.accept:%s", name), func(p *sim.Proc) {
+		for {
+			conn := l.Accept(p)
+			c := conn
+			m.k.Go(fmt.Sprintf("pvm.reader:%s", name), func(rp *sim.Proc) {
+				t.readLoop(rp, c)
+			})
+		}
+	})
+	t.proc = m.k.Go("pvm.task:"+name, func(p *sim.Proc) {
+		body(t)
+		m.live--
+	})
+	return t
+}
+
+// TID reports the task identifier.
+func (t *Task) TID() int { return t.tid }
+
+// Host returns the host the task runs on.
+func (t *Task) Host() *netstack.Host { return t.host }
+
+// Proc returns the task's simulation process; kernels use it for
+// compute-phase sleeps.
+func (t *Task) Proc() *sim.Proc { return t.proc }
+
+// readLoop parses messages off one inbound connection into the mailbox.
+func (t *Task) readLoop(p *sim.Proc, c *netstack.Conn) {
+	for {
+		hdr := c.Read(p, headerBytes)
+		magic := binary.LittleEndian.Uint32(hdr[0:])
+		if magic != headerMagic {
+			panic(fmt.Sprintf("pvm: bad message magic %#x at task %s", magic, t.name))
+		}
+		src := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[8:])))
+		bodyLen := int(binary.LittleEndian.Uint32(hdr[12:]))
+		nfrag := int(binary.LittleEndian.Uint32(hdr[16:]))
+		body := make([]byte, 0, bodyLen)
+		for i := 0; i < nfrag; i++ {
+			lenb := c.Read(p, 4)
+			fragLen := int(binary.LittleEndian.Uint32(lenb))
+			body = append(body, c.Read(p, fragLen)...)
+		}
+		if len(body) != bodyLen {
+			panic(fmt.Sprintf("pvm: body %d != header %d", len(body), bodyLen))
+		}
+		t.MsgsRecv++
+		t.BytesRecv += int64(len(body))
+		t.mbox = append(t.mbox, &message{src: src, tag: tag, body: body})
+		t.gate.Broadcast()
+	}
+}
+
+// connTo returns (establishing if needed) the outgoing direct-route
+// connection to task dst.
+func (t *Task) connTo(dst int) *netstack.Conn {
+	if c, ok := t.out[dst]; ok {
+		return c
+	}
+	peer := t.m.tasks[dst]
+	if peer.host == t.host {
+		panic("pvm: intra-host messaging not modeled (paper runs one task per machine)")
+	}
+	c := t.host.Connect(t.proc, peer.host.Addr(), uint16(DirectPortBase+dst))
+	t.out[dst] = c
+	return c
+}
+
+// header builds the 20-byte message header.
+func (t *Task) header(tag, bodyLen, nfrag int) []byte {
+	hdr := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(hdr[0:], headerMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(t.tid)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(nfrag))
+	return hdr
+}
+
+// Send transmits body to task dst with the copy-loop discipline: header,
+// length and body are assembled contiguously and written once, so PVM
+// emits one large fragment. Blocks until the send window has accepted all
+// bytes (PVM's send returns when the data is written to the socket).
+func (t *Task) Send(dst, tag int, body []byte) {
+	c := t.connTo(dst)
+	buf := make([]byte, 0, headerBytes+4+len(body))
+	buf = append(buf, t.header(tag, len(body), 1)...)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(body)))
+	buf = append(buf, lenb[:]...)
+	buf = append(buf, body...)
+	c.Write(t.proc, buf)
+	t.MsgsSent++
+	t.BytesSent += int64(len(body))
+}
+
+// SendFrags transmits a fragment-list message: the header goes out with
+// the first fragment's length prefix, then every fragment is written to
+// the socket separately — the T2DFFT behaviour.
+func (t *Task) SendFrags(dst, tag int, frags [][]byte) {
+	if len(frags) == 0 {
+		t.Send(dst, tag, nil)
+		return
+	}
+	c := t.connTo(dst)
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
+	c.Write(t.proc, t.header(tag, total, len(frags)))
+	for _, f := range frags {
+		var lenb [4]byte
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(f)))
+		c.Write(t.proc, lenb[:])
+		c.Write(t.proc, f)
+	}
+	t.MsgsSent++
+	t.BytesSent += int64(total)
+}
+
+// Recv blocks until a message matching src and tag (AnySource / AnyTag
+// wildcards) is available, removes it from the mailbox, and returns its
+// source, tag, and body.
+func (t *Task) Recv(src, tag int) (gotSrc, gotTag int, body []byte) {
+	for {
+		for i, msg := range t.mbox {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+				return msg.src, msg.tag, msg.body
+			}
+		}
+		t.gate.Wait(t.proc)
+	}
+}
+
+// RecvBody is Recv returning only the payload.
+func (t *Task) RecvBody(src, tag int) []byte {
+	_, _, body := t.Recv(src, tag)
+	return body
+}
+
+// Probe reports whether a matching message is queued, without blocking.
+func (t *Task) Probe(src, tag int) bool {
+	for _, msg := range t.mbox {
+		if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sleep advances the task's virtual time — the local-computation hook.
+func (t *Task) Sleep(d sim.Duration) { t.proc.Sleep(d) }

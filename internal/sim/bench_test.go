@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventThroughput(b *testing.B) {
+	k := New(1)
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n < b.N {
+			k.After(Microsecond, "e", reschedule)
+		}
+	}
+	k.After(0, "e", reschedule)
+	b.ResetTimer()
+	k.Run()
+	if n < b.N {
+		b.Fatal("not all events ran")
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := New(1)
+	k.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkChanHandoff(b *testing.B) {
+	k := New(1)
+	var c Chan[int]
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Get(p)
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Put(i)
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

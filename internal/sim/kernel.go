@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Event is a handle to a scheduled callback. It may be cancelled before it
+// fires; cancelling a fired or already-cancelled event is a no-op.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	name   string
+	index  int // heap index, -1 once popped
+	cancel bool
+}
+
+// Cancel prevents the event's callback from running. Safe to call at any
+// point; idempotent.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel has been called on e.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Time reports the virtual instant the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. Create one with New, attach
+// components and processes, then call Run or RunUntil.
+type Kernel struct {
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	seed     int64
+	executed uint64
+	stopped  bool
+
+	// current process, non-nil while a process goroutine is executing.
+	cur *Proc
+}
+
+// New returns a kernel whose clock reads zero and whose named random
+// generators derive from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{seed: seed}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed reports the base seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Executed reports how many events have run so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// At schedules fn to run at virtual time t, which must not precede Now.
+// The returned handle can cancel the event.
+func (k *Kernel) At(t Time, name string, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, name: name}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d for %q", d, name))
+	}
+	return k.At(k.now.Add(d), name, fn)
+}
+
+// Rand returns a deterministic random generator derived from the kernel
+// seed and the given name. Each distinct name gets an independent stream;
+// calling Rand twice with the same name returns generators with identical
+// sequences, so components should create their generator once.
+func (k *Kernel) Rand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(k.seed ^ int64(h.Sum64())))
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final virtual time.
+func (k *Kernel) Run() Time { return k.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with timestamps ≤ limit, then advances the
+// clock to min(limit, last event time) and returns it. Events scheduled
+// beyond limit remain queued.
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.at > limit {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.cancel {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+	}
+	if k.now < limit && limit < Time(1<<63-1) {
+		k.now = limit
+	}
+	return k.now
+}
+
+// Pending reports the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }

@@ -1,0 +1,200 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that interleaves with the event
+// loop so that exactly one of (event loop, some process) executes at a
+// time. Processes express sequential blocking behaviour — compute phases,
+// blocking sends and receives — that would be awkward as event callbacks.
+//
+// A process may only call its blocking methods (Sleep, Suspend, Yield) from
+// its own goroutine. Wake must be called from event context (or from
+// another process), never from the process itself.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	yielded chan struct{}
+	done    bool
+	waiting bool // true while parked in Suspend
+	started bool
+}
+
+// Go spawns a new process executing body. The body starts at the current
+// virtual time (via an immediate event) and runs until it returns.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:       k,
+		name:    name,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	k.At(k.now, "start:"+name, func() {
+		p.started = true
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			p.yielded <- struct{}{}
+		}()
+		p.dispatch()
+	})
+	return p
+}
+
+// dispatch hands control to the process goroutine and blocks the event
+// loop until the process yields (blocks or finishes). Must be called from
+// event context.
+func (p *Proc) dispatch() {
+	if p.done {
+		return
+	}
+	prev := p.k.cur
+	p.k.cur = p
+	p.resume <- struct{}{}
+	<-p.yielded
+	p.k.cur = prev
+}
+
+// park yields control back to the event loop and blocks until dispatched
+// again. Must be called from the process goroutine.
+func (p *Proc) park() {
+	p.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Name reports the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep advances the process's virtual time by d, allowing other events to
+// run meanwhile. A non-positive d yields without advancing time.
+func (p *Proc) Sleep(d Duration) {
+	p.checkSelf("Sleep")
+	if d < 0 {
+		d = 0
+	}
+	p.k.After(d, "wake:"+p.name, func() { p.dispatch() })
+	p.park()
+}
+
+// Yield lets all events scheduled for the current instant (before this
+// call) run, then resumes.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Suspend parks the process until another component calls Wake. It is the
+// building block for blocking queues and condition variables.
+func (p *Proc) Suspend() {
+	p.checkSelf("Suspend")
+	p.waiting = true
+	p.park()
+}
+
+// Wake schedules the process to resume at the current virtual time. It
+// must be called from event context or from a different process; waking a
+// process that is not suspended panics, since that always indicates a
+// lost-wakeup bug in the caller.
+func (p *Proc) Wake() {
+	if p.k.cur == p {
+		panic("sim: process " + p.name + " woke itself")
+	}
+	if !p.waiting {
+		panic("sim: Wake on non-suspended process " + p.name)
+	}
+	p.waiting = false
+	p.k.At(p.k.now, "wake:"+p.name, func() { p.dispatch() })
+}
+
+// Waiting reports whether the process is parked in Suspend.
+func (p *Proc) Waiting() bool { return p.waiting }
+
+func (p *Proc) checkSelf(op string) {
+	if p.k.cur != p {
+		panic(fmt.Sprintf("sim: %s called from outside process %s", op, p.name))
+	}
+}
+
+// Gate is a FIFO wait queue of processes: a minimal condition variable for
+// the simulation. The zero value is ready to use.
+type Gate struct {
+	waiters []*Proc
+}
+
+// Wait parks p until a Signal or Broadcast reaches it.
+func (g *Gate) Wait(p *Proc) {
+	g.waiters = append(g.waiters, p)
+	p.Suspend()
+}
+
+// Signal wakes the longest-waiting process, if any, and reports whether
+// one was woken.
+func (g *Gate) Signal() bool {
+	if len(g.waiters) == 0 {
+		return false
+	}
+	p := g.waiters[0]
+	g.waiters = g.waiters[1:]
+	p.Wake()
+	return true
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (g *Gate) Broadcast() {
+	ws := g.waiters
+	g.waiters = nil
+	for _, p := range ws {
+		p.Wake()
+	}
+}
+
+// Len reports the number of waiting processes.
+func (g *Gate) Len() int { return len(g.waiters) }
+
+// Chan is an unbounded FIFO queue connecting event-context producers to
+// process-context consumers. Put never blocks; Get blocks the calling
+// process until an item is available.
+type Chan[T any] struct {
+	items []T
+	gate  Gate
+}
+
+// Put appends v and wakes one waiting consumer, if any.
+func (c *Chan[T]) Put(v T) {
+	c.items = append(c.items, v)
+	c.gate.Signal()
+}
+
+// Get removes and returns the oldest item, blocking p until one exists.
+func (c *Chan[T]) Get(p *Proc) T {
+	for len(c.items) == 0 {
+		c.gate.Wait(p)
+	}
+	v := c.items[0]
+	var zero T
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (c *Chan[T]) TryGet() (T, bool) {
+	var zero T
+	if len(c.items) == 0 {
+		return zero, false
+	}
+	v := c.items[0]
+	c.items[0] = zero
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.items) }

@@ -1,0 +1,446 @@
+// Package trace is the reproduction's tcpdump: it captures every frame on
+// a segment in promiscuous mode and stores the tuple the paper's traces
+// contain — timestamp, size (Ethernet header + IP + transport + data +
+// trailer), protocol, source and destination — plus ports and TCP flags
+// for finer-grained filtering. It also provides the paper's notion of a
+// connection (all traffic from one machine to another, any protocol) and
+// text/binary codecs for traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fxnet/internal/ethernet"
+	"fxnet/internal/sim"
+)
+
+// Packet is one captured frame. The layout is kept small: AIRSHED traces
+// run to roughly a million packets.
+type Packet struct {
+	Time    sim.Time
+	Size    uint16
+	Src     uint8
+	Dst     uint8
+	Proto   ethernet.Proto
+	Flags   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// IsAck reports whether the packet is a pure TCP acknowledgment.
+func (p Packet) IsAck() bool {
+	return p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagAck != 0 && p.Flags&ethernet.FlagData == 0
+}
+
+// Trace is an ordered sequence of captured packets with metadata.
+type Trace struct {
+	Packets []Packet
+	// Hosts maps addresses to names for presentation.
+	Hosts []string
+	// Meta carries free-form experiment parameters (program, P, N, seed).
+	Meta map[string]string
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{Meta: make(map[string]string)}
+}
+
+// Collector is a promiscuous capture session on a segment.
+type Collector struct {
+	tr      *Trace
+	enabled bool
+}
+
+// Capture attaches a collector to a medium (shared segment or switch
+// SPAN). Capture starts enabled; use Pause and Resume to bracket the
+// measured region (the paper starts tcpdump before launching each
+// program).
+func Capture(seg ethernet.TrafficSource) *Collector {
+	c := &Collector{tr: New(), enabled: true}
+	seg.Tap(func(cp ethernet.Capture) {
+		if !c.enabled {
+			return
+		}
+		c.tr.Packets = append(c.tr.Packets, Packet{
+			Time:    cp.Time,
+			Size:    uint16(cp.Size),
+			Src:     uint8(cp.Src),
+			Dst:     uint8(max(cp.Dst, 0)), // broadcast recorded as 0xFF below
+			Proto:   cp.Proto,
+			Flags:   cp.Flags,
+			SrcPort: cp.SrcPort,
+			DstPort: cp.DstPort,
+		})
+		if cp.Dst == ethernet.Broadcast {
+			c.tr.Packets[len(c.tr.Packets)-1].Dst = 0xFF
+		}
+	})
+	return c
+}
+
+// Pause stops recording.
+func (c *Collector) Pause() { c.enabled = false }
+
+// Resume restarts recording.
+func (c *Collector) Resume() { c.enabled = true }
+
+// Trace returns the collected trace (live; callers should stop the
+// simulation before analyzing).
+func (c *Collector) Trace() *Trace { return c.tr }
+
+// Len reports the number of captured packets.
+func (t *Trace) Len() int { return len(t.Packets) }
+
+// Duration is the time between the first and last packet.
+func (t *Trace) Duration() sim.Duration {
+	if len(t.Packets) < 2 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].Time.Sub(t.Packets[0].Time)
+}
+
+// TotalBytes sums captured sizes.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for _, p := range t.Packets {
+		n += int64(p.Size)
+	}
+	return n
+}
+
+// Filter returns a new trace containing the packets for which keep
+// returns true. Metadata is shared.
+func (t *Trace) Filter(keep func(Packet) bool) *Trace {
+	out := &Trace{Hosts: t.Hosts, Meta: t.Meta}
+	for _, p := range t.Packets {
+		if keep(p) {
+			out.Packets = append(out.Packets, p)
+		}
+	}
+	return out
+}
+
+// Connection extracts the paper's per-connection trace: every packet sent
+// from host src to host dst — message-passing TCP, daemon UDP, and the
+// ACKs of the symmetric channel alike.
+func (t *Trace) Connection(src, dst int) *Trace {
+	return t.Filter(func(p Packet) bool {
+		return int(p.Src) == src && int(p.Dst) == dst
+	})
+}
+
+// Between returns packets with first.Time+lo ≤ time < first.Time+hi,
+// relative to the trace start — the "chopped" windows the paper plots.
+func (t *Trace) Between(lo, hi sim.Duration) *Trace {
+	if len(t.Packets) == 0 {
+		return t.Filter(func(Packet) bool { return false })
+	}
+	t0 := t.Packets[0].Time
+	return t.Filter(func(p Packet) bool {
+		rel := p.Time.Sub(t0)
+		return rel >= lo && rel < hi
+	})
+}
+
+// Pairs returns the distinct (src, dst) pairs present, sorted.
+func (t *Trace) Pairs() [][2]int {
+	seen := make(map[[2]int]bool)
+	for _, p := range t.Packets {
+		seen[[2]int{int(p.Src), int(p.Dst)}] = true
+	}
+	out := make([][2]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Sizes returns the packet sizes as float64s, for stats.
+func (t *Trace) Sizes() []float64 {
+	out := make([]float64, len(t.Packets))
+	for i, p := range t.Packets {
+		out[i] = float64(p.Size)
+	}
+	return out
+}
+
+// Interarrivals returns successive packet spacing in milliseconds — the
+// quantity of the paper's figure 4/9 tables.
+func (t *Trace) Interarrivals() []float64 {
+	if len(t.Packets) < 2 {
+		return nil
+	}
+	out := make([]float64, len(t.Packets)-1)
+	for i := 1; i < len(t.Packets); i++ {
+		out[i-1] = t.Packets[i].Time.Sub(t.Packets[i-1].Time).Milliseconds()
+	}
+	return out
+}
+
+// HostName renders a host address using the trace's host table.
+func (t *Trace) HostName(addr int) string {
+	if addr == 0xFF {
+		return "broadcast"
+	}
+	if addr >= 0 && addr < len(t.Hosts) {
+		return t.Hosts[addr]
+	}
+	return fmt.Sprintf("host%d", addr)
+}
+
+const binaryMagic = "FXTRACE1"
+
+// WriteBinary serializes the trace in a compact little-endian format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Hosts))); err != nil {
+		return err
+	}
+	for _, h := range t.Hosts {
+		if err := writeStr(h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Meta))); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(t.Meta))
+	for k := range t.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := writeStr(k); err != nil {
+			return err
+		}
+		if err := writeStr(t.Meta[k]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Packets))); err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		rec := [...]any{int64(p.Time), p.Size, p.Src, p.Dst, uint8(p.Proto), p.Flags, p.SrcPort, p.DstPort}
+		for _, f := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: string length %d too large", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	t := New()
+	var nHosts uint32
+	if err := binary.Read(br, binary.LittleEndian, &nHosts); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nHosts; i++ {
+		h, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		t.Hosts = append(t.Hosts, h)
+	}
+	var nMeta uint32
+	if err := binary.Read(br, binary.LittleEndian, &nMeta); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nMeta; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		t.Meta[k] = v
+	}
+	var nPkts uint64
+	if err := binary.Read(br, binary.LittleEndian, &nPkts); err != nil {
+		return nil, err
+	}
+	t.Packets = make([]Packet, 0, nPkts)
+	for i := uint64(0); i < nPkts; i++ {
+		var (
+			ts               int64
+			size             uint16
+			src, dst, pr, fl uint8
+			sport, dport     uint16
+		)
+		for _, f := range []any{&ts, &size, &src, &dst, &pr, &fl, &sport, &dport} {
+			if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+				return nil, err
+			}
+		}
+		t.Packets = append(t.Packets, Packet{
+			Time: sim.Time(ts), Size: size, Src: src, Dst: dst,
+			Proto: ethernet.Proto(pr), Flags: fl, SrcPort: sport, DstPort: dport,
+		})
+	}
+	return t, nil
+}
+
+// WriteText emits a human-readable tcpdump-style listing that ReadText
+// can parse back losslessly: metadata and host-table comment lines, then
+// one line per packet with nanosecond timestamps and the raw flag bits.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	keys := make([]string, 0, len(t.Meta))
+	for k := range t.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "# %s=%s\n", k, t.Meta[k]); err != nil {
+			return err
+		}
+	}
+	for i, h := range t.Hosts {
+		if _, err := fmt.Fprintf(bw, "#host %d %s\n", i, h); err != nil {
+			return err
+		}
+	}
+	for _, p := range t.Packets {
+		flag := ""
+		if p.IsAck() {
+			flag = " ack"
+		}
+		if _, err := fmt.Fprintf(bw, "%.9f %s.%d > %s.%d: %s %d flags=%d src=%d dst=%d%s\n",
+			p.Time.Seconds(), t.HostName(int(p.Src)), p.SrcPort,
+			t.HostName(int(p.Dst)), p.DstPort, p.Proto, p.Size,
+			p.Flags, p.Src, p.Dst, flag); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a listing written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "#host "); ok {
+			var idx int
+			var name string
+			if _, err := fmt.Sscanf(rest, "%d %s", &idx, &name); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad host entry: %w", lineNo, err)
+			}
+			for len(t.Hosts) <= idx {
+				t.Hosts = append(t.Hosts, "")
+			}
+			t.Hosts[idx] = name
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			k, v, found := strings.Cut(rest, "=")
+			if !found {
+				return nil, fmt.Errorf("trace: line %d: bad meta entry %q", lineNo, rest)
+			}
+			t.Meta[k] = v
+			continue
+		}
+		var (
+			secs                   float64
+			srcName, dstName, prot string
+			size, flags, src, dst  int
+		)
+		fields := strings.Fields(line)
+		if len(fields) < 9 {
+			return nil, fmt.Errorf("trace: line %d: too few fields", lineNo)
+		}
+		if _, err := fmt.Sscanf(strings.Join(fields[:9], " "),
+			"%f %s > %s %s %d flags=%d src=%d dst=%d",
+			&secs, &srcName, &dstName, &prot, &size, &flags, &src, &dst); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		var srcPort, dstPort int
+		if _, err := fmt.Sscanf(portOf(srcName), "%d", &srcPort); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad source port: %w", lineNo, err)
+		}
+		if _, err := fmt.Sscanf(portOf(strings.TrimSuffix(dstName, ":")), "%d", &dstPort); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad destination port: %w", lineNo, err)
+		}
+		var proto ethernet.Proto
+		switch prot {
+		case "tcp":
+			proto = ethernet.ProtoTCP
+		case "udp":
+			proto = ethernet.ProtoUDP
+		case "other":
+			proto = ethernet.ProtoOther
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown protocol %q", lineNo, prot)
+		}
+		t.Packets = append(t.Packets, Packet{
+			Time: sim.TimeOf(secs), Size: uint16(size),
+			Src: uint8(src), Dst: uint8(dst), Proto: proto, Flags: uint8(flags),
+			SrcPort: uint16(srcPort), DstPort: uint16(dstPort),
+		})
+	}
+	return t, sc.Err()
+}
+
+// portOf extracts the trailing .port of a host.port token.
+func portOf(tok string) string {
+	if i := strings.LastIndexByte(tok, '.'); i >= 0 {
+		return tok[i+1:]
+	}
+	return tok
+}
