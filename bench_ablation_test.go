@@ -439,6 +439,67 @@ func BenchmarkAblationNagle(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationLinkFlap injects a 2 s link outage into the 2DFFT's
+// shared segment mid-run. TCP retransmission carries the computation
+// across the hole, but the traffic shape records it: the spectrum of the
+// outage-plus-recovery window loses the burst fundamental that dominates
+// the healthy run, and once the link heals the fundamental returns —
+// the §6.1 before/after methodology applied to a scripted fault.
+func BenchmarkAblationLinkFlap(b *testing.B) {
+	const script = "12s:linkdown host1,14s:linkup host1"
+	var preHz, duringHz, postHz float64
+	var cleanMaxIA, flapMaxIA float64
+	for i := 0; i < b.N; i++ {
+		clean, err := fxnet.Run(fxnet.RunConfig{
+			Program: "2dfft", Seed: 41, Params: fxnet.KernelParams{Iters: 25},
+			DisableDesched: true, KeepaliveInterval: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flap, err := fxnet.Run(fxnet.RunConfig{
+			Program: "2dfft", Seed: 41, Params: fxnet.KernelParams{Iters: 25},
+			DisableDesched: true, KeepaliveInterval: -1,
+			FaultScript: script,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start, _, ok := fxnet.FaultWindow(flap.Trace)
+		if !ok {
+			b.Fatal("flap run carries no fault marks")
+		}
+		// Bracket the outage plus the retransmission recovery that
+		// follows it; the healthy rhythm resumes beyond that.
+		disturbed := start.Add(fxnet.Duration(7_000_000_000))
+		pre, during, post := fxnet.PreDuringPost(flap.Trace, start, disturbed, fxnet.PaperWindow)
+		preHz = pre.Spectrum.DominantFreq()
+		duringHz = during.Spectrum.DominantFreq()
+		postHz = post.Spectrum.DominantFreq()
+		cleanMaxIA = fxnet.InterarrivalStats(clean.Trace).Max
+		flapMaxIA = fxnet.InterarrivalStats(flap.Trace).Max
+	}
+	if dev := math.Abs(duringHz-preHz) / preHz; dev < 0.15 {
+		b.Fatalf("outage did not shift the fundamental: pre %.3f Hz, during %.3f Hz", preHz, duringHz)
+	}
+	if dev := math.Abs(postHz-preHz) / preHz; dev > 0.10 {
+		b.Fatalf("fundamental did not recover after heal: pre %.3f Hz, post %.3f Hz", preHz, postHz)
+	}
+	if flapMaxIA < 2000 || cleanMaxIA > 1500 {
+		b.Fatalf("outage hole not visible in interarrivals: flap max %v ms, clean max %v ms", flapMaxIA, cleanMaxIA)
+	}
+	printOnce("abl-flap", func() {
+		fmt.Fprintln(os.Stdout, "\n=== Ablation: 2 s link outage mid-run (2DFFT, TCP recovery) ===")
+		fmt.Fprintf(os.Stdout, "pre-fault:        fundamental %.3f Hz\n", preHz)
+		fmt.Fprintf(os.Stdout, "outage+recovery:  fundamental %.3f Hz\n", duringHz)
+		fmt.Fprintf(os.Stdout, "post-heal:        fundamental %.3f Hz\n", postHz)
+		fmt.Fprintf(os.Stdout, "max interarrival: %.0f ms (clean %.0f ms)\n", flapMaxIA, cleanMaxIA)
+	})
+	b.ReportMetric(preHz, "pre-Hz")
+	b.ReportMetric(duringHz, "during-Hz")
+	b.ReportMetric(postHz, "post-Hz")
+}
+
 // BenchmarkComparisonMediaVsParallel quantifies the paper's thesis that
 // compiler-parallelized traffic is fundamentally unlike media traffic:
 //

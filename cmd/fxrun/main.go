@@ -31,15 +31,19 @@ func main() {
 		bitrate = flag.Float64("bitrate", 0, "segment bit rate in b/s (0 = 10 Mb/s)")
 		out     = flag.String("o", "", "output trace file (default stdout)")
 		format  = flag.String("format", "bin", "trace format: bin or text")
+		faults  = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
+		degrade = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
 	)
 	flag.Parse()
 
 	cfg := fxnet.RunConfig{
-		Program: *program,
-		P:       *p,
-		Seed:    *seed,
-		BitRate: *bitrate,
-		Params:  fxnet.KernelParams{N: *n, Iters: *iters},
+		Program:     *program,
+		P:           *p,
+		Seed:        *seed,
+		BitRate:     *bitrate,
+		Params:      fxnet.KernelParams{N: *n, Iters: *iters},
+		FaultScript: *faults,
+		Degrade:     *degrade,
 	}
 	if *hours > 0 {
 		ap := fxnet.PaperAirshedParams()
@@ -53,6 +57,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets captured\n",
 		*program, res.Elapsed, res.Trace.Len())
+	if res.RunErr != nil {
+		fmt.Fprintf(os.Stderr, "fxrun: program aborted under faults: %v\n", res.RunErr)
+	} else if *faults != "" && res.Team != nil {
+		fmt.Fprintf(os.Stderr, "fxrun: final team generation %d with P=%d\n",
+			res.Team.Generation(), len(res.Workers))
+	}
 
 	w := os.Stdout
 	if *out != "" {

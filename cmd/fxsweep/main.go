@@ -31,6 +31,8 @@ func main() {
 		values  = flag.String("values", "", "comma-separated sweep values (defaults per dimension)")
 		iters   = flag.Int("iters", 20, "outer iterations per run")
 		seed    = flag.Int64("seed", 42, "simulation seed")
+		faults  = flag.String("faults", "", "fault script applied to every run in the sweep")
+		degrade = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
 	)
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		Program: *program, Seed: *seed,
 		Params:         fxnet.KernelParams{Iters: *iters},
 		DisableDesched: true,
+		FaultScript:    *faults,
+		Degrade:        *degrade,
 	}
 
 	fmt.Printf("%-14s %10s %12s %12s %10s\n", *sweep, "KB/s", "fund (Hz)", "period (s)", "packets")

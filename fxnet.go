@@ -34,11 +34,13 @@ import (
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
 	"fxnet/internal/ethernet"
+	"fxnet/internal/faults"
 	"fxnet/internal/fx"
 	"fxnet/internal/fxc"
 	"fxnet/internal/kernels"
 	"fxnet/internal/media"
 	"fxnet/internal/model"
+	"fxnet/internal/pvm"
 	"fxnet/internal/qos"
 	"fxnet/internal/sim"
 	"fxnet/internal/stats"
@@ -83,7 +85,59 @@ type (
 	Time = sim.Time
 	// Duration is a span of virtual time (nanoseconds).
 	Duration = sim.Duration
+	// FaultSchedule is a deterministic timed fault script.
+	FaultSchedule = faults.Schedule
+	// Fault is one scheduled fault event.
+	Fault = faults.Fault
+	// FaultKind discriminates fault events.
+	FaultKind = faults.Kind
+	// RunError identifies the worker and SPMD phase a faulty run
+	// aborted in.
+	RunError = fx.RunError
+	// TraceMark is a timestamped annotation (fault firing) in a trace.
+	TraceMark = trace.Mark
 )
+
+// Fault kinds for hand-built schedules (scripts use faults.Parse names).
+const (
+	FaultLinkDown       = faults.LinkDown
+	FaultLinkUp         = faults.LinkUp
+	FaultSegmentDown    = faults.SegmentDown
+	FaultSegmentUp      = faults.SegmentUp
+	FaultNetPartition   = faults.NetPartition
+	FaultHeal           = faults.Heal
+	FaultHostCrash      = faults.HostCrash
+	FaultHostRestart    = faults.HostRestart
+	FaultBitRateDegrade = faults.BitRateDegrade
+	FaultFrameDuplicate = faults.FrameDuplicate
+	FaultFrameReorder   = faults.FrameReorder
+	FaultComputeStall   = faults.ComputeStall
+)
+
+// Fault-path sentinel errors surfaced through RunError.Unwrap chains.
+var (
+	// ErrPeerDead reports a send/receive against a host the PVM failure
+	// detector has declared dead.
+	ErrPeerDead = pvm.ErrPeerDead
+	// ErrTeamAborted poisons surviving workers once a teammate fails.
+	ErrTeamAborted = fx.ErrTeamAborted
+)
+
+// ParseFaults parses a fault script like
+// "5s:linkdown host2,7s:linkup host2" into a schedule.
+func ParseFaults(script string) (*FaultSchedule, error) { return faults.Parse(script) }
+
+// MustParseFaults is ParseFaults, panicking on malformed scripts.
+func MustParseFaults(script string) *FaultSchedule { return faults.MustParse(script) }
+
+// PreDuringPost splits a trace around a fault window and computes each
+// segment's bandwidth spectrum (the §6.1 before/after methodology).
+func PreDuringPost(t *Trace, start, end Time, bin Duration) (pre, during, post analysis.Window) {
+	return analysis.PreDuringPost(t, start, end, bin)
+}
+
+// FaultWindow reports the span of a trace's fault marks.
+func FaultWindow(t *Trace) (start, end Time, ok bool) { return analysis.FaultWindow(t) }
 
 // The figure-1 communication patterns.
 const (

@@ -109,6 +109,47 @@ func SpectrumOfSeries(series []float64, dt float64) *dsp.Spectrum {
 	})
 }
 
+// Window is one segment of a fault-bracketed trace with its spectrum —
+// the unit of the pre/during/post comparison.
+type Window struct {
+	Label    string
+	Trace    *trace.Trace
+	Spectrum *dsp.Spectrum
+}
+
+// PreDuringPost splits the trace around the absolute virtual-time fault
+// window [start, end) and computes each segment's bandwidth spectrum with
+// the given bin: the paper's §6.1 before/after methodology, applied to a
+// scripted fault instead of a serendipitous OS stall. Windows with no
+// packets carry an empty spectrum.
+func PreDuringPost(t *trace.Trace, start, end sim.Time, bin sim.Duration) (pre, during, post Window) {
+	cut := func(label string, lo, hi sim.Time) Window {
+		tr := t.Filter(func(p trace.Packet) bool { return p.Time >= lo && p.Time < hi })
+		return Window{Label: label, Trace: tr, Spectrum: Spectrum(tr, bin)}
+	}
+	const horizon = sim.Time(1) << 62
+	return cut("pre", 0, start), cut("during", start, end), cut("post", end, horizon)
+}
+
+// FaultWindow reports the span of the trace's fault marks — the earliest
+// and latest annotated instants — and ok=false when the trace carries no
+// marks.
+func FaultWindow(t *trace.Trace) (start, end sim.Time, ok bool) {
+	if len(t.Marks) == 0 {
+		return 0, 0, false
+	}
+	start, end = t.Marks[0].Time, t.Marks[0].Time
+	for _, m := range t.Marks[1:] {
+		if m.Time < start {
+			start = m.Time
+		}
+		if m.Time > end {
+			end = m.Time
+		}
+	}
+	return start, end, true
+}
+
 // SizeHistogram bins packet sizes over the valid Ethernet range.
 func SizeHistogram(t *trace.Trace, bins int) *stats.Histogram {
 	return stats.NewHistogram(t.Sizes(), 0, 1600, bins)

@@ -13,10 +13,12 @@ import (
 	"fxnet/internal/analysis"
 	"fxnet/internal/dsp"
 	"fxnet/internal/ethernet"
+	"fxnet/internal/faults"
 	"fxnet/internal/fx"
 	"fxnet/internal/kernels"
 	"fxnet/internal/netstack"
 	"fxnet/internal/pvm"
+	"fxnet/internal/qos"
 	"fxnet/internal/sim"
 	"fxnet/internal/stats"
 	"fxnet/internal/trace"
@@ -25,6 +27,11 @@ import (
 // Airshed is the registry name of the AIRSHED application (the kernels
 // have their own registry in the kernels package).
 const Airshed = "airshed"
+
+// qosCapacityBps is the usable shared-segment capacity assumed by the
+// degraded-team renegotiation, bytes/s: 10 Mb/s derated by framing and
+// CSMA/CD overhead (the §7.3 experiments' calibration).
+const qosCapacityBps = 1.1e6
 
 // ProgramNames lists every runnable program.
 func ProgramNames() []string {
@@ -82,6 +89,21 @@ type RunConfig struct {
 	// strict priority over best-effort cross traffic — the QoS guarantee
 	// the paper's introduction motivates.
 	GuaranteeProgram bool
+	// FaultScript is a deterministic scheduled fault script (see
+	// faults.Parse), e.g. "5s:linkdown host2,7s:linkup host2". Parsed
+	// into a schedule when Faults is nil.
+	FaultScript string
+	// Faults is the parsed fault schedule; it takes precedence over
+	// FaultScript.
+	Faults *faults.Schedule
+	// Degrade re-forms the team on the surviving hosts when a host is
+	// detected dead, renegotiating the processor count through the §7.3
+	// QoS model, instead of aborting the program.
+	Degrade bool
+	// HeartbeatMisses overrides the PVM failure-detection threshold K;
+	// 0 keeps the default (3 when a fault schedule is active, disabled
+	// otherwise, matching the measured-era daemons).
+	HeartbeatMisses int
 }
 
 // Result is a completed measured run.
@@ -94,6 +116,13 @@ type Result struct {
 	// RepConn is the representative connection (src, dst host) for the
 	// program, or (-1, -1).
 	RepConn [2]int
+	// Team is the final team generation (the launched team when no
+	// degradation occurred).
+	Team *fx.Team
+	// RunErr is the first worker failure when the program aborted under
+	// faults (nil for successful runs, including degraded ones). A run
+	// that aborts cleanly is a valid measurement, not a Run error.
+	RunErr *fx.RunError
 }
 
 // Run executes one experiment to completion and returns the captured
@@ -106,6 +135,15 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.ForceCopyLoop && cfg.ForceFragments {
 		return nil, fmt.Errorf("core: ForceCopyLoop and ForceFragments both set")
 	}
+	schedule := cfg.Faults
+	if schedule == nil && cfg.FaultScript != "" {
+		s, err := faults.Parse(cfg.FaultScript)
+		if err != nil {
+			return nil, err
+		}
+		schedule = s
+	}
+	faulty := !schedule.Empty()
 
 	p := cfg.P
 	if p == 0 {
@@ -146,6 +184,16 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Nagle {
 		netCfg.Nagle = true
 	}
+	if faulty {
+		// Faults need bounded retries; the measured-era infinite-retry
+		// transport would hang forever on a dead peer.
+		if netCfg.MaxRetransmits == 0 {
+			netCfg.MaxRetransmits = 8
+		}
+		if netCfg.ConnectTimeout == 0 {
+			netCfg.ConnectTimeout = 30 * sim.Second
+		}
+	}
 	hosts := make([]*netstack.Host, p)
 	names := make([]string, 0, p+1)
 	for i := range hosts {
@@ -182,6 +230,24 @@ func Run(cfg RunConfig) (*Result, error) {
 	pvmCfg := pvm.DefaultConfig()
 	if cfg.KeepaliveInterval != 0 {
 		pvmCfg.KeepaliveInterval = cfg.KeepaliveInterval
+	} else if faulty {
+		// Failure detection latency is misses × keepalive interval; the
+		// sparse 30 s measured-era cadence would stretch every faulty
+		// run by minutes of virtual time.
+		pvmCfg.KeepaliveInterval = sim.Second
+	}
+	if cfg.HeartbeatMisses != 0 {
+		pvmCfg.HeartbeatMisses = cfg.HeartbeatMisses
+	} else if faulty {
+		pvmCfg.HeartbeatMisses = 3
+	}
+	if faulty {
+		if pvmCfg.ConnectRetries == 0 {
+			pvmCfg.ConnectRetries = 3
+		}
+		if pvmCfg.ConnectBackoff == 0 {
+			pvmCfg.ConnectBackoff = 250 * sim.Millisecond
+		}
 	}
 	machine := pvm.NewMachine(k, hosts, pvmCfg)
 
@@ -189,6 +255,7 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	var team *fx.Team
 	repConn := [2]int{-1, -1}
+	opts := fx.Opts{P: p, Cost: cost, Degrade: cfg.Degrade}
 	if isKernel {
 		params := spec.Params
 		if cfg.Params.N != 0 {
@@ -207,7 +274,22 @@ func Run(cfg RunConfig) (*Result, error) {
 		repConn = spec.RepresentativeConn
 		run := spec.Run
 		coalesce := cfg.ForceCopyLoop
-		team = fx.Launch(machine, p, cost, spec.Name, func(w *fx.Worker) {
+		opts.Name = spec.Name
+		if cfg.Degrade && spec.QoS != nil {
+			// Degradation is the §7.3 negotiation run in reverse: hand
+			// the network the program's [l(), b(), c] and let it pick
+			// the post-fault processor count.
+			prog := spec.QoS(params)
+			net := qos.NewNetwork(qosCapacityBps)
+			opts.Renegotiate = func(maxP int) int {
+				off, err := net.Negotiate(prog, maxP)
+				if err != nil {
+					return maxP
+				}
+				return off.P
+			}
+		}
+		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
 			w.UseFragments = useFrags
 			w.CoalesceFragments = coalesce
 			run(w, params)
@@ -218,9 +300,48 @@ func Run(cfg RunConfig) (*Result, error) {
 			ap = airshed.PaperParams()
 		}
 		repConn = [2]int{1, 0}
-		team = fx.Launch(machine, p, cost, Airshed, func(w *fx.Worker) {
+		opts.Name = Airshed
+		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
 			airshed.Run(w, ap)
 		})
+	}
+
+	if faulty {
+		hooks := faults.Hooks{
+			HostIndex: func(name string) (int, bool) {
+				for i := range hosts {
+					if name == fmt.Sprintf("alpha%d", i) ||
+						name == fmt.Sprintf("host%d", i) ||
+						name == fmt.Sprint(i) {
+						return i, true
+					}
+				}
+				return 0, false
+			},
+			Crash:   machine.KillHost,
+			Restart: machine.RestartHost,
+			Stall: func(host int, d sim.Duration) {
+				team.Final().StallHost(host, d)
+			},
+			Annotate: func(at sim.Time, f faults.Fault) {
+				col.Trace().AddMark(at, f.String())
+			},
+		}
+		// Wire faults only on the shared segment: a switched fabric has
+		// no single collision domain, so link-level faults are rejected
+		// by Apply's validation rather than silently ignored.
+		if seg, ok := medium.(*ethernet.Segment); ok {
+			hooks.LinkDown = seg.SetLinkDown
+			hooks.SegmentDown = seg.SetSegmentDown
+			hooks.Partition = seg.SetPartition
+			hooks.Heal = seg.Heal
+			hooks.BitRate = seg.SetBitRate
+			hooks.Duplicate = seg.SetDuplicateProb
+			hooks.Reorder = seg.SetReorderProb
+		}
+		if err := faults.Apply(k, schedule, hooks); err != nil {
+			return nil, err
+		}
 	}
 
 	if crossHost != nil {
@@ -228,7 +349,23 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	elapsed := k.Run()
-	if !team.Done() {
+	final := team.Final()
+	var runErr *fx.RunError
+	switch {
+	case final.Done():
+	case final.Failed():
+		runErr = final.Err()
+	case final.Finished():
+		// A worker was killed without any survivor recording an abort:
+		// either the whole machine crashed, or (in a pipeline kernel)
+		// the survivors had already finished their part and never
+		// needed to talk to the dead rank again. Its output is lost
+		// either way, so the run still reports a fault.
+		runErr = &fx.RunError{
+			Program: opts.Name, Rank: -1, Phase: "killed",
+			Err: fmt.Errorf("worker killed by host fault before completing"),
+		}
+	default:
 		return nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", cfg.Program, elapsed)
 	}
 
@@ -237,14 +374,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	tr.Meta["program"] = cfg.Program
 	tr.Meta["P"] = fmt.Sprint(p)
 	tr.Meta["seed"] = fmt.Sprint(cfg.Seed)
+	if faulty {
+		tr.Meta["faults"] = schedule.String()
+		tr.Meta["finalP"] = fmt.Sprint(len(final.Workers))
+	}
 
 	return &Result{
 		Config:   cfg,
 		Trace:    tr,
 		Elapsed:  elapsed,
 		SegStats: segStats(),
-		Workers:  team.Workers,
+		Workers:  final.Workers,
 		RepConn:  repConn,
+		Team:     final,
+		RunErr:   runErr,
 	}, nil
 }
 

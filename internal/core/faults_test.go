@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"fxnet/internal/analysis"
+	"fxnet/internal/ethernet"
+	"fxnet/internal/faults"
+	"fxnet/internal/kernels"
+	"fxnet/internal/pvm"
+	"fxnet/internal/qos"
+	"fxnet/internal/sim"
+	"fxnet/internal/trace"
+)
+
+// traceBytes runs cfg and returns the binary encoding of its trace.
+func traceBytes(t *testing.T, cfg RunConfig) []byte {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", cfg.Program, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// dataEnd is the time of the last TCP data packet — the end of actual
+// program activity, unlike Elapsed which includes daemon timer drain.
+func dataEnd(t *testing.T, tr *trace.Trace) sim.Time {
+	t.Helper()
+	data := tr.Filter(func(p trace.Packet) bool {
+		return p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagData != 0
+	})
+	if len(data.Packets) == 0 {
+		t.Fatal("trace has no data packets")
+	}
+	return data.Packets[len(data.Packets)-1].Time
+}
+
+// probeEnd measures the fault-free program length so fault offsets can
+// be placed mid-run regardless of the test's problem size.
+func probeEnd(t *testing.T, cfg RunConfig) sim.Duration {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Duration(dataEnd(t, res.Trace))
+}
+
+// Satellite: identical (program, P, seed, FaultScript) must replay
+// byte-identically, across fault types and across two kernels.
+func TestFaultRunsDeterministic(t *testing.T) {
+	for _, program := range []string{"sor", "2dfft"} {
+		base := RunConfig{
+			Program: program,
+			Seed:    11,
+			Params:  kernels.Params{N: 32, Iters: 8},
+		}
+		third := probeEnd(t, base) / 3
+		schedules := map[string]*faults.Schedule{
+			"linkflap": {Faults: []faults.Fault{
+				{At: third, Kind: faults.LinkDown, Host: "host2"},
+				{At: 2 * third, Kind: faults.LinkUp, Host: "host2"},
+			}},
+			"crash": {Faults: []faults.Fault{
+				{At: third, Kind: faults.HostCrash, Host: "host2"},
+			}},
+			"partition": {Faults: []faults.Fault{
+				{At: third, Kind: faults.NetPartition,
+					Groups: [][]string{{"host0", "host1"}, {"host2", "host3"}}},
+				{At: 2 * third, Kind: faults.Heal},
+			}},
+		}
+		for name, sched := range schedules {
+			cfg := base
+			cfg.Faults = sched
+			a := traceBytes(t, cfg)
+			b := traceBytes(t, cfg)
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: identical seed+script produced different traces (%d vs %d bytes)",
+					program, name, len(a), len(b))
+			}
+			if bytes.Equal(a, traceBytes(t, base)) {
+				t.Errorf("%s/%s: fault schedule left the trace untouched (fired after completion?)",
+					program, name)
+			}
+		}
+	}
+}
+
+// Acceptance: a scripted HostCrash mid-run must never deadlock or panic
+// any of the five kernels — survivors return a RunError naming the phase
+// that failed.
+func TestHostCrashNeverDeadlocks(t *testing.T) {
+	params := map[string]kernels.Params{
+		"sor":    {N: 32, Iters: 8},
+		"2dfft":  {N: 32, Iters: 8},
+		"t2dfft": {N: 32, Iters: 8},
+		"seq":    {N: 32, Iters: 2},
+		"hist":   {N: 64, Iters: 8},
+	}
+	for _, program := range kernels.Names() {
+		base := RunConfig{Program: program, Seed: 5, Params: params[program]}
+		cfg := base
+		cfg.Faults = &faults.Schedule{Faults: []faults.Fault{
+			{At: probeEnd(t, base) / 2, Kind: faults.HostCrash, Host: "host2"},
+		}}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Errorf("%s: Run failed outright: %v", program, err)
+			continue
+		}
+		if res.RunErr == nil {
+			t.Errorf("%s: mid-run crash produced no RunError", program)
+			continue
+		}
+		if res.RunErr.Phase == "" {
+			t.Errorf("%s: RunError has no phase: %v", program, res.RunErr)
+		}
+		// When a survivor noticed the death (Rank >= 0) the cause must be
+		// the failure detector's verdict. Pipeline kernels may instead
+		// report the synthesized worker-killed error (Rank -1) when the
+		// survivors were already done with the dead rank.
+		if res.RunErr.Rank >= 0 && !errors.Is(res.RunErr.Err, pvm.ErrPeerDead) {
+			t.Errorf("%s: RunError cause = %v, want ErrPeerDead", program, res.RunErr.Err)
+		}
+	}
+}
+
+// Acceptance: with Degrade the team re-forms on the survivors, the QoS
+// negotiation picks the new P, and the post-fault burst period matches
+// the §7.3 prediction tbi(P−1) within 10%.
+func TestDegradeReformsAndMatchesQoSPrediction(t *testing.T) {
+	params := kernels.Params{N: 512, Iters: 12}
+	cfg := RunConfig{
+		Program:        "sor",
+		Seed:           31,
+		Params:         params,
+		DisableDesched: true,
+		Degrade:        true,
+		FaultScript:    "4s:crash host2",
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunErr != nil {
+		t.Fatalf("degraded run aborted: %v", res.RunErr)
+	}
+	if res.Team.Generation() != 1 {
+		t.Fatalf("team generation = %d, want 1", res.Team.Generation())
+	}
+
+	// The re-formed size must be exactly what the negotiation returns
+	// for the three survivors.
+	spec, _ := kernels.Lookup("sor")
+	offer, err := qos.NewNetwork(qosCapacityBps).Negotiate(spec.QoS(params), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workers) != offer.P {
+		t.Fatalf("re-formed P = %d, QoS negotiation says %d", len(res.Workers), offer.P)
+	}
+
+	// Post-fault burst period vs tbi(newP). The crash mark is at 4s;
+	// detection takes ~3 keepalives, so measure well after the re-formed
+	// team has settled into its steady rhythm.
+	start, _, ok := analysis.FaultWindow(res.Trace)
+	if !ok {
+		t.Fatal("no fault marks in trace")
+	}
+	settled := start.Add(6 * sim.Second)
+	data := res.Trace.Filter(func(p trace.Packet) bool {
+		return p.Time >= settled &&
+			p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagData != 0
+	})
+	bursts := analysis.Bursts(data, 500*sim.Millisecond)
+	if bursts.Count < 4 {
+		t.Fatalf("too few post-fault bursts to measure: %d", bursts.Count)
+	}
+	predicted := offer.BurstInterval
+	if dev := math.Abs(bursts.MeanPeriodSec-predicted) / predicted; dev > 0.10 {
+		t.Errorf("post-fault burst period %.3fs vs predicted tbi(%d)=%.3fs (%.0f%% off)",
+			bursts.MeanPeriodSec, offer.P, predicted, dev*100)
+	}
+	if res.Trace.Meta["finalP"] != fmt.Sprint(offer.P) {
+		t.Errorf("finalP meta = %q, want %d", res.Trace.Meta["finalP"], offer.P)
+	}
+}
+
+// A fault kind with no hook on the chosen topology must be rejected
+// up front, not silently skipped.
+func TestSwitchedTopologyRejectsLinkFaults(t *testing.T) {
+	cfg := RunConfig{
+		Program:     "sor",
+		Seed:        1,
+		Params:      kernels.Params{N: 32, Iters: 5},
+		Switched:    true,
+		FaultScript: "1s:linkdown host2",
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("switched run accepted a shared-segment link fault")
+	}
+}
+
+func TestBadFaultScriptRejected(t *testing.T) {
+	cfg := RunConfig{
+		Program:     "sor",
+		Seed:        1,
+		FaultScript: "1s:frobnicate host2",
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("malformed fault script accepted")
+	}
+}
+
+func TestComputeStallAnnotatesAndCompletes(t *testing.T) {
+	base := RunConfig{Program: "sor", Seed: 3, Params: kernels.Params{N: 32, Iters: 8}}
+	baseEnd := probeEnd(t, base)
+	cfg := base
+	cfg.Faults = &faults.Schedule{Faults: []faults.Fault{
+		{At: baseEnd / 2, Kind: faults.ComputeStall,
+			Host: "host1", Dur: 2 * sim.Second},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunErr != nil {
+		t.Fatalf("stall aborted the run: %v", res.RunErr)
+	}
+	if len(res.Trace.Marks) != 1 {
+		t.Fatalf("marks = %v, want the stall annotation", res.Trace.Marks)
+	}
+	// The stall stretches the program by roughly its length.
+	if gain := dataEnd(t, res.Trace).Sub(sim.Time(baseEnd)); gain < sim.Duration(sim.Second) {
+		t.Errorf("stall added only %v", gain)
+	}
+}

@@ -120,6 +120,9 @@ type Stats struct {
 	Collisions    int64 // collision episodes
 	MaxBackoffHit int64 // times a station reached the backoff exponent cap
 	Corrupted     int64 // frames dropped by injected FCS corruption
+	Dropped       int64 // frames discarded by fault gates (link down, partition)
+	Duplicated    int64 // frames delivered twice by injected duplication
+	Reordered     int64 // frames delivered late by injected reordering
 }
 
 // Segment is one shared collision domain.
@@ -145,7 +148,123 @@ type Segment struct {
 	dropProb float64
 	dropRng  *rand.Rand
 
+	// Fault-injection gates (see internal/faults). linkDown marks
+	// stations whose attachment is administratively severed; segmentDown
+	// severs the whole medium; group partitions the stations (frames
+	// cross only within a group; nil means no partition). Gated frames
+	// still occupy the wire — the transmitter cannot sense a dead drop
+	// cable — but are counted in Stats.Dropped instead of delivered.
+	linkDown    map[int]bool
+	segmentDown bool
+	group       map[int]int
+
+	// dupProb / reorderProb inject frame duplication and reordering; held
+	// is a reordered frame awaiting re-delivery after the next frame.
+	dupProb     float64
+	reorderProb float64
+	faultRng    *rand.Rand
+	held        *Frame
+
 	stats Stats
+}
+
+// faultRand lazily creates the dedicated fault-injection stream so that
+// enabling faults never perturbs the backoff or corruption streams.
+func (s *Segment) faultRand() *rand.Rand {
+	if s.faultRng == nil {
+		s.faultRng = s.k.Rand("ethernet.fault")
+	}
+	return s.faultRng
+}
+
+// SetLinkDown severs (down=true) or restores (down=false) one station's
+// attachment. While down, frames the station transmits are dropped at the
+// end of their wire occupancy and frames addressed to it vanish, both
+// counted in Stats.Dropped.
+func (s *Segment) SetLinkDown(station int, down bool) {
+	if station < 0 || station >= len(s.stations) {
+		panic(fmt.Sprintf("ethernet: SetLinkDown on unknown station %d", station))
+	}
+	if s.linkDown == nil {
+		s.linkDown = make(map[int]bool)
+	}
+	s.linkDown[station] = down
+}
+
+// SetSegmentDown severs or restores the entire medium (a backbone cut):
+// every frame completing transmission while down is dropped.
+func (s *Segment) SetSegmentDown(down bool) { s.segmentDown = down }
+
+// SetPartition splits the stations into isolated groups: a frame is
+// delivered only when source and destination share a group. Stations not
+// named in any group are unreachable from everyone. Heal removes the
+// partition.
+func (s *Segment) SetPartition(groups [][]int) {
+	s.group = make(map[int]int)
+	for g, members := range groups {
+		for _, st := range members {
+			s.group[st] = g
+		}
+	}
+}
+
+// Heal removes any partition installed by SetPartition.
+func (s *Segment) Heal() { s.group = nil }
+
+// SetBitRate overrides the segment's bit rate (bits per second) from now
+// on — the BitRateDegrade fault. In-flight transmissions keep the rate
+// they started with.
+func (s *Segment) SetBitRate(bps float64) {
+	if bps <= 0 {
+		panic("ethernet: SetBitRate requires a positive rate")
+	}
+	s.bitRate = bps
+}
+
+// SetDuplicateProb makes each delivered frame arrive twice with
+// probability p — the duplicate-delivery fault (a bridge forwarding loop).
+func (s *Segment) SetDuplicateProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("ethernet: duplicate probability out of range")
+	}
+	s.dupProb = p
+	if p > 0 {
+		s.faultRand()
+	}
+}
+
+// SetReorderProb makes each delivered frame held back with probability p
+// and re-delivered immediately after the next successful frame — the
+// reordering fault (a multipath bridge race).
+func (s *Segment) SetReorderProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("ethernet: reorder probability out of range")
+	}
+	s.reorderProb = p
+	if p > 0 {
+		s.faultRand()
+	}
+}
+
+// gated reports whether a fault gate discards a frame from src to dst.
+func (s *Segment) gated(src, dst int) bool {
+	if s.segmentDown {
+		return true
+	}
+	if s.linkDown[src] {
+		return true
+	}
+	if dst != Broadcast && s.linkDown[dst] {
+		return true
+	}
+	if s.group != nil && dst != Broadcast {
+		sg, ok1 := s.group[src]
+		dg, ok2 := s.group[dst]
+		if !ok1 || !ok2 || sg != dg {
+			return true
+		}
+	}
+	return false
 }
 
 // SetDropProb enables fault injection: each frame is independently
@@ -330,10 +449,8 @@ func (s *Segment) deliver(st *Station, f *Frame) {
 	st.TxFrames++
 	st.TxBytes += int64(f.CapturedSize())
 
-	if s.dropProb > 0 && s.dropRng.Float64() < s.dropProb {
-		s.stats.Corrupted++
-		// The wire was occupied, but the frame is gone: skip taps and
-		// delivery, then rearbitrate as usual.
+	rearb := func() {
+		// The sender either requeues for its next frame or goes quiet.
 		if len(st.queue) > 0 {
 			st.joinWaiters()
 		} else {
@@ -342,14 +459,57 @@ func (s *Segment) deliver(st *Station, f *Frame) {
 		if len(s.waiters) > 0 {
 			s.scheduleArb(now.Add(InterFrameGap))
 		}
+	}
+
+	if s.dropProb > 0 && s.dropRng.Float64() < s.dropProb {
+		s.stats.Corrupted++
+		// The wire was occupied, but the frame is gone: skip taps and
+		// delivery, then rearbitrate as usual.
+		rearb()
+		return
+	}
+	if s.gated(f.Src, f.Dst) {
+		// A fault gate (link down, segment down, partition) discards the
+		// frame: the wire was occupied but nothing hears it.
+		s.stats.Dropped++
+		rearb()
 		return
 	}
 
+	if s.reorderProb > 0 && s.held == nil && s.faultRand().Float64() < s.reorderProb {
+		// Hold the frame back; it is re-emitted right after the next
+		// successful delivery (a multipath bridge race).
+		s.stats.Reordered++
+		s.held = f
+		rearb()
+		return
+	}
+
+	s.emit(f)
+	if s.dupProb > 0 && s.faultRand().Float64() < s.dupProb {
+		s.stats.Duplicated++
+		s.emit(f)
+	}
+	if held := s.held; held != nil {
+		s.held = nil
+		if !s.gated(held.Src, held.Dst) {
+			s.emit(held)
+		} else {
+			s.stats.Dropped++
+		}
+	}
+	rearb()
+}
+
+// emit performs one delivery of a frame that survived the wire: capture
+// taps, then the destination upcalls. A station whose link is down, or on
+// the wrong side of a partition, misses broadcast deliveries.
+func (s *Segment) emit(f *Frame) {
 	s.stats.Frames++
 	s.stats.Bytes += int64(f.CapturedSize())
 
 	cap := Capture{
-		Time: now, Size: f.CapturedSize(),
+		Time: s.k.Now(), Size: f.CapturedSize(),
 		Src: f.Src, Dst: f.Dst, Proto: f.Proto,
 		SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
 	}
@@ -357,24 +517,17 @@ func (s *Segment) deliver(st *Station, f *Frame) {
 		tap(cap)
 	}
 	for _, dst := range s.stations {
-		if dst == st {
+		if dst.id == f.Src {
 			continue
 		}
 		if f.Dst == Broadcast || f.Dst == dst.id {
+			if f.Dst == Broadcast && s.gated(f.Src, dst.id) {
+				continue
+			}
 			if dst.recv != nil {
 				dst.recv(f)
 			}
 		}
-	}
-
-	// The sender either requeues for its next frame or goes quiet.
-	if len(st.queue) > 0 {
-		st.joinWaiters()
-	} else {
-		st.pending = false
-	}
-	if len(s.waiters) > 0 {
-		s.scheduleArb(now.Add(InterFrameGap))
 	}
 }
 

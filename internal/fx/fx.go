@@ -10,6 +10,7 @@
 package fx
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,32 @@ import (
 	"fxnet/internal/pvm"
 	"fxnet/internal/sim"
 )
+
+// ErrTeamAborted poisons the surviving ranks of a team once one rank has
+// failed: their pending sends and receives return it, so every survivor
+// unwinds with its own RunError instead of blocking on a rank that will
+// never speak again.
+var ErrTeamAborted = errors.New("fx: team aborted")
+
+// RunError reports one rank's failure: which program, which rank, which
+// communication or compute phase it was in, and the underlying cause
+// (typically pvm.ErrPeerDead or ErrTeamAborted).
+type RunError struct {
+	Program string
+	Rank    int
+	Phase   string
+	Err     error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("fx: %s rank %d failed in phase %q: %v", e.Program, e.Rank, e.Phase, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// abortPanic unwinds a failed worker's goroutine from the point of
+// failure back to the Launch wrapper, which records the RunError.
+type abortPanic struct{ err *RunError }
 
 // Pattern identifies one of the paper's global communication patterns.
 type Pattern int
@@ -125,6 +152,7 @@ type Worker struct {
 	team    *Team
 	cost    CostModel
 	rng     *rand.Rand
+	hostIdx int
 
 	// UseFragments selects the fragment-list send path (T2DFFT) instead
 	// of the copy-loop path for this worker's Send calls.
@@ -133,7 +161,9 @@ type Worker struct {
 	// copy-loop path — the packing ablation's control arm.
 	CoalesceFragments bool
 
-	barrierGen int
+	barrierGen   int
+	phase        string
+	pendingStall sim.Duration
 
 	// ComputeTime accumulates virtual time spent in compute phases.
 	ComputeTime sim.Duration
@@ -144,34 +174,230 @@ type Worker struct {
 // Team is a launched SPMD program instance.
 type Team struct {
 	Workers []*Worker
+	Name    string
 	baseTID int
+	hosts   []int // rank → machine host index
+	gen     int   // 0 for the original team, +1 per degrade re-form
 	done    int
+	aborted bool
+	errs    []*RunError
+	next    *Team
 }
 
-// Done reports whether every worker has returned.
+// Done reports whether every worker has returned successfully.
 func (t *Team) Done() bool { return t.done == len(t.Workers) }
+
+// Failed reports whether any worker has aborted.
+func (t *Team) Failed() bool { return t.aborted }
+
+// Err returns the first rank failure, nil if none.
+func (t *Team) Err() *RunError {
+	if len(t.errs) == 0 {
+		return nil
+	}
+	return t.errs[0]
+}
+
+// Errs returns every rank failure in the order they unwound.
+func (t *Team) Errs() []*RunError { return t.errs }
+
+// Finished reports whether every worker process has stopped running —
+// by returning, aborting with a RunError, or being killed in a crash.
+func (t *Team) Finished() bool {
+	for _, w := range t.Workers {
+		if w.task == nil || !w.task.Proc().Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the degraded successor team formed after a host death
+// (nil if none). Final follows the chain to the team currently running.
+func (t *Team) Next() *Team { return t.next }
+
+// Final returns the last team in the degrade chain (t itself if no
+// re-form has happened).
+func (t *Team) Final() *Team {
+	cur := t
+	for cur.next != nil {
+		cur = cur.next
+	}
+	return cur
+}
+
+// Hosts returns the machine host index each rank runs on.
+func (t *Team) Hosts() []int { return append([]int(nil), t.hosts...) }
+
+// Generation reports how many times the team has re-formed (0 = original).
+func (t *Team) Generation() int { return t.gen }
+
+// StallHost injects a compute stall of duration d into every worker of
+// the team running on machine host hostIndex — the ComputeStall fault.
+func (t *Team) StallHost(hostIndex int, d sim.Duration) {
+	for _, w := range t.Workers {
+		if w.hostIdx == hostIndex {
+			w.InjectStall(d)
+		}
+	}
+}
+
+// fail records one rank's failure and, on the first one, poisons every
+// teammate's task so the whole team unwinds instead of deadlocking.
+func (t *Team) fail(re *RunError) {
+	t.errs = append(t.errs, re)
+	if t.aborted {
+		return
+	}
+	t.aborted = true
+	for _, w := range t.Workers {
+		if w.task != nil {
+			w.task.Cancel(ErrTeamAborted)
+		}
+	}
+}
+
+// Opts configures a team launch beyond the basic Launch parameters.
+type Opts struct {
+	P    int
+	Cost CostModel
+	Name string
+	// Hosts maps rank → machine host index; nil means the identity
+	// mapping 0..P−1 (the paper's one-task-per-machine layout).
+	Hosts []int
+	// Degrade re-forms the team on the surviving hosts when a host is
+	// marked dead, instead of leaving the program aborted: the paper's
+	// §7.3 QoS negotiation run in reverse.
+	Degrade bool
+	// Renegotiate picks the degraded team size given the number of
+	// surviving hosts (e.g. qos.Network.Negotiate); nil uses every
+	// survivor. Results outside [1, maxP] are clamped.
+	Renegotiate func(maxP int) int
+	// OnReform is called (in event context) each time a degraded team
+	// launches.
+	OnReform func(prev, next *Team, deadHost int)
+}
 
 // Launch starts an SPMD program with P workers on machine m, worker r on
 // host r. body is the compiled program each process executes. The team's
 // workers share the cost model but draw independent jitter streams.
 func Launch(m *pvm.Machine, P int, cost CostModel, name string, body func(w *Worker)) *Team {
+	return LaunchOpts(m, Opts{P: P, Cost: cost, Name: name}, body)
+}
+
+// LaunchOpts is Launch with full control over host placement and
+// degraded re-launch behaviour.
+func LaunchOpts(m *pvm.Machine, opts Opts, body func(w *Worker)) *Team {
+	team := spawnTeam(m, opts, body)
+	if opts.Degrade {
+		current := team
+		m.NotifyHostDead(func(dead int) {
+			if current.Done() {
+				return // program already finished; nothing to re-form
+			}
+			uses := false
+			for _, hi := range current.hosts {
+				if hi == dead {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				return
+			}
+			var survivors []int
+			for _, hi := range current.hosts {
+				if !m.HostDead(hi) {
+					survivors = append(survivors, hi)
+				}
+			}
+			if len(survivors) == 0 {
+				return // total loss: the chain ends aborted
+			}
+			newP := len(survivors)
+			if opts.Renegotiate != nil {
+				if p := opts.Renegotiate(newP); p >= 1 && p <= newP {
+					newP = p
+				}
+			}
+			nopts := opts
+			nopts.P = newP
+			nopts.Hosts = survivors[:newP]
+			next := spawnTeam(m, nopts, body)
+			next.gen = current.gen + 1
+			current.next = next
+			prev := current
+			current = next
+			if opts.OnReform != nil {
+				opts.OnReform(prev, next, dead)
+			}
+		})
+	}
+	return team
+}
+
+func spawnTeam(m *pvm.Machine, opts Opts, body func(w *Worker)) *Team {
+	P, name := opts.P, opts.Name
 	if P < 1 || P > len(m.Hosts()) {
 		panic(fmt.Sprintf("fx: P=%d with %d hosts", P, len(m.Hosts())))
 	}
-	team := &Team{baseTID: len(m.Tasks())}
+	hosts := opts.Hosts
+	if hosts == nil {
+		hosts = make([]int, P)
+		for r := range hosts {
+			hosts[r] = r
+		}
+	}
+	if len(hosts) != P {
+		panic(fmt.Sprintf("fx: %d hosts for P=%d", len(hosts), P))
+	}
+	team := &Team{Name: name, baseTID: len(m.Tasks()), hosts: append([]int(nil), hosts...)}
 	for r := 0; r < P; r++ {
-		w := &Worker{Rank: r, P: P, team: team, cost: cost}
+		w := &Worker{Rank: r, P: P, team: team, cost: opts.Cost, hostIdx: hosts[r], phase: "startup"}
 		team.Workers = append(team.Workers, w)
 		rank := r
-		t := m.Spawn(fmt.Sprintf("%s[%d]", name, r), r, func(task *pvm.Task) {
+		t := m.Spawn(fmt.Sprintf("%s[%d]", name, r), hosts[r], func(task *pvm.Task) {
+			defer func() {
+				if r := recover(); r != nil {
+					ap, ok := r.(abortPanic)
+					if !ok {
+						panic(r) // includes the kernel's kill signal
+					}
+					_ = ap // already recorded by abort
+					return
+				}
+				team.done++
+			}()
 			w.task = task
 			w.rng = task.Host().Kernel().Rand(fmt.Sprintf("fx.%s.%d", name, rank))
 			body(w)
-			team.done++
 		})
 		w.task = t
 	}
 	return team
+}
+
+// abort records the worker's failure (cause err, current phase) on the
+// team and unwinds its goroutine.
+func (w *Worker) abort(err error) {
+	re := &RunError{Program: w.team.Name, Rank: w.Rank, Phase: w.phase, Err: err}
+	w.team.fail(re)
+	panic(abortPanic{re})
+}
+
+// Phase names the program phase the worker is in, for failure reports.
+// Collectives set it automatically; kernels may name compute phases.
+func (w *Worker) Phase(name string) { w.phase = name }
+
+// CurrentPhase reports the phase most recently set.
+func (w *Worker) CurrentPhase() string { return w.phase }
+
+// InjectStall adds an extra OS-deschedule stall of duration d to the
+// worker's next compute phase — the ComputeStall fault's hook.
+func (w *Worker) InjectStall(d sim.Duration) {
+	if d > 0 {
+		w.pendingStall += d
+	}
 }
 
 // tid maps a rank in this team to its PVM TID.
@@ -199,6 +425,11 @@ func (w *Worker) Compute(class string, ops float64) {
 		d += sim.DurationOf(w.cost.DeschedMean.Seconds() * w.rng.ExpFloat64())
 		w.Descheds++
 	}
+	if w.pendingStall > 0 {
+		d += w.pendingStall
+		w.pendingStall = 0
+		w.Descheds++
+	}
 	w.ComputeTime += d
 	w.task.Sleep(d)
 }
@@ -206,13 +437,18 @@ func (w *Worker) Compute(class string, ops float64) {
 // Idle advances virtual time without modeling computation (I/O waits).
 func (w *Worker) Idle(d sim.Duration) { w.task.Sleep(d) }
 
-// Send transmits body to rank dst using the worker's packing mode.
+// Send transmits body to rank dst using the worker's packing mode. A
+// transport failure or dead peer aborts the worker with a RunError.
 func (w *Worker) Send(dst, tag int, body []byte) {
+	var err error
 	if w.UseFragments {
-		w.task.SendFrags(w.tid(dst), tag, [][]byte{body})
-		return
+		err = w.task.SendFragsErr(w.tid(dst), tag, [][]byte{body})
+	} else {
+		err = w.task.SendErr(w.tid(dst), tag, body)
 	}
-	w.task.Send(w.tid(dst), tag, body)
+	if err != nil {
+		w.abort(err)
+	}
 }
 
 // SendFrags transmits a fragment-list message (multiple packs, no copy
@@ -228,15 +464,24 @@ func (w *Worker) SendFrags(dst, tag int, frags [][]byte) {
 		for _, f := range frags {
 			buf = append(buf, f...)
 		}
-		w.task.Send(w.tid(dst), tag, buf)
+		if err := w.task.SendErr(w.tid(dst), tag, buf); err != nil {
+			w.abort(err)
+		}
 		return
 	}
-	w.task.SendFrags(w.tid(dst), tag, frags)
+	if err := w.task.SendFragsErr(w.tid(dst), tag, frags); err != nil {
+		w.abort(err)
+	}
 }
 
-// Recv blocks until a message from rank src with the tag arrives.
+// Recv blocks until a message from rank src with the tag arrives. A dead
+// peer or team abort unwinds the worker with a RunError.
 func (w *Worker) Recv(src, tag int) []byte {
-	return w.task.RecvBody(w.tid(src), tag)
+	_, _, body, err := w.task.RecvErr(w.tid(src), tag, 0)
+	if err != nil {
+		w.abort(err)
+	}
+	return body
 }
 
 // NeighborExchange performs the neighbor pattern of figure 1: every
@@ -244,6 +489,7 @@ func (w *Worker) Recv(src, tag int) []byte {
 // with their single neighbor. Returns the data received from rank−1 and
 // rank+1 (nil at the chain ends).
 func (w *Worker) NeighborExchange(tag int, toPrev, toNext []byte) (fromPrev, fromNext []byte) {
+	w.phase = "neighbor-exchange"
 	if w.Rank > 0 {
 		w.Send(w.Rank-1, tag, toPrev)
 	}
@@ -268,6 +514,7 @@ func (w *Worker) AllToAll(tag int, parts [][]byte) [][]byte {
 	if len(parts) != w.P {
 		panic(fmt.Sprintf("fx: AllToAll with %d parts for P=%d", len(parts), w.P))
 	}
+	w.phase = "all-to-all"
 	out := make([][]byte, w.P)
 	out[w.Rank] = parts[w.Rank]
 	for s := 1; s < w.P; s++ {
@@ -283,6 +530,7 @@ func (w *Worker) AllToAll(tag int, parts [][]byte) [][]byte {
 // rank (P−1 point-to-point messages, as Fx's sequential-I/O broadcast
 // does); non-roots receive and return it.
 func (w *Worker) Bcast(root, tag int, data []byte) []byte {
+	w.phase = "broadcast"
 	if w.Rank == root {
 		for r := 0; r < w.P; r++ {
 			if r != root {
@@ -300,6 +548,7 @@ func (w *Worker) Bcast(root, tag int, data []byte) []byte {
 // fully reduced value lands on rank 0, which returns it; other ranks
 // return nil.
 func (w *Worker) Reduce(tag int, data []byte, combine func(local, incoming []byte) []byte) []byte {
+	w.phase = "reduce"
 	local := data
 	for stride := 1; stride < w.P; stride <<= 1 {
 		if w.Rank&stride != 0 {
@@ -316,6 +565,7 @@ func (w *Worker) Reduce(tag int, data []byte, combine func(local, incoming []byt
 // TreeBcast performs the tree down-sweep: rank 0's data propagates by
 // doubling (the reverse of Reduce). Every rank returns the data.
 func (w *Worker) TreeBcast(tag int, data []byte) []byte {
+	w.phase = "tree-broadcast"
 	span := 1
 	for span < w.P {
 		span <<= 1
@@ -340,6 +590,7 @@ func (w *Worker) TreeBcast(tag int, data []byte) []byte {
 // SPMD communication systems make it an explicit barrier.
 func (w *Worker) Barrier() {
 	const barrierTagBase = 1 << 20
+	w.phase = "barrier"
 	tag := barrierTagBase + 2*w.barrierGen
 	w.barrierGen++
 	w.Reduce(tag, nil, func(a, b []byte) []byte { return nil })

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"fxnet/internal/fx"
+	"fxnet/internal/qos"
 )
 
 // Params are the common kernel parameters.
@@ -44,6 +45,11 @@ type Spec struct {
 	// plots for this kernel, or (-1, -1) when the pattern has no
 	// representative connection (SEQ, HIST).
 	RepresentativeConn [2]int
+	// QoS builds the §7.3 [l(), b(), c] characterization at the given
+	// problem size, from the same calibrated rates the cost model uses.
+	// Degraded-team renegotiation feeds it back to qos.Network.Negotiate
+	// to pick the post-fault processor count.
+	QoS func(p Params) qos.Program
 }
 
 // All lists the five kernels with paper-scale defaults.
@@ -57,6 +63,15 @@ var All = []Spec{
 		Run:     func(w *fx.Worker, p Params) { SOR(w, p) },
 		// The paper picks an arbitrary adjacent pair.
 		RepresentativeConn: [2]int{1, 0},
+		QoS: func(p Params) qos.Program {
+			n := float64(p.N)
+			return qos.Program{
+				Name:    "sor",
+				Local:   func(P int) float64 { return n * (n - 2) / float64(P) / 38500 },
+				Burst:   qos.SurfaceBurst(n * 4), // one float32 halo row
+				Pattern: fx.Neighbor,
+			}
+		},
 	},
 	{
 		Name:               "2dfft",
@@ -66,6 +81,16 @@ var All = []Spec{
 		Rates:              map[string]float64{"fft.flop": 8.4e6},
 		Run:                func(w *fx.Worker, p Params) { FFT2D(w, p) },
 		RepresentativeConn: [2]int{1, 0},
+		QoS: func(p Params) qos.Program {
+			n := float64(p.N)
+			return qos.Program{
+				Name: "2dfft",
+				// Two batches of n row/column FFTs per iteration.
+				Local:   func(P int) float64 { return 2 * n * fftFlops(p.N) / float64(P) / 8.4e6 },
+				Burst:   qos.BlockBurst(n * n * 8), // complex transpose blocks
+				Pattern: fx.AllToAll,
+			}
+		},
 	},
 	{
 		Name:         "t2dfft",
@@ -77,6 +102,27 @@ var All = []Spec{
 		Run:          func(w *fx.Worker, p Params) { T2DFFT(w, p) },
 		// A sender-half to receiver-half pair.
 		RepresentativeConn: [2]int{0, 2},
+		QoS: func(p Params) qos.Program {
+			n := float64(p.N)
+			return qos.Program{
+				Name: "t2dfft",
+				// Each half pipelines one batch of n FFTs split across P/2.
+				// Odd P is infeasible (the kernel needs two equal halves);
+				// an infinite local time steers Negotiate to even P.
+				Local: func(P int) float64 {
+					if P%2 != 0 {
+						return math.Inf(1)
+					}
+					return n * fftFlops(p.N) / float64(P/2) / 2.5e6
+				},
+				// Sender-half block to one receiver: (n/half)² complex64s.
+				Burst: func(P int) float64 {
+					half := max(P/2, 1)
+					return n * n * 8 / float64(half*half)
+				},
+				Pattern: fx.Partition,
+			}
+		},
 	},
 	{
 		Name:               "seq",
@@ -86,6 +132,16 @@ var All = []Spec{
 		Rates:              map[string]float64{"seq.produce": 160},
 		Run:                func(w *fx.Worker, p Params) { SEQ(w, p) },
 		RepresentativeConn: [2]int{-1, -1},
+		QoS: func(p Params) qos.Program {
+			n := float64(p.N)
+			return qos.Program{
+				Name: "seq",
+				// Serial producer: one row of input per phase, P-independent.
+				Local:   func(P int) float64 { return n / 160 },
+				Burst:   qos.SurfaceBurst(n * seqElemBytes), // one row per peer
+				Pattern: fx.Broadcast,
+			}
+		},
 	},
 	{
 		Name:               "hist",
@@ -95,6 +151,15 @@ var All = []Spec{
 		Rates:              map[string]float64{"hist.bin": 364000},
 		Run:                func(w *fx.Worker, p Params) { HIST(w, p) },
 		RepresentativeConn: [2]int{-1, -1},
+		QoS: func(p Params) qos.Program {
+			n := float64(p.N)
+			return qos.Program{
+				Name:    "hist",
+				Local:   func(P int) float64 { return n * n / float64(P) / 364000 },
+				Burst:   qos.SurfaceBurst(256 * 8), // one bin array per hop
+				Pattern: fx.Tree,
+			}
+		},
 	},
 }
 

@@ -38,6 +38,7 @@ func SEQ(w *fx.Worker, p Params) [][]float64 {
 	}
 
 	for it := 0; it < p.Iters; it++ {
+		w.Phase("produce-broadcast")
 		if w.Rank == 0 {
 			for i := 0; i < n; i++ {
 				// Produce the row's data (sequential input is slow: the

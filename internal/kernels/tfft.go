@@ -83,6 +83,7 @@ func T2DFFT(w *fx.Worker, p Params) [][]complex64 {
 		for c := range cols {
 			cols[c] = make([]complex64, n)
 		}
+		w.Phase("partition-exchange")
 		for s := 0; s < half; s++ {
 			rlo, rhi := fx.BlockRange(n, half, s)
 			block := fx.DecodeComplex64s(w.Recv(s, tfftTagBase+m))

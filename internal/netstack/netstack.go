@@ -9,10 +9,27 @@
 package netstack
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"fxnet/internal/ethernet"
 	"fxnet/internal/sim"
+)
+
+// Connection failure modes surfaced to the socket API instead of retrying
+// forever — the robustness contract the fault model relies on.
+var (
+	// ErrTimedOut is returned when a connection gives up after
+	// MaxRetransmits consecutive retransmission timeouts (data or SYN),
+	// or when ConnectTimeout elapses before the handshake completes.
+	ErrTimedOut = errors.New("netstack: connection timed out")
+	// ErrReset is returned on a connection aborted by Reset or by a host
+	// crash.
+	ErrReset = errors.New("netstack: connection reset")
+	// ErrClosed is returned when the peer closed the connection before
+	// the requested bytes arrived.
+	ErrClosed = errors.New("netstack: connection closed by peer")
 )
 
 // Header sizes in bytes.
@@ -46,6 +63,14 @@ type Config struct {
 	// packing ablation turns it on to show how it would erase the
 	// fragment signature.
 	Nagle bool
+	// MaxRetransmits bounds consecutive retransmission timeouts (data or
+	// SYN) on one connection: when exceeded the connection fails with
+	// ErrTimedOut instead of backing off forever. Zero keeps the
+	// measured-era behaviour of retrying indefinitely.
+	MaxRetransmits int
+	// ConnectTimeout bounds the three-way handshake: Connect fails with
+	// ErrTimedOut when it elapses. Zero waits forever.
+	ConnectTimeout sim.Duration
 }
 
 // DefaultConfig mirrors mid-1990s BSD-derived stacks: 16 KB socket
@@ -75,6 +100,7 @@ type Host struct {
 	listeners map[uint16]*Listener
 	conns     map[connKey]*Conn
 	nextPort  uint16
+	down      bool
 }
 
 type connKey struct {
@@ -108,6 +134,49 @@ func (h *Host) Name() string { return h.name }
 // Kernel returns the simulation kernel.
 func (h *Host) Kernel() *sim.Kernel { return h.k }
 
+// Down reports whether the host stack is crashed.
+func (h *Host) Down() bool { return h.down }
+
+// Crash models a host failure at the transport layer: every open
+// connection is aborted with ErrReset (waking its blocked readers and
+// writers), listeners and port bindings are discarded, and the stack stops
+// sending and receiving until Restart. The MAC-level silence of a crashed
+// host is modeled separately by the fault layer's link gate.
+func (h *Host) Crash() {
+	h.down = true
+	// Abort in a fixed key order: fail() wakes blocked procs, and the
+	// wake sequence must not depend on map iteration for the simulation
+	// to stay byte-deterministic.
+	keys := make([]connKey, 0, len(h.conns))
+	for key := range h.conns {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.remoteHost != b.remoteHost {
+			return a.remoteHost < b.remoteHost
+		}
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		return a.remotePort < b.remotePort
+	})
+	for _, key := range keys {
+		h.conns[key].fail(ErrReset)
+		delete(h.conns, key)
+	}
+	for port := range h.listeners {
+		delete(h.listeners, port)
+	}
+	for port := range h.udp {
+		delete(h.udp, port)
+	}
+}
+
+// Restart brings a crashed stack back up with no connections and no
+// bindings — the state a rebooted machine presents.
+func (h *Host) Restart() { h.down = false }
+
 func (h *Host) ephemeralPort() uint16 {
 	p := h.nextPort
 	h.nextPort++
@@ -126,6 +195,9 @@ func (h *Host) BindUDP(port uint16, fn UDPHandler) { h.udp[port] = fn }
 func (h *Host) SendUDP(dstHost int, srcPort, dstPort uint16, payload []byte) {
 	if len(payload) > MaxUDPPayload {
 		panic(fmt.Sprintf("netstack: UDP payload %d exceeds %d", len(payload), MaxUDPPayload))
+	}
+	if h.down {
+		return // a crashed host sends nothing
 	}
 	h.st.Send(&ethernet.Frame{
 		Dst:     dstHost,
@@ -147,6 +219,9 @@ type tcpInfo struct {
 
 // receive dispatches an inbound frame to UDP or TCP handling.
 func (h *Host) receive(f *ethernet.Frame) {
+	if h.down {
+		return // a crashed host hears nothing
+	}
 	switch f.Proto {
 	case ethernet.ProtoUDP:
 		if fn, ok := h.udp[f.DstPort]; ok {
@@ -257,6 +332,11 @@ type Conn struct {
 	delAck      *sim.Event
 	peerClosed  bool
 
+	// err records why the connection failed (ErrTimedOut, ErrReset);
+	// nil while healthy.
+	err        error
+	synRetries int
+
 	// Counters for tests and diagnostics.
 	SegsOut, AcksOut, SegsIn int64
 	Retransmits              int64
@@ -274,31 +354,98 @@ func newConn(h *Host, remote int, localPort, remotePort uint16) *Conn {
 }
 
 // Connect opens a TCP connection to dstHost:dstPort, blocking p until the
-// three-way handshake completes.
+// three-way handshake completes. It panics on failure; use ConnectErr for
+// the error-returning form a robust runtime needs.
 func (h *Host) Connect(p *sim.Proc, dstHost int, dstPort uint16) *Conn {
+	c, err := h.ConnectErr(p, dstHost, dstPort)
+	if err != nil {
+		panic(fmt.Sprintf("netstack: connect %s -> host %d:%d: %v", h.name, dstHost, dstPort, err))
+	}
+	return c
+}
+
+// ConnectErr opens a TCP connection to dstHost:dstPort, blocking p until
+// the three-way handshake completes or fails. With cfg.ConnectTimeout (or
+// cfg.MaxRetransmits on the SYN) configured, an unreachable peer yields
+// ErrTimedOut instead of blocking the simulation forever.
+func (h *Host) ConnectErr(p *sim.Proc, dstHost int, dstPort uint16) (*Conn, error) {
 	if dstHost == h.Addr() {
 		panic("netstack: TCP loopback not modeled; use host-local IPC")
 	}
 	c := newConn(h, dstHost, h.ephemeralPort(), dstPort)
 	c.state = stateSynSent
-	h.conns[connKey{dstHost, c.localPort, c.remotePort}] = c
+	key := connKey{dstHost, c.localPort, c.remotePort}
+	h.conns[key] = c
 	c.sendSyn()
+	var deadline *sim.Event
+	if h.cfg.ConnectTimeout > 0 {
+		deadline = h.k.After(h.cfg.ConnectTimeout, "tcp.conntimeout", func() {
+			if c.state != stateEstablished {
+				c.fail(ErrTimedOut)
+			}
+		})
+	}
 	for c.state != stateEstablished {
+		if c.err != nil {
+			delete(h.conns, key)
+			return nil, c.err
+		}
 		c.established.Wait(p)
 	}
-	return c
+	if deadline != nil {
+		deadline.Cancel()
+	}
+	return c, nil
 }
 
 // sendSyn emits the SYN and arms its retransmission timer, so a lost SYN
-// or SYN-ACK cannot deadlock connection setup.
+// or SYN-ACK cannot deadlock connection setup. With MaxRetransmits
+// configured, a persistently unanswered SYN fails the connection.
 func (c *Conn) sendSyn() {
 	c.sendControl(ethernet.FlagSyn, &tcpInfo{syn: true})
 	c.synTimer = c.h.k.After(c.h.cfg.RTO, "tcp.synrto", func() {
-		if c.state == stateSynSent {
-			c.Retransmits++
-			c.sendSyn()
+		if c.state != stateSynSent {
+			return
 		}
+		c.synRetries++
+		if max := c.h.cfg.MaxRetransmits; max > 0 && c.synRetries > max {
+			c.fail(ErrTimedOut)
+			return
+		}
+		c.Retransmits++
+		c.sendSyn()
 	})
+}
+
+// Err reports why the connection failed, or nil while it is healthy.
+func (c *Conn) Err() error { return c.err }
+
+// Reset aborts the connection immediately without emitting anything on
+// the wire: pending data is discarded, timers are cancelled, and every
+// blocked reader, writer, and connector is woken with the given cause.
+func (c *Conn) Reset() { c.fail(ErrReset) }
+
+// fail marks the connection dead with cause err (first cause wins),
+// cancels all timers, discards queued data, and wakes every waiter so no
+// process stays blocked on a dead connection.
+func (c *Conn) fail(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.state = stateClosed
+	for _, ev := range []*sim.Event{c.rtoTimer, c.synTimer, c.delAck} {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+	c.rtoTimer, c.synTimer, c.delAck = nil, nil, nil
+	c.unacked = nil
+	c.sndQ = nil
+	c.buffered = 0
+	c.established.Broadcast()
+	c.readers.Broadcast()
+	c.writers.Broadcast()
 }
 
 // LocalPort reports the connection's local port.
@@ -331,6 +478,18 @@ func (c *Conn) sendControl(flags uint8, info *tcpInfo) {
 // in flight ≥ SendWindow) is full, returning once every byte is buffered
 // — the semantics of a blocking socket write.
 func (c *Conn) Write(p *sim.Proc, data []byte) {
+	if err := c.WriteErr(p, data); err != nil {
+		panic(fmt.Sprintf("netstack: Write on failed connection: %v", err))
+	}
+}
+
+// WriteErr is Write returning an error instead of panicking when the
+// connection has failed (ErrTimedOut, ErrReset) — possibly mid-write, in
+// which case a prefix of data may already be on the wire.
+func (c *Conn) WriteErr(p *sim.Proc, data []byte) error {
+	if c.err != nil {
+		return c.err
+	}
 	if c.state == stateClosed {
 		panic("netstack: Write on closed connection")
 	}
@@ -341,7 +500,13 @@ func (c *Conn) Write(p *sim.Proc, data []byte) {
 		}
 		chunk := data[off:end]
 		for c.buffered+int(c.sndQueued-c.sndUna)+len(chunk) > c.h.cfg.SendWindow {
+			if c.err != nil {
+				return c.err
+			}
 			c.writers.Wait(p)
+		}
+		if c.err != nil {
+			return c.err
 		}
 		seg := &sendSeg{data: chunk, seq: c.sndNext}
 		c.sndNext += int64(len(seg.data))
@@ -349,6 +514,7 @@ func (c *Conn) Write(p *sim.Proc, data []byte) {
 		c.sndQ = append(c.sndQ, seg)
 		c.pump()
 	}
+	return nil
 }
 
 // pump admits queued segments while the send window has room, applying
@@ -470,11 +636,17 @@ func (c *Conn) armRTO(reset bool) {
 
 // onRTO goes back N: the receiver keeps no out-of-order buffer, so every
 // unacknowledged segment is resent in order, then the timer backs off.
+// With MaxRetransmits configured, a segment that keeps timing out fails
+// the connection with ErrTimedOut instead of backing off forever.
 func (c *Conn) onRTO() {
 	if len(c.unacked) == 0 {
 		return
 	}
 	c.rtoBackoff++
+	if max := c.h.cfg.MaxRetransmits; max > 0 && c.rtoBackoff > max {
+		c.fail(ErrTimedOut)
+		return
+	}
 	c.goBackN()
 }
 
@@ -603,15 +775,30 @@ func (c *Conn) Buffered() int { return len(c.rcvBuf) }
 // peer closes before n bytes arrive, Read panics — the message protocols
 // built on top never truncate.
 func (c *Conn) Read(p *sim.Proc, n int) []byte {
+	out, err := c.ReadErr(p, n)
+	if err != nil {
+		panic(fmt.Sprintf("netstack: Read on %s: %v (%d/%d bytes buffered)", c.h.name, err, len(c.rcvBuf), n))
+	}
+	return out
+}
+
+// ReadErr is Read returning an error instead of panicking: ErrClosed when
+// the peer's FIN arrives before n bytes do, or the connection's failure
+// cause (ErrTimedOut, ErrReset) when it dies while blocked. Buffered data
+// already received stays readable after a failure.
+func (c *Conn) ReadErr(p *sim.Proc, n int) ([]byte, error) {
 	for len(c.rcvBuf) < n {
+		if c.err != nil {
+			return nil, c.err
+		}
 		if c.peerClosed {
-			panic(fmt.Sprintf("netstack: connection closed with %d/%d bytes buffered", len(c.rcvBuf), n))
+			return nil, ErrClosed
 		}
 		c.readers.Wait(p)
 	}
 	out := c.rcvBuf[:n:n]
 	c.rcvBuf = c.rcvBuf[n:]
-	return out
+	return out, nil
 }
 
 // Close sends a FIN after all queued data. It does not block.

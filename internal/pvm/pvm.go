@@ -23,10 +23,21 @@ package pvm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"fxnet/internal/netstack"
 	"fxnet/internal/sim"
+)
+
+// Failure modes surfaced by the robust messaging API (SendErr, RecvErr).
+var (
+	// ErrPeerDead is returned when the peer task's host has been marked
+	// dead (by heartbeat timeout or an explicit MarkHostDead).
+	ErrPeerDead = errors.New("pvm: peer host is dead")
+	// ErrTimedOut is returned by RecvErr when its deadline elapses with no
+	// matching message and no evidence the peer is dead.
+	ErrTimedOut = errors.New("pvm: receive deadline exceeded")
 )
 
 // Well-known ports.
@@ -54,6 +65,19 @@ type Config struct {
 	KeepaliveInterval sim.Duration
 	// KeepalivePayload is the datagram body size in bytes.
 	KeepalivePayload int
+	// HeartbeatMisses is the failure-detection threshold K: the master
+	// daemon marks a slave host dead after more than K keepalive intervals
+	// pass without a keepalive from it, and slaves likewise mark the
+	// master dead after K intervals without an echo. Zero disables
+	// failure detection (the measured-era behaviour: pvmd waits forever).
+	HeartbeatMisses int
+	// ConnectRetries is how many times a failed direct-route connect is
+	// retried (with exponential backoff) before the error is surfaced.
+	// Zero surfaces the first failure immediately.
+	ConnectRetries int
+	// ConnectBackoff is the initial delay between connect retries; it
+	// doubles per attempt, capped at 8× the base.
+	ConnectBackoff sim.Duration
 }
 
 // DefaultConfig returns the daemon cadence used in the experiments: a
@@ -74,12 +98,15 @@ type Machine struct {
 	tasks   []*Task
 	live    int
 	daemons []*daemon
+
+	dead       []bool // per host index, set by MarkHostDead
+	onHostDead []func(hostIndex int)
 }
 
 // NewMachine assembles a virtual machine over hosts and starts a daemon
 // on each. Host 0 is the master daemon.
 func NewMachine(k *sim.Kernel, hosts []*netstack.Host, cfg Config) *Machine {
-	m := &Machine{k: k, hosts: hosts, cfg: cfg}
+	m := &Machine{k: k, hosts: hosts, cfg: cfg, dead: make([]bool, len(hosts))}
 	for i, h := range hosts {
 		d := &daemon{m: m, host: h, index: i}
 		m.daemons = append(m.daemons, d)
@@ -88,41 +115,196 @@ func NewMachine(k *sim.Kernel, hosts []*netstack.Host, cfg Config) *Machine {
 	return m
 }
 
+// HostDead reports whether host i has been marked dead.
+func (m *Machine) HostDead(i int) bool { return m.dead[i] }
+
+// NotifyHostDead registers a callback invoked (in event context) each
+// time a host is newly marked dead.
+func (m *Machine) NotifyHostDead(fn func(hostIndex int)) {
+	m.onHostDead = append(m.onHostDead, fn)
+}
+
+// MarkHostDead records host i as failed and propagates the news: every
+// surviving task's connections to the dead host are reset (unwinding its
+// reader loops), every mailbox gate is broadcast so blocked receives
+// re-check peerDead, and registered callbacks fire. In real PVM the
+// master pvmd broadcasts HOSTDELETE notifications; the shared machine
+// state models that control message. Idempotent.
+func (m *Machine) MarkHostDead(i int) {
+	if m.dead[i] {
+		return
+	}
+	m.dead[i] = true
+	addr := m.hosts[i].Addr()
+	for _, t := range m.tasks {
+		if t.hostIndex == i {
+			continue
+		}
+		// Deterministic order: walk possible destinations by TID, not by
+		// map iteration, so identical runs reset in identical order.
+		for dst := range m.tasks {
+			if c, ok := t.out[dst]; ok {
+				if rh, _ := c.RemoteAddr(); rh == addr {
+					c.Reset()
+					delete(t.out, dst)
+				}
+			}
+		}
+		for _, c := range t.inConns {
+			if rh, _ := c.RemoteAddr(); rh == addr {
+				c.Reset()
+			}
+		}
+		t.gate.Broadcast()
+	}
+	for _, fn := range m.onHostDead {
+		fn(i)
+	}
+}
+
+// KillHost models a machine crash: every task on host i is killed along
+// with its accept and reader service processes, and the host's transport
+// stack crashes (resetting its connections and dropping its bindings).
+// Peers learn of the death through heartbeat timeout when HeartbeatMisses
+// is configured, or immediately via an explicit MarkHostDead.
+func (m *Machine) KillHost(i int) {
+	for _, t := range m.tasks {
+		if t.hostIndex != i {
+			continue
+		}
+		if !t.proc.Done() && !t.proc.Killed() {
+			m.live-- // the killed body never reaches its own decrement
+		}
+		t.proc.Kill()
+		if t.accept != nil {
+			t.accept.Kill()
+		}
+		for _, rp := range t.readers {
+			rp.Kill()
+		}
+	}
+	m.hosts[i].Crash()
+}
+
+// RestartHost brings a crashed host's stack and daemon back up. Tasks do
+// not restart — a rebooted PVM host rejoins the virtual machine empty.
+func (m *Machine) RestartHost(i int) {
+	m.hosts[i].Restart()
+	m.dead[i] = false
+	if i == 0 {
+		m.daemons[0].lastSeen = nil // stale pre-crash timestamps
+	} else if master := m.daemons[0]; master.lastSeen != nil {
+		master.lastSeen[m.hosts[i].Addr()] = m.k.Now()
+	}
+	m.daemons[i].start()
+}
+
 // Hosts returns the machine's hosts.
 func (m *Machine) Hosts() []*netstack.Host { return m.hosts }
 
 // Tasks returns the spawned tasks in TID order.
 func (m *Machine) Tasks() []*Task { return m.tasks }
 
-// daemon is a minimal pvmd: it answers keepalives and, on slave hosts,
-// emits them periodically while any task is live.
+// daemon is a minimal pvmd: it answers keepalives, on slave hosts emits
+// them periodically while any task is live, and — when HeartbeatMisses is
+// configured — detects silent hosts and marks them dead.
 type daemon struct {
 	m     *Machine
 	host  *netstack.Host
 	index int
+
+	// epoch invalidates the previous timer chains when the daemon
+	// restarts after a crash.
+	epoch int
+	// lastSeen (master only) records the last keepalive time per slave
+	// host address.
+	lastSeen map[int]sim.Time
+	// lastEcho (slaves only) records the last master echo.
+	lastEcho sim.Time
+	echoSeen bool
 }
 
 func (d *daemon) start() {
+	d.epoch++
+	epoch := d.epoch
+	d.echoSeen = false
 	d.host.BindUDP(DaemonPort, func(src int, srcPort uint16, payload []byte) {
-		// Master echoes each slave keepalive, as pvmd does for its
-		// heartbeat protocol.
-		if d.index == 0 && src != d.host.Addr() {
-			d.host.SendUDP(src, DaemonPort, DaemonPort, payload)
+		if d.index == 0 {
+			// Master echoes each slave keepalive, as pvmd does for its
+			// heartbeat protocol, and records when the slave last spoke.
+			if src != d.host.Addr() {
+				if d.lastSeen == nil {
+					d.lastSeen = make(map[int]sim.Time)
+				}
+				d.lastSeen[src] = d.m.k.Now()
+				d.host.SendUDP(src, DaemonPort, DaemonPort, payload)
+			}
+			return
 		}
+		d.lastEcho = d.m.k.Now()
+		d.echoSeen = true
 	})
-	if d.index == 0 || d.m.cfg.KeepaliveInterval <= 0 {
+	if d.m.cfg.KeepaliveInterval <= 0 {
 		return
 	}
+	if d.index == 0 {
+		d.startFailureDetector(epoch)
+		return
+	}
+	started := d.m.k.Now()
+	window := sim.Duration(d.m.cfg.HeartbeatMisses) * d.m.cfg.KeepaliveInterval
 	var tick func()
 	tick = func() {
-		if d.m.live == 0 {
-			return // virtual machine quiescent: stop generating events
+		if epoch != d.epoch || d.m.live == 0 || d.host.Down() {
+			return // superseded, quiescent, or crashed: stop generating events
+		}
+		if window > 0 && !d.m.HostDead(0) {
+			last := started
+			if d.echoSeen {
+				last = d.lastEcho
+			}
+			if d.m.k.Now().Sub(last) > window {
+				d.m.MarkHostDead(0)
+			}
 		}
 		d.host.SendUDP(d.m.hosts[0].Addr(), DaemonPort, DaemonPort,
 			make([]byte, d.m.cfg.KeepalivePayload))
 		d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
 	}
 	d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
+}
+
+// startFailureDetector runs the master-side liveness check: every
+// keepalive interval it scans the slaves' lastSeen stamps and marks any
+// host silent for more than HeartbeatMisses intervals dead. Disabled when
+// HeartbeatMisses is zero, so the baseline event stream is untouched.
+func (d *daemon) startFailureDetector(epoch int) {
+	if d.m.cfg.HeartbeatMisses <= 0 {
+		return
+	}
+	window := sim.Duration(d.m.cfg.HeartbeatMisses) * d.m.cfg.KeepaliveInterval
+	started := d.m.k.Now()
+	var check func()
+	check = func() {
+		if epoch != d.epoch || d.m.live == 0 || d.host.Down() {
+			return
+		}
+		now := d.m.k.Now()
+		for i := 1; i < len(d.m.hosts); i++ {
+			if d.m.dead[i] {
+				continue
+			}
+			last, ok := d.lastSeen[d.m.hosts[i].Addr()]
+			if !ok {
+				last = started
+			}
+			if now.Sub(last) > window {
+				d.m.MarkHostDead(i)
+			}
+		}
+		d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
+	}
+	d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
 }
 
 // message is one queued inbound message.
@@ -133,15 +315,20 @@ type message struct {
 
 // Task is a PVM task (one per processor in the Fx model).
 type Task struct {
-	m    *Machine
-	tid  int
-	host *netstack.Host
-	proc *sim.Proc
-	name string
+	m         *Machine
+	tid       int
+	host      *netstack.Host
+	hostIndex int
+	proc      *sim.Proc
+	name      string
 
-	out  map[int]*netstack.Conn
-	mbox []*message
-	gate sim.Gate
+	out       map[int]*netstack.Conn
+	inConns   []*netstack.Conn
+	accept    *sim.Proc
+	readers   []*sim.Proc
+	mbox      []*message
+	gate      sim.Gate
+	cancelErr error
 
 	// Counters.
 	MsgsSent, BytesSent int64
@@ -152,23 +339,26 @@ type Task struct {
 // spawn order. Spawn also starts the task's direct-route listener.
 func (m *Machine) Spawn(name string, hostIndex int, body func(t *Task)) *Task {
 	t := &Task{
-		m:    m,
-		tid:  len(m.tasks),
-		host: m.hosts[hostIndex],
-		name: name,
-		out:  make(map[int]*netstack.Conn),
+		m:         m,
+		tid:       len(m.tasks),
+		host:      m.hosts[hostIndex],
+		hostIndex: hostIndex,
+		name:      name,
+		out:       make(map[int]*netstack.Conn),
 	}
 	m.tasks = append(m.tasks, t)
 	m.live++
 
 	l := t.host.Listen(uint16(DirectPortBase + t.tid))
-	m.k.Go(fmt.Sprintf("pvm.accept:%s", name), func(p *sim.Proc) {
+	t.accept = m.k.Go(fmt.Sprintf("pvm.accept:%s", name), func(p *sim.Proc) {
 		for {
 			conn := l.Accept(p)
 			c := conn
-			m.k.Go(fmt.Sprintf("pvm.reader:%s", name), func(rp *sim.Proc) {
+			t.inConns = append(t.inConns, c)
+			rp := m.k.Go(fmt.Sprintf("pvm.reader:%s", name), func(rp *sim.Proc) {
 				t.readLoop(rp, c)
 			})
+			t.readers = append(t.readers, rp)
 		}
 	})
 	t.proc = m.k.Go("pvm.task:"+name, func(p *sim.Proc) {
@@ -177,6 +367,25 @@ func (m *Machine) Spawn(name string, hostIndex int, body func(t *Task)) *Task {
 	})
 	return t
 }
+
+// HostIndex reports the index of the task's host in the machine.
+func (t *Task) HostIndex() int { return t.hostIndex }
+
+// Cancel poisons the task's blocking operations with err: a pending or
+// future SendErr/RecvErr returns it instead of blocking. Queued messages
+// already delivered remain receivable first. Used by the run-time to
+// unwind an entire team once one member has failed, so no survivor stays
+// blocked on a rank that will never send. Idempotent (first cause wins).
+func (t *Task) Cancel(err error) {
+	if t.cancelErr != nil {
+		return
+	}
+	t.cancelErr = err
+	t.gate.Broadcast()
+}
+
+// Canceled reports the task's cancellation cause, nil if none.
+func (t *Task) Canceled() error { return t.cancelErr }
 
 // TID reports the task identifier.
 func (t *Task) TID() int { return t.tid }
@@ -189,9 +398,14 @@ func (t *Task) Host() *netstack.Host { return t.host }
 func (t *Task) Proc() *sim.Proc { return t.proc }
 
 // readLoop parses messages off one inbound connection into the mailbox.
+// It exits quietly when the connection fails or closes — a dead peer's
+// partial message is discarded, never delivered truncated.
 func (t *Task) readLoop(p *sim.Proc, c *netstack.Conn) {
 	for {
-		hdr := c.Read(p, headerBytes)
+		hdr, err := c.ReadErr(p, headerBytes)
+		if err != nil {
+			return
+		}
 		magic := binary.LittleEndian.Uint32(hdr[0:])
 		if magic != headerMagic {
 			panic(fmt.Sprintf("pvm: bad message magic %#x at task %s", magic, t.name))
@@ -202,9 +416,16 @@ func (t *Task) readLoop(p *sim.Proc, c *netstack.Conn) {
 		nfrag := int(binary.LittleEndian.Uint32(hdr[16:]))
 		body := make([]byte, 0, bodyLen)
 		for i := 0; i < nfrag; i++ {
-			lenb := c.Read(p, 4)
+			lenb, err := c.ReadErr(p, 4)
+			if err != nil {
+				return
+			}
 			fragLen := int(binary.LittleEndian.Uint32(lenb))
-			body = append(body, c.Read(p, fragLen)...)
+			frag, err := c.ReadErr(p, fragLen)
+			if err != nil {
+				return
+			}
+			body = append(body, frag...)
 		}
 		if len(body) != bodyLen {
 			panic(fmt.Sprintf("pvm: body %d != header %d", len(body), bodyLen))
@@ -217,18 +438,55 @@ func (t *Task) readLoop(p *sim.Proc, c *netstack.Conn) {
 }
 
 // connTo returns (establishing if needed) the outgoing direct-route
-// connection to task dst.
+// connection to task dst, panicking on failure.
 func (t *Task) connTo(dst int) *netstack.Conn {
+	c, err := t.connToErr(dst)
+	if err != nil {
+		panic(fmt.Sprintf("pvm: connect %s -> task %d: %v", t.name, dst, err))
+	}
+	return c
+}
+
+// connToErr returns (establishing if needed) the outgoing direct-route
+// connection to task dst. A connect that fails (ConnectTimeout or SYN
+// retransmit cap in netstack) is retried up to ConnectRetries times with
+// exponential backoff; a peer on a dead host yields ErrPeerDead.
+func (t *Task) connToErr(dst int) (*netstack.Conn, error) {
 	if c, ok := t.out[dst]; ok {
-		return c
+		if c.Err() == nil {
+			return c, nil
+		}
+		delete(t.out, dst) // stale failed connection: redial
 	}
 	peer := t.m.tasks[dst]
 	if peer.host == t.host {
 		panic("pvm: intra-host messaging not modeled (paper runs one task per machine)")
 	}
-	c := t.host.Connect(t.proc, peer.host.Addr(), uint16(DirectPortBase+dst))
-	t.out[dst] = c
-	return c
+	if t.m.HostDead(peer.hostIndex) {
+		return nil, ErrPeerDead
+	}
+	backoff := t.m.cfg.ConnectBackoff
+	if backoff <= 0 {
+		backoff = sim.Second
+	}
+	maxBackoff := 8 * backoff
+	for attempt := 0; ; attempt++ {
+		c, err := t.host.ConnectErr(t.proc, peer.host.Addr(), uint16(DirectPortBase+dst))
+		if err == nil {
+			t.out[dst] = c
+			return c, nil
+		}
+		if t.m.HostDead(peer.hostIndex) {
+			return nil, ErrPeerDead
+		}
+		if attempt >= t.m.cfg.ConnectRetries {
+			return nil, err
+		}
+		t.proc.Sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // header builds the 20-byte message header.
@@ -247,55 +505,150 @@ func (t *Task) header(tag, bodyLen, nfrag int) []byte {
 // emits one large fragment. Blocks until the send window has accepted all
 // bytes (PVM's send returns when the data is written to the socket).
 func (t *Task) Send(dst, tag int, body []byte) {
-	c := t.connTo(dst)
+	if err := t.SendErr(dst, tag, body); err != nil {
+		panic(fmt.Sprintf("pvm: send %s -> task %d: %v", t.name, dst, err))
+	}
+}
+
+// SendErr is Send returning an error instead of panicking: ErrPeerDead
+// when the destination's host is (or is discovered to be) dead, or the
+// transport failure otherwise.
+func (t *Task) SendErr(dst, tag int, body []byte) error {
+	if t.cancelErr != nil {
+		return t.cancelErr
+	}
+	c, err := t.connToErr(dst)
+	if err != nil {
+		return err
+	}
 	buf := make([]byte, 0, headerBytes+4+len(body))
 	buf = append(buf, t.header(tag, len(body), 1)...)
 	var lenb [4]byte
 	binary.LittleEndian.PutUint32(lenb[:], uint32(len(body)))
 	buf = append(buf, lenb[:]...)
 	buf = append(buf, body...)
-	c.Write(t.proc, buf)
+	if err := c.WriteErr(t.proc, buf); err != nil {
+		return t.sendFailure(dst, err)
+	}
 	t.MsgsSent++
 	t.BytesSent += int64(len(body))
+	return nil
+}
+
+// sendFailure maps a transport error to ErrPeerDead when the peer's host
+// is known dead, else passes it through.
+func (t *Task) sendFailure(dst int, err error) error {
+	if t.m.HostDead(t.m.tasks[dst].hostIndex) {
+		return ErrPeerDead
+	}
+	return err
 }
 
 // SendFrags transmits a fragment-list message: the header goes out with
 // the first fragment's length prefix, then every fragment is written to
 // the socket separately — the T2DFFT behaviour.
 func (t *Task) SendFrags(dst, tag int, frags [][]byte) {
-	if len(frags) == 0 {
-		t.Send(dst, tag, nil)
-		return
+	if err := t.SendFragsErr(dst, tag, frags); err != nil {
+		panic(fmt.Sprintf("pvm: sendfrags %s -> task %d: %v", t.name, dst, err))
 	}
-	c := t.connTo(dst)
+}
+
+// SendFragsErr is SendFrags returning an error instead of panicking.
+func (t *Task) SendFragsErr(dst, tag int, frags [][]byte) error {
+	if len(frags) == 0 {
+		return t.SendErr(dst, tag, nil)
+	}
+	if t.cancelErr != nil {
+		return t.cancelErr
+	}
+	c, err := t.connToErr(dst)
+	if err != nil {
+		return err
+	}
 	total := 0
 	for _, f := range frags {
 		total += len(f)
 	}
-	c.Write(t.proc, t.header(tag, total, len(frags)))
+	if err := c.WriteErr(t.proc, t.header(tag, total, len(frags))); err != nil {
+		return t.sendFailure(dst, err)
+	}
 	for _, f := range frags {
 		var lenb [4]byte
 		binary.LittleEndian.PutUint32(lenb[:], uint32(len(f)))
-		c.Write(t.proc, lenb[:])
-		c.Write(t.proc, f)
+		if err := c.WriteErr(t.proc, lenb[:]); err != nil {
+			return t.sendFailure(dst, err)
+		}
+		if err := c.WriteErr(t.proc, f); err != nil {
+			return t.sendFailure(dst, err)
+		}
 	}
 	t.MsgsSent++
 	t.BytesSent += int64(total)
+	return nil
 }
 
 // Recv blocks until a message matching src and tag (AnySource / AnyTag
 // wildcards) is available, removes it from the mailbox, and returns its
-// source, tag, and body.
+// source, tag, and body. It panics if the awaited peer dies; RecvErr is
+// the robust form.
 func (t *Task) Recv(src, tag int) (gotSrc, gotTag int, body []byte) {
+	gotSrc, gotTag, body, err := t.RecvErr(src, tag, 0)
+	if err != nil {
+		panic(fmt.Sprintf("pvm: recv at %s from task %d: %v", t.name, src, err))
+	}
+	return gotSrc, gotTag, body
+}
+
+// RecvErr is Recv with failure awareness: it returns ErrPeerDead as soon
+// as the awaited source (or, for AnySource, every other task) is on a
+// host marked dead with no matching message queued, and ErrTimedOut when
+// the optional deadline elapses first. A zero deadline waits forever —
+// but still wakes on peer death, because MarkHostDead broadcasts every
+// mailbox gate.
+func (t *Task) RecvErr(src, tag int, deadline sim.Duration) (gotSrc, gotTag int, body []byte, err error) {
+	start := t.proc.Now()
 	for {
 		for i, msg := range t.mbox {
 			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
 				t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
-				return msg.src, msg.tag, msg.body
+				return msg.src, msg.tag, msg.body, nil
 			}
 		}
-		t.gate.Wait(t.proc)
+		if t.cancelErr != nil {
+			return 0, 0, nil, t.cancelErr
+		}
+		if t.peerDead(src) {
+			return 0, 0, nil, ErrPeerDead
+		}
+		if deadline > 0 {
+			remaining := deadline - t.proc.Now().Sub(start)
+			if remaining <= 0 || !t.gate.WaitTimeout(t.proc, remaining) {
+				return 0, 0, nil, ErrTimedOut
+			}
+		} else {
+			t.gate.Wait(t.proc)
+		}
 	}
+}
+
+// peerDead reports whether the source a receive is waiting on cannot
+// possibly send: a specific src on a dead host, or — for AnySource —
+// every other task dead.
+func (t *Task) peerDead(src int) bool {
+	if src != AnySource {
+		return t.m.HostDead(t.m.tasks[src].hostIndex)
+	}
+	others := 0
+	for _, other := range t.m.tasks {
+		if other == t {
+			continue
+		}
+		others++
+		if !t.m.HostDead(other.hostIndex) {
+			return false
+		}
+	}
+	return others > 0
 }
 
 // RecvBody is Recv returning only the payload.

@@ -18,7 +18,12 @@ type Proc struct {
 	done    bool
 	waiting bool // true while parked in Suspend
 	started bool
+	killed  bool
 }
+
+// killedSignal unwinds a killed process's goroutine from its next (or
+// current) park point back through the body to the spawn wrapper.
+type killedSignal struct{}
 
 // Go spawns a new process executing body. The body starts at the current
 // virtual time (via an immediate event) and runs until it returns.
@@ -32,10 +37,20 @@ func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	k.At(k.now, "start:"+name, func() {
 		p.started = true
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedSignal); !ok {
+						panic(r)
+					}
+				}
+				p.done = true
+				p.yielded <- struct{}{}
+			}()
 			<-p.resume
+			if p.killed {
+				panic(killedSignal{})
+			}
 			body(p)
-			p.done = true
-			p.yielded <- struct{}{}
 		}()
 		p.dispatch()
 	})
@@ -57,10 +72,14 @@ func (p *Proc) dispatch() {
 }
 
 // park yields control back to the event loop and blocks until dispatched
-// again. Must be called from the process goroutine.
+// again. Must be called from the process goroutine. A process killed while
+// parked unwinds here instead of resuming.
 func (p *Proc) park() {
 	p.yielded <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killedSignal{})
+	}
 }
 
 // Name reports the process name.
@@ -72,8 +91,29 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.k.Now() }
 
-// Done reports whether the process body has returned.
+// Done reports whether the process body has returned (or been killed).
 func (p *Proc) Done() bool { return p.done }
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Kill terminates the process: its goroutine unwinds from its current park
+// point (Sleep, Suspend, Gate.Wait) without resuming the body — the
+// host-crash primitive of the fault model. Kill must be called from event
+// context or from a different process; it is idempotent, and killing a
+// finished process is a no-op. Any pending wake events for the process
+// become no-ops.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	if p.k.cur == p {
+		panic("sim: process " + p.name + " killed itself")
+	}
+	p.killed = true
+	p.waiting = false
+	p.k.At(p.k.now, "kill:"+p.name, func() { p.dispatch() })
+}
 
 // Sleep advances the process's virtual time by d, allowing other events to
 // run meanwhile. A non-positive d yields without advancing time.
@@ -106,6 +146,9 @@ func (p *Proc) Wake() {
 	if p.k.cur == p {
 		panic("sim: process " + p.name + " woke itself")
 	}
+	if p.done || p.killed {
+		return // the process died while parked; nothing to wake
+	}
 	if !p.waiting {
 		panic("sim: Wake on non-suspended process " + p.name)
 	}
@@ -134,23 +177,55 @@ func (g *Gate) Wait(p *Proc) {
 	p.Suspend()
 }
 
-// Signal wakes the longest-waiting process, if any, and reports whether
-// one was woken.
-func (g *Gate) Signal() bool {
-	if len(g.waiters) == 0 {
-		return false
+// WaitTimeout parks p until a Signal or Broadcast reaches it or the
+// deadline d elapses, and reports whether the process was signaled (true)
+// or timed out (false). A non-positive d waits without a deadline.
+func (g *Gate) WaitTimeout(p *Proc, d Duration) bool {
+	if d <= 0 {
+		g.Wait(p)
+		return true
 	}
-	p := g.waiters[0]
-	g.waiters = g.waiters[1:]
-	p.Wake()
-	return true
+	timedOut := false
+	ev := p.k.After(d, "gate.timeout:"+p.name, func() {
+		// Only a process still queued in this gate can time out: a
+		// Signal removes it from waiters before waking it.
+		for i, w := range g.waiters {
+			if w == p {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				timedOut = true
+				p.Wake()
+				return
+			}
+		}
+	})
+	g.Wait(p)
+	ev.Cancel()
+	return !timedOut
 }
 
-// Broadcast wakes every waiting process in FIFO order.
+// Signal wakes the longest-waiting live process, if any, and reports
+// whether one was woken. Processes that died while queued are discarded.
+func (g *Gate) Signal() bool {
+	for len(g.waiters) > 0 {
+		p := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		if p.done || p.killed {
+			continue
+		}
+		p.Wake()
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every live waiting process in FIFO order.
 func (g *Gate) Broadcast() {
 	ws := g.waiters
 	g.waiters = nil
 	for _, p := range ws {
+		if p.done || p.killed {
+			continue
+		}
 		p.Wake()
 	}
 }

@@ -37,6 +37,14 @@ func (p Packet) IsAck() bool {
 	return p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagAck != 0 && p.Flags&ethernet.FlagData == 0
 }
 
+// Mark annotates an instant in the trace — fault injections, phase
+// boundaries — so analyses can split a capture into pre/during/post
+// windows around an event.
+type Mark struct {
+	Time  sim.Time
+	Label string
+}
+
 // Trace is an ordered sequence of captured packets with metadata.
 type Trace struct {
 	Packets []Packet
@@ -44,6 +52,85 @@ type Trace struct {
 	Hosts []string
 	// Meta carries free-form experiment parameters (program, P, N, seed).
 	Meta map[string]string
+	// Marks are time annotations (fault windows). They are persisted
+	// through the codecs via the "marks" meta key, keeping the binary
+	// format unchanged.
+	Marks []Mark
+}
+
+// AddMark records an annotation at virtual time at.
+func (t *Trace) AddMark(at sim.Time, label string) {
+	t.Marks = append(t.Marks, Mark{Time: at, Label: label})
+}
+
+// MarksBetween returns the marks with lo ≤ time < hi.
+func (t *Trace) MarksBetween(lo, hi sim.Time) []Mark {
+	var out []Mark
+	for _, m := range t.Marks {
+		if m.Time >= lo && m.Time < hi {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// encodeMarks renders marks as the "marks" meta value:
+// "<ns>@<label>;<ns>@<label>". Labels must not contain ';'.
+func encodeMarks(marks []Mark) string {
+	parts := make([]string, len(marks))
+	for i, m := range marks {
+		parts[i] = fmt.Sprintf("%d@%s", int64(m.Time), m.Label)
+	}
+	return strings.Join(parts, ";")
+}
+
+// decodeMarks parses the "marks" meta value.
+func decodeMarks(s string) ([]Mark, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Mark
+	for _, part := range strings.Split(s, ";") {
+		tsStr, label, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("trace: bad mark entry %q", part)
+		}
+		var ns int64
+		if _, err := fmt.Sscanf(tsStr, "%d", &ns); err != nil {
+			return nil, fmt.Errorf("trace: bad mark time %q: %w", tsStr, err)
+		}
+		out = append(out, Mark{Time: sim.Time(ns), Label: label})
+	}
+	return out, nil
+}
+
+// metaForWrite returns the metadata to serialize: Meta plus the encoded
+// marks, without mutating the live trace.
+func (t *Trace) metaForWrite() map[string]string {
+	if len(t.Marks) == 0 {
+		return t.Meta
+	}
+	m := make(map[string]string, len(t.Meta)+1)
+	for k, v := range t.Meta {
+		m[k] = v
+	}
+	m["marks"] = encodeMarks(t.Marks)
+	return m
+}
+
+// adoptMarksMeta moves a decoded "marks" meta entry into t.Marks.
+func (t *Trace) adoptMarksMeta() error {
+	enc, ok := t.Meta["marks"]
+	if !ok {
+		return nil
+	}
+	marks, err := decodeMarks(enc)
+	if err != nil {
+		return err
+	}
+	t.Marks = marks
+	delete(t.Meta, "marks")
+	return nil
 }
 
 // New returns an empty trace.
@@ -117,7 +204,7 @@ func (t *Trace) TotalBytes() int64 {
 // Filter returns a new trace containing the packets for which keep
 // returns true. Metadata is shared.
 func (t *Trace) Filter(keep func(Packet) bool) *Trace {
-	out := &Trace{Hosts: t.Hosts, Meta: t.Meta}
+	out := &Trace{Hosts: t.Hosts, Meta: t.Meta, Marks: t.Marks}
 	for _, p := range t.Packets {
 		if keep(p) {
 			out.Packets = append(out.Packets, p)
@@ -223,11 +310,12 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Meta))); err != nil {
+	meta := t.metaForWrite()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(meta))); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(t.Meta))
-	for k := range t.Meta {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -235,7 +323,7 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 		if err := writeStr(k); err != nil {
 			return err
 		}
-		if err := writeStr(t.Meta[k]); err != nil {
+		if err := writeStr(meta[k]); err != nil {
 			return err
 		}
 	}
@@ -304,6 +392,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		}
 		t.Meta[k] = v
 	}
+	if err := t.adoptMarksMeta(); err != nil {
+		return nil, err
+	}
 	var nPkts uint64
 	if err := binary.Read(br, binary.LittleEndian, &nPkts); err != nil {
 		return nil, err
@@ -334,13 +425,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 // one line per packet with nanosecond timestamps and the raw flag bits.
 func (t *Trace) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	keys := make([]string, 0, len(t.Meta))
-	for k := range t.Meta {
+	meta := t.metaForWrite()
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if _, err := fmt.Fprintf(bw, "# %s=%s\n", k, t.Meta[k]); err != nil {
+		if _, err := fmt.Fprintf(bw, "# %s=%s\n", k, meta[k]); err != nil {
 			return err
 		}
 	}
@@ -434,7 +526,13 @@ func ReadText(r io.Reader) (*Trace, error) {
 			SrcPort: uint16(srcPort), DstPort: uint16(dstPort),
 		})
 	}
-	return t, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.adoptMarksMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // portOf extracts the trailing .port of a host.port token.
