@@ -37,23 +37,20 @@ func fullFraction(tr *fxnet.Trace) float64 {
 // produces almost none — the paper's explanation for T2DFFT's smeared
 // packet sizes.
 func BenchmarkAblationFragmentPacking(b *testing.B) {
-	var fragFrac, copyFrac float64
-	for i := 0; i < b.N; i++ {
-		frag, err := fxnet.Run(fxnet.RunConfig{
+	jobs := []fxnet.FarmJob{
+		{Label: "t2dfft/frag", Config: fxnet.RunConfig{
 			Program: "t2dfft", Seed: 9, Params: fxnet.KernelParams{N: 128, Iters: 5},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		copyLoop, err := fxnet.Run(fxnet.RunConfig{
+		}},
+		{Label: "t2dfft/copy", Config: fxnet.RunConfig{
 			Program: "t2dfft", Seed: 9, Params: fxnet.KernelParams{N: 128, Iters: 5},
 			ForceCopyLoop: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		fragFrac = fullFraction(frag.Trace)
-		copyFrac = fullFraction(copyLoop.Trace)
+		}},
+	}
+	var fragFrac, copyFrac float64
+	for i := 0; i < b.N; i++ {
+		pair := farmBatch(b, jobs)
+		fragFrac = fullFraction(pair[0].Result.Trace)
+		copyFrac = fullFraction(pair[1].Result.Trace)
 	}
 	if copyFrac < fragFrac+0.3 {
 		b.Fatalf("copy-loop full-segment fraction %.2f not ≫ fragment %.2f", copyFrac, fragFrac)
@@ -72,19 +69,18 @@ func BenchmarkAblationFragmentPacking(b *testing.B) {
 // has a shorter burst interval, so its spectral fundamental moves up.
 func BenchmarkAblationBandwidthPeriodicity(b *testing.B) {
 	rates := []float64{10e6, 40e6}
+	jobs := make([]fxnet.FarmJob, len(rates))
+	for j, rate := range rates {
+		jobs[j] = fxnet.FarmJob{Label: fmt.Sprintf("2dfft/%gMbps", rate/1e6), Config: fxnet.RunConfig{
+			Program: "2dfft", Seed: 5, BitRate: rate,
+			Params:         fxnet.KernelParams{Iters: 30},
+			DisableDesched: true,
+		}}
+	}
 	funds := make([]float64, len(rates))
 	for i := 0; i < b.N; i++ {
-		for j, rate := range rates {
-			res, err := fxnet.Run(fxnet.RunConfig{
-				Program: "2dfft", Seed: 5, BitRate: rate,
-				Params:         fxnet.KernelParams{Iters: 30},
-				DisableDesched: true,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			spec := fxnet.SpectrumOf(res.Trace, fxnet.PaperWindow)
-			funds[j] = spec.DominantFreq()
+		for j, jr := range farmBatch(b, jobs) {
+			funds[j] = fxnet.SpectrumOf(jr.Result.Trace, fxnet.PaperWindow).DominantFreq()
 		}
 	}
 	if funds[1] <= funds[0] {
@@ -142,14 +138,11 @@ func BenchmarkAblationPatternScaling(b *testing.B) {
 		rows = rows[:0]
 		for _, P := range []int{2, 4, 8} {
 			countPairs := func(program string) int {
-				res, err := fxnet.Run(fxnet.RunConfig{
+				res, _ := farmRun(b, fxnet.RunConfig{
 					Program: program, Seed: 3, P: P,
 					Params:            fxnet.KernelParams{N: 16, Iters: 2},
 					KeepaliveInterval: -1,
 				})
-				if err != nil {
-					b.Fatal(err)
-				}
 				pairs := map[[2]int]bool{}
 				for _, p := range res.Trace.Packets {
 					if p.Flags&fxnet.FlagData != 0 && p.Proto == fxnet.ProtoTCP {
@@ -189,24 +182,21 @@ func BenchmarkAblationDescheduling(b *testing.B) {
 	}
 	noisyCost.DeschedProb = 0.5 // every other phase stalls
 	noisyCost.DeschedMean = 400_000_000
-	var cleanMax, noisyMax float64
-	for i := 0; i < b.N; i++ {
-		clean, err := fxnet.Run(fxnet.RunConfig{
+	jobs := []fxnet.FarmJob{
+		{Label: "2dfft/clean", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 11, Params: fxnet.KernelParams{Iters: 20},
 			DisableDesched: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		noisy, err := fxnet.Run(fxnet.RunConfig{
+		}},
+		{Label: "2dfft/noisy", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 11, Params: fxnet.KernelParams{Iters: 20},
 			Cost: &noisyCost,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cleanMax = fxnet.InterarrivalStats(clean.Trace).Max
-		noisyMax = fxnet.InterarrivalStats(noisy.Trace).Max
+		}},
+	}
+	var cleanMax, noisyMax float64
+	for i := 0; i < b.N; i++ {
+		pair := farmBatch(b, jobs)
+		cleanMax = fxnet.InterarrivalStats(pair[0].Result.Trace).Max
+		noisyMax = fxnet.InterarrivalStats(pair[1].Result.Trace).Max
 	}
 	if noisyMax < cleanMax+100 {
 		b.Fatalf("descheduling did not lengthen stalls: %v vs %v ms", noisyMax, cleanMax)
@@ -244,13 +234,10 @@ func BenchmarkAblationConstantBurstSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// A deschedule-free run: OS stalls merge bursts, which is noise
 		// for this particular claim.
-		res, err := fxnet.Run(fxnet.RunConfig{
+		res, _ := farmRun(b, fxnet.RunConfig{
 			Program: "2dfft", Seed: 13, Params: fxnet.KernelParams{Iters: 30},
 			DisableDesched: true, KeepaliveInterval: -1,
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		bs := burstsOf(res.Trace)
 		rel = bs.sd / bs.mean
 	}
@@ -319,22 +306,20 @@ func burstsOf(tr *fxnet.Trace) burstSummary {
 // structure degrades — timeouts smear the burst periods, which is why
 // the paper could only observe crisp periodicity on a healthy LAN.
 func BenchmarkAblationFrameLoss(b *testing.B) {
-	var cleanPeak, lossyPeak, lossyBW, cleanBW float64
-	for i := 0; i < b.N; i++ {
-		clean, err := fxnet.Run(fxnet.RunConfig{
+	jobs := []fxnet.FarmJob{
+		{Label: "2dfft/clean", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 17, Params: fxnet.KernelParams{Iters: 20},
 			DisableDesched: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		lossy, err := fxnet.Run(fxnet.RunConfig{
+		}},
+		{Label: "2dfft/lossy", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 17, Params: fxnet.KernelParams{Iters: 20},
 			DisableDesched: true, FrameLossProb: 0.02,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		}},
+	}
+	var cleanPeak, lossyPeak, lossyBW, cleanBW float64
+	for i := 0; i < b.N; i++ {
+		pair := farmBatch(b, jobs)
+		clean, lossy := pair[0].Result, pair[1].Result
 		cs := fxnet.SpectrumOf(clean.Trace, fxnet.PaperWindow)
 		ls := fxnet.SpectrumOf(lossy.Trace, fxnet.PaperWindow)
 		// Sharpness: fraction of non-DC power in the strongest spike.
@@ -363,22 +348,20 @@ func BenchmarkAblationFrameLoss(b *testing.B) {
 // burst fundamental rises — quantifying how much of the measured shape
 // came from the shared medium itself.
 func BenchmarkAblationSwitchedEthernet(b *testing.B) {
-	var sharedHz, switchedHz, sharedBW, switchedBW float64
-	for i := 0; i < b.N; i++ {
-		shared, err := fxnet.Run(fxnet.RunConfig{
+	jobs := []fxnet.FarmJob{
+		{Label: "2dfft/shared", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 19, Params: fxnet.KernelParams{Iters: 25},
 			DisableDesched: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		switched, err := fxnet.Run(fxnet.RunConfig{
+		}},
+		{Label: "2dfft/switched", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 19, Params: fxnet.KernelParams{Iters: 25},
 			DisableDesched: true, Switched: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		}},
+	}
+	var sharedHz, switchedHz, sharedBW, switchedBW float64
+	for i := 0; i < b.N; i++ {
+		pair := farmBatch(b, jobs)
+		shared, switched := pair[0].Result, pair[1].Result
 		sharedHz = fxnet.SpectrumOf(shared.Trace, fxnet.PaperWindow).DominantFreq()
 		switchedHz = fxnet.SpectrumOf(switched.Trace, fxnet.PaperWindow).DominantFreq()
 		sharedBW = fxnet.AverageBandwidthKBps(shared.Trace)
@@ -405,22 +388,20 @@ func BenchmarkAblationSwitchedEthernet(b *testing.B) {
 // paper measured — evidence the measured shape depends on the transport
 // configuration, not just the program.
 func BenchmarkAblationNagle(b *testing.B) {
+	jobs := []fxnet.FarmJob{
+		{Label: "seq/nodelay", Config: fxnet.RunConfig{
+			Program: "seq", Seed: 23, Params: fxnet.KernelParams{N: 24, Iters: 2},
+		}},
+		{Label: "seq/nagle", Config: fxnet.RunConfig{
+			Program: "seq", Seed: 23, Params: fxnet.KernelParams{N: 24, Iters: 2},
+			Nagle: true,
+		}},
+	}
 	var offAvg, onAvg float64
 	var offPkts, onPkts int
 	for i := 0; i < b.N; i++ {
-		off, err := fxnet.Run(fxnet.RunConfig{
-			Program: "seq", Seed: 23, Params: fxnet.KernelParams{N: 24, Iters: 2},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		on, err := fxnet.Run(fxnet.RunConfig{
-			Program: "seq", Seed: 23, Params: fxnet.KernelParams{N: 24, Iters: 2},
-			Nagle: true,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		pair := farmBatch(b, jobs)
+		off, on := pair[0].Result, pair[1].Result
 		offAvg = fxnet.SizeStats(off.Trace).Mean
 		onAvg = fxnet.SizeStats(on.Trace).Mean
 		offPkts = off.Trace.Len()
@@ -447,24 +428,22 @@ func BenchmarkAblationNagle(b *testing.B) {
 // the §6.1 before/after methodology applied to a scripted fault.
 func BenchmarkAblationLinkFlap(b *testing.B) {
 	const script = "12s:linkdown host1,14s:linkup host1"
-	var preHz, duringHz, postHz float64
-	var cleanMaxIA, flapMaxIA float64
-	for i := 0; i < b.N; i++ {
-		clean, err := fxnet.Run(fxnet.RunConfig{
+	jobs := []fxnet.FarmJob{
+		{Label: "2dfft/clean", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 41, Params: fxnet.KernelParams{Iters: 25},
 			DisableDesched: true, KeepaliveInterval: -1,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		flap, err := fxnet.Run(fxnet.RunConfig{
+		}},
+		{Label: "2dfft/flap", Config: fxnet.RunConfig{
 			Program: "2dfft", Seed: 41, Params: fxnet.KernelParams{Iters: 25},
 			DisableDesched: true, KeepaliveInterval: -1,
 			FaultScript: script,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		}},
+	}
+	var preHz, duringHz, postHz float64
+	var cleanMaxIA, flapMaxIA float64
+	for i := 0; i < b.N; i++ {
+		pair := farmBatch(b, jobs)
+		clean, flap := pair[0].Result, pair[1].Result
 		start, _, ok := fxnet.FaultWindow(flap.Trace)
 		if !ok {
 			b.Fatal("flap run carries no fault marks")
@@ -512,13 +491,10 @@ func BenchmarkAblationLinkFlap(b *testing.B) {
 func BenchmarkComparisonMediaVsParallel(b *testing.B) {
 	var parCoV, vidCoV, parH, onoffH float64
 	for i := 0; i < b.N; i++ {
-		res, err := fxnet.Run(fxnet.RunConfig{
+		res, _ := farmRun(b, fxnet.RunConfig{
 			Program: "2dfft", Seed: 29, Params: fxnet.KernelParams{Iters: 30},
 			DisableDesched: true, KeepaliveInterval: -1,
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		parCoV = burstCoV(res.Trace, 100_000_000)
 		series, _ := fxnet.BinnedBandwidth(res.Trace, fxnet.PaperWindow)
 		parH = fxnet.Hurst(series)
@@ -598,14 +574,11 @@ func burstsOf2(tr *fxnet.Trace, gap fxnet.Duration) float64 {
 // run.
 func BenchmarkQoSGuaranteeUnderLoad(b *testing.B) {
 	period := func(cross float64, guarantee bool) float64 {
-		res, err := fxnet.Run(fxnet.RunConfig{
+		res, _ := farmRun(b, fxnet.RunConfig{
 			Program: "2dfft", Seed: 37, Params: fxnet.KernelParams{Iters: 20},
 			DisableDesched: true, Switched: true,
 			CrossTrafficKBps: cross, GuaranteeProgram: guarantee,
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		// Program traffic only: connections among the 4 worker hosts.
 		prog := res.Trace.Filter(func(p fxnet.Packet) bool {
 			return p.Src < 4 && p.Dst < 4

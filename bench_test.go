@@ -40,30 +40,52 @@ var (
 // kernelNames in paper order.
 var kernelNames = []string{"sor", "2dfft", "t2dfft", "seq", "hist"}
 
-// run cache: full paper-scale runs are expensive (seconds each), so the
-// benchmarks share them.
+// benchFarm shares runs across all benchmarks in the process: full
+// paper-scale runs are expensive (seconds each), so identical
+// configurations are memoized in memory. Set FXNET_BENCH_CACHE to a
+// directory to persist runs on disk across `go test -bench` invocations.
+var benchFarm = func() *fxnet.Farm {
+	f, err := fxnet.NewFarm(fxnet.FarmOptions{
+		Memoize:  true,
+		CacheDir: os.Getenv("FXNET_BENCH_CACHE"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}()
+
 var (
 	cacheMu    sync.Mutex
-	runCache   = map[string]*fxnet.Result{}
-	repCache   = map[string]*fxnet.Report{}
 	printOnces = map[string]*sync.Once{}
 )
 
+// farmRun executes one configuration through the shared farm.
+func farmRun(b *testing.B, cfg fxnet.RunConfig) (*fxnet.Result, *fxnet.Report) {
+	b.Helper()
+	res, rep, err := benchFarm.Run(cfg)
+	if err != nil {
+		b.Fatalf("%s: %v", cfg.Program, err)
+	}
+	return res, rep
+}
+
+// farmBatch executes several configurations concurrently, returning
+// results in submission order.
+func farmBatch(b *testing.B, jobs []fxnet.FarmJob) []fxnet.FarmJobResult {
+	b.Helper()
+	results := benchFarm.RunBatch(jobs)
+	for _, jr := range results {
+		if jr.Err != nil {
+			b.Fatalf("%s: %v", jr.Job.Label, jr.Err)
+		}
+	}
+	return results
+}
+
 func cachedRun(b *testing.B, program string) (*fxnet.Result, *fxnet.Report) {
 	b.Helper()
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if res, ok := runCache[program]; ok {
-		return res, repCache[program]
-	}
-	res, err := fxnet.Run(fxnet.RunConfig{Program: program, Seed: 42})
-	if err != nil {
-		b.Fatalf("%s: %v", program, err)
-	}
-	rep := fxnet.Characterize(res)
-	runCache[program] = res
-	repCache[program] = rep
-	return res, rep
+	return farmRun(b, fxnet.RunConfig{Program: program, Seed: 42})
 }
 
 // printOnce emits a figure's table a single time per process.
@@ -95,7 +117,7 @@ func BenchmarkFigure2KernelTable(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for name, pat := range want {
-			res, _ := fxnet.Run(fxnet.RunConfig{
+			res, _ := farmRun(b, fxnet.RunConfig{
 				Program: name, Seed: 7, Params: fxnet.KernelParams{N: 16, Iters: 1},
 			})
 			_ = res
@@ -126,13 +148,10 @@ func BenchmarkFigure1Patterns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lines = lines[:0]
 		for _, c := range checks {
-			res, err := fxnet.Run(fxnet.RunConfig{
+			res, _ := farmRun(b, fxnet.RunConfig{
 				Program: c.name, Seed: 7, Params: fxnet.KernelParams{N: 16, Iters: 2},
 				KeepaliveInterval: -1, // disable daemon traffic: count program pairs only
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
 			// Count ordered pairs carrying TCP *data* (ACK-only reverse
 			// traffic and handshakes excluded).
 			pairs := map[[2]int]bool{}
@@ -592,19 +611,21 @@ func BenchmarkSection73ModelValidation(b *testing.B) {
 		P                   int
 		predicted, measured float64
 	}
+	ps := []int{2, 4, 8}
+	jobs := make([]fxnet.FarmJob, len(ps))
+	for j, P := range ps {
+		jobs[j] = fxnet.FarmJob{Label: fmt.Sprintf("2dfft/P%d", P), Config: fxnet.RunConfig{
+			Program: "2dfft", Seed: 31, P: P,
+			Params:         fxnet.KernelParams{N: n, Iters: 20},
+			DisableDesched: true,
+		}}
+	}
 	var rows []row
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
-		for _, P := range []int{2, 4, 8} {
-			res, err := fxnet.Run(fxnet.RunConfig{
-				Program: "2dfft", Seed: 31, P: P,
-				Params:         fxnet.KernelParams{N: n, Iters: 20},
-				DisableDesched: true,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			spec := fxnet.SpectrumOf(res.Trace, fxnet.PaperWindow)
+		for j, jr := range farmBatch(b, jobs) {
+			P := ps[j]
+			spec := fxnet.SpectrumOf(jr.Result.Trace, fxnet.PaperWindow)
 			measured := 1 / spec.DominantFreq()
 			totalBytes := float64(P*(P-1)) * bytesPerConn(P) * 1.06 // + header overhead
 			predicted := flopsPerPhase(P)/8.4e6 + totalBytes/effCapacity

@@ -1,0 +1,259 @@
+// Command fxfarm runs ad-hoc experiment batches on the farm: the cross
+// product of programs × processor counts × seeds × bit rates, executed
+// on a bounded worker pool with content-addressed caching. It is the
+// front end for sweep breadths beyond fxsweep's single dimension —
+// hundreds of deterministic runs submitted in one invocation.
+//
+// Usage:
+//
+//	fxfarm -programs sor,2dfft -p 2,4,8 -seeds 1-10 -j 8 -cache .fxcache
+//	fxfarm -programs 2dfft -bitrates 10e6,40e6,100e6 -out runs/
+//	fxfarm -programs all -seeds 1-3 -json batch.json
+//
+// Each table row is one run: its label, average bandwidth, packet count,
+// virtual elapsed time, wall time, and cache provenance. -out writes the
+// binary trace and characterization JSON of every run; -json writes the
+// batch summary for dashboards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fxnet"
+)
+
+type batchRow struct {
+	Label     string  `json:"label"`
+	Program   string  `json:"program"`
+	P         int     `json:"p"`
+	Seed      int64   `json:"seed"`
+	BitRate   float64 `json:"bitrate,omitempty"`
+	KBps      float64 `json:"kbps"`
+	Packets   int     `json:"packets"`
+	ElapsedS  float64 `json:"elapsed_s"`
+	WallS     float64 `json:"wall_s"`
+	Cached    bool    `json:"cached"`
+	Deduped   bool    `json:"deduped"`
+	Key       string  `json:"key"`
+	RunFailed string  `json:"run_failed,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxfarm: ")
+	var (
+		programs = flag.String("programs", "all", "comma-separated programs, or \"all\"")
+		ps       = flag.String("p", "0", "comma-separated processor counts (0 = program default)")
+		seeds    = flag.String("seeds", "42", "comma-separated seeds or ranges (\"1-8\")")
+		bitrates = flag.String("bitrates", "0", "comma-separated segment bit rates (0 = 10 Mb/s)")
+		n        = flag.Int("n", 0, "kernel problem size N (0 = paper default)")
+		iters    = flag.Int("iters", 0, "kernel outer iterations (0 = paper default)")
+		faults   = flag.String("faults", "", "fault script applied to every run")
+		degrade  = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
+		switched = flag.Bool("switched", false, "switched full-duplex fabric instead of shared segment")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
+		outDir   = flag.String("out", "", "write per-run trace + report artifacts to this directory")
+		jsonOut  = flag.String("json", "", "write the batch summary JSON to this file (\"-\" = stdout)")
+		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
+	)
+	flag.Parse()
+
+	progList := fxnet.Programs()
+	if *programs != "all" {
+		progList = strings.Split(*programs, ",")
+	}
+	pList := parseInts(*ps)
+	seedList := parseSeeds(*seeds)
+	rateList := parseFloats(*bitrates)
+
+	var farmJobs []fxnet.FarmJob
+	for _, prog := range progList {
+		for _, p := range pList {
+			for _, seed := range seedList {
+				for _, rate := range rateList {
+					cfg := fxnet.RunConfig{
+						Program: strings.TrimSpace(prog), P: p, Seed: seed,
+						BitRate:     rate,
+						Params:      fxnet.KernelParams{N: *n, Iters: *iters},
+						FaultScript: *faults,
+						Degrade:     *degrade,
+						Switched:    *switched,
+					}
+					label := cfg.Program
+					if p != 0 {
+						label += fmt.Sprintf("/P%d", p)
+					}
+					label += fmt.Sprintf("/s%d", seed)
+					if rate != 0 {
+						label += fmt.Sprintf("/%gMbps", rate/1e6)
+					}
+					farmJobs = append(farmJobs, fxnet.FarmJob{Label: label, Config: cfg})
+				}
+			}
+		}
+	}
+	if len(farmJobs) == 0 {
+		log.Fatal("empty batch")
+	}
+
+	opts := fxnet.FarmOptions{Workers: *jobs, CacheDir: *cacheDir}
+	if !*quiet {
+		opts.OnProgress = func(ev fxnet.FarmEvent) {
+			how := "ran"
+			switch {
+			case ev.Cached:
+				how = "cache hit"
+			case ev.Deduped:
+				how = "dedup"
+			}
+			fmt.Fprintf(os.Stderr, "fxfarm: %s %s (%d/%d, %.1fs", how, ev.Label, ev.Done, ev.Total, ev.Wall.Seconds())
+			if ev.ETA > 0 && ev.Done < ev.Total {
+				fmt.Fprintf(os.Stderr, ", eta %.0fs", ev.ETA.Seconds())
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+	}
+	farm, err := fxnet.NewFarm(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := farm.RunBatch(farmJobs)
+
+	fmt.Printf("%-28s %10s %10s %10s %8s %7s\n", "run", "KB/s", "packets", "elapsed", "wall", "source")
+	rows := make([]batchRow, 0, len(results))
+	for _, jr := range results {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Job.Label, jr.Err)
+		}
+		source := "run"
+		switch {
+		case jr.Cached:
+			source = "cache"
+		case jr.Deduped:
+			source = "dedup"
+		}
+		row := batchRow{
+			Label:   jr.Job.Label,
+			Program: jr.Job.Config.Program,
+			P:       jr.Job.Config.P,
+			Seed:    jr.Job.Config.Seed,
+			BitRate: jr.Job.Config.BitRate,
+			KBps:    jr.Report.AggKBps,
+			Packets: jr.Result.Trace.Len(),
+			// Elapsed is virtual simulation time; Wall is real time.
+			ElapsedS: fxnet.Duration(jr.Result.Elapsed).Seconds(),
+			WallS:    jr.Wall.Seconds(),
+			Cached:   jr.Cached,
+			Deduped:  jr.Deduped,
+			Key:      jr.Key,
+		}
+		if jr.Result.RunErr != nil {
+			row.RunFailed = jr.Result.RunErr.Error()
+		}
+		fmt.Printf("%-28s %10.1f %10d %9.2fs %7.2fs %7s\n",
+			row.Label, row.KBps, row.Packets, row.ElapsedS, row.WallS, source)
+		rows = append(rows, row)
+
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, jr); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	stats := farm.Stats()
+	fmt.Fprintf(os.Stderr, "fxfarm: jobs=%d executed=%d hits=%d dedup=%d workers=%d\n",
+		stats.Submitted, stats.Executed, stats.CacheHits, stats.Deduped, farm.Workers())
+
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeArtifacts stores one run's binary trace and characterization
+// JSON under dir, named by the job label.
+func writeArtifacts(dir string, jr fxnet.FarmJobResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stem := strings.NewReplacer("/", "_", " ", "").Replace(jr.Job.Label)
+	tf, err := os.Create(filepath.Join(dir, stem+".trace"))
+	if err != nil {
+		return err
+	}
+	if err := jr.Result.Trace.WriteBinary(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	rep, err := fxnet.MarshalReport(jr.Report)
+	if err != nil {
+		// Degenerate characterizations (NaN spectra) have no JSON form;
+		// the trace artifact still captures the run.
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, stem+".report.json"), append(rep, '\n'), 0o644)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, v := range parseFloats(s) {
+		out = append(out, int(v))
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			log.Fatalf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseSeeds accepts comma-separated seeds with "lo-hi" ranges.
+func parseSeeds(s string) []int64 {
+	var out []int64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if lo, hi, ok := strings.Cut(tok, "-"); ok && lo != "" {
+			a, err1 := strconv.ParseInt(lo, 10, 64)
+			b, err2 := strconv.ParseInt(hi, 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				log.Fatalf("bad seed range %q", tok)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out
+}

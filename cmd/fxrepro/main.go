@@ -3,172 +3,43 @@
 // text numbers for AIRSHED, the §7.2 spectral models, and the §7.3 QoS
 // negotiation. Measured values print next to the paper's.
 //
-// A full run takes a few minutes; -quick reduces problem sizes for a fast
-// smoke pass (numbers then differ from the paper regime).
+// Runs are submitted through the experiment farm (internal/farm): -j
+// executes them on a bounded worker pool and -cache reuses results from
+// a content-addressed on-disk cache across invocations. The printed
+// tables are byte-identical for any -j and any cache state.
+//
+// A full run takes a few minutes serially; -quick reduces problem sizes
+// for a fast smoke pass (numbers then differ from the paper regime).
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-
-	"fxnet"
 )
-
-var paper = map[string][3]float64{
-	// program: aggregate KB/s, connection KB/s (-1 = not reported), avg pkt.
-	"sor":     {5.6, 0.9, 473},
-	"2dfft":   {754.8, 63.2, 969},
-	"t2dfft":  {607.1, 148.6, 912},
-	"seq":     {58.3, -1, 75},
-	"hist":    {29.6, -1, 499},
-	"airshed": {32.7, 2.7, 899},
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fxrepro: ")
 	var (
 		quick = flag.Bool("quick", false, "reduced problem sizes (fast, non-paper regime)")
+		tiny  = flag.Bool("tiny", false, "minimal problem sizes (CI smoke; implies non-paper regime)")
 		seed  = flag.Int64("seed", 42, "simulation seed")
 		csv   = flag.String("csvdir", "", "optional directory for bandwidth-series CSVs")
+		jobs  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
 	)
 	flag.Parse()
 
-	reports := map[string]*fxnet.Report{}
-	for _, name := range fxnet.Programs() {
-		cfg := fxnet.RunConfig{Program: name, Seed: *seed}
-		if *quick {
-			if name == "airshed" {
-				cfg.AirshedParams = fxnet.AirshedParams{Layers: 4, Species: 8, Grid: 128, Steps: 2, Hours: 5, Band: 4}
-			} else {
-				cfg.Params = fxnet.KernelParams{N: 64, Iters: 10}
-			}
-		}
-		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		res, err := fxnet.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep := fxnet.Characterize(res)
-		reports[name] = rep
-		if *csv != "" {
-			writeSeriesCSV(*csv, name, rep)
-		}
-	}
-
-	order := []string{"sor", "2dfft", "t2dfft", "seq", "hist"}
-
-	fmt.Println("\n=== Figures 3/8: packet size statistics (bytes) ===")
-	fmt.Printf("%-8s %30s %30s %10s\n", "program", "aggregate min/max/avg/sd", "connection min/max/avg/sd", "paper avg")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		fmt.Printf("%-8s %30s %30s %10.0f\n", name, fmtSummary(r.AggSize), fmtSummary(r.ConnSize), paper[name][2])
-	}
-
-	fmt.Println("\n=== Figures 4/9: interarrival statistics (ms) ===")
-	fmt.Printf("%-8s %34s %34s\n", "program", "aggregate min/max/avg/sd", "connection min/max/avg/sd")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		fmt.Printf("%-8s %34s %34s\n", name, fmtSummary(r.AggInterarrival), fmtSummary(r.ConnInterarrival))
-	}
-
-	fmt.Println("\n=== Figure 5 / §6.2: average bandwidth (KB/s) ===")
-	fmt.Printf("%-8s %10s %10s %12s %12s\n", "program", "agg", "conn", "paper agg", "paper conn")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		pa := paper[name]
-		conn := "-"
-		if r.ConnSize.N > 0 {
-			conn = fmt.Sprintf("%.1f", r.ConnKBps)
-		}
-		pconn := "-"
-		if pa[1] >= 0 {
-			pconn = fmt.Sprintf("%.1f", pa[1])
-		}
-		fmt.Printf("%-8s %10.1f %10s %12.1f %12s\n", name, r.AggKBps, conn, pa[0], pconn)
-	}
-
-	fmt.Println("\n=== Figures 6/10: burstiness of the 10 ms-windowed bandwidth ===")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		peak := 0.0
-		idle := 0
-		for _, v := range r.AggSeries {
-			if v > peak {
-				peak = v
-			}
-			if v == 0 {
-				idle++
-			}
-		}
-		fmt.Printf("%-8s peak %7.0f KB/s, mean %7.1f KB/s, idle bins %4.1f%%\n",
-			name, peak, r.AggKBps, 100*float64(idle)/float64(len(r.AggSeries)))
-	}
-
-	fmt.Println("\n=== Figures 7/11: spectral spikes of the bandwidth ===")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		fmt.Printf("%-8s", name)
-		for _, p := range r.AggSpectrum.Peaks(4, 2*r.AggSpectrum.DF) {
-			fmt.Printf("  %.3g Hz", p.Freq)
-		}
-		fmt.Println()
-	}
-
-	fmt.Println("\n=== §7.2: truncated Fourier models (aggregate bandwidth) ===")
-	for _, name := range append(order, "airshed") {
-		r := reports[name]
-		for _, k := range []int{2, 8, 32} {
-			m, met := fxnet.FitModel(r.AggSeries, r.SeriesDT, k, 2*r.AggSpectrum.DF)
-			_ = m
-			fmt.Printf("%-8s k=%2d  NRMSE=%.4f  corr=%.3f  energy=%.3f\n",
-				name, k, met.NRMSE, met.Correlation, met.EnergyFraction)
-		}
-	}
-
-	fmt.Println("\n=== §7.3: QoS negotiation on a 10 Mb/s network ===")
-	net := fxnet.NewQoSNetwork(1.25e6)
-	progs := []fxnet.QoSProgram{
-		{Name: "sor", Pattern: fxnet.Neighbor,
-			Local: func(P int) float64 { return 512.0 * 510 / float64(P) / 38500 },
-			Burst: func(P int) float64 { return 512 * 4 }},
-		{Name: "2dfft", Pattern: fxnet.AllToAll,
-			Local: func(P int) float64 { return 2 * 512 * 23040 / float64(P) / 8.4e6 },
-			Burst: func(P int) float64 { return 512 * 512 * 8 / float64(P*P) }},
-		{Name: "hist", Pattern: fxnet.Tree,
-			Local: func(P int) float64 { return 512.0 * 512 / float64(P) / 364000 },
-			Burst: func(P int) float64 { return 256 * 8 }},
-	}
-	fmt.Printf("%-8s %4s %12s %12s\n", "program", "P", "B (KB/s)", "tbi (s)")
-	for _, p := range progs {
-		off, err := net.Negotiate(p, 32)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8s %4d %12.1f %12.4f\n", off.Program, off.P, off.BurstBandwidth/1000, off.BurstInterval)
-	}
-}
-
-func fmtSummary(s fxnet.Summary) string {
-	if s.N == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.1f/%.1f/%.1f/%.1f", s.Min, s.Max, s.Mean, s.SD)
-}
-
-func writeSeriesCSV(dir, name string, rep *fxnet.Report) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
-	}
-	f, err := os.Create(fmt.Sprintf("%s/%s.bandwidth.csv", dir, name))
+	_, err := repro(reproOptions{
+		Quick:    *quick,
+		Tiny:     *tiny,
+		Seed:     *seed,
+		CSVDir:   *csv,
+		Jobs:     *jobs,
+		CacheDir: *cache,
+	}, os.Stdout, os.Stderr)
 	if err != nil {
 		log.Fatal(err)
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "t_sec,kbps")
-	for i, v := range rep.AggSeries {
-		fmt.Fprintf(f, "%.3f,%.3f\n", float64(i)*rep.SeriesDT, v)
 	}
 }

@@ -4,35 +4,60 @@
 // fundamental move. This is the "understanding ... vital for network
 // planning" loop made executable.
 //
+// The sweep's runs are submitted through the experiment farm: -j runs
+// them concurrently and -cache reuses previously simulated points. -json
+// writes a machine-readable record of the sweep alongside the text table
+// (for dashboards and BENCH files); "-" selects stdout.
+//
 // Usage:
 //
 //	fxsweep -program 2dfft -sweep p -values 2,4,8
 //	fxsweep -program 2dfft -sweep bitrate -values 10e6,40e6,100e6
-//	fxsweep -program 2dfft -sweep medium
-//	fxsweep -program sor   -sweep loss -values 0,0.01,0.05
+//	fxsweep -program 2dfft -sweep medium -j 2
+//	fxsweep -program sor   -sweep loss -values 0,0.01,0.05 -json sweep.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"fxnet"
 )
 
+// sweepRow is one sweep point, in both the text table and -json output.
+type sweepRow struct {
+	Sweep         string  `json:"sweep"`
+	Label         string  `json:"label"`
+	Value         float64 `json:"value"`
+	Program       string  `json:"program"`
+	Seed          int64   `json:"seed"`
+	KBps          float64 `json:"kbps"`
+	FundamentalHz float64 `json:"fundamental_hz"`
+	PeriodSec     float64 `json:"period_s"`
+	Packets       int     `json:"packets"`
+	Cached        bool    `json:"cached"`
+	Key           string  `json:"key"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fxsweep: ")
 	var (
-		program = flag.String("program", "2dfft", "program to sweep")
-		sweep   = flag.String("sweep", "p", "dimension: p, bitrate, loss, medium")
-		values  = flag.String("values", "", "comma-separated sweep values (defaults per dimension)")
-		iters   = flag.Int("iters", 20, "outer iterations per run")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		faults  = flag.String("faults", "", "fault script applied to every run in the sweep")
-		degrade = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
+		program  = flag.String("program", "2dfft", "program to sweep")
+		sweep    = flag.String("sweep", "p", "dimension: p, bitrate, loss, medium")
+		values   = flag.String("values", "", "comma-separated sweep values (defaults per dimension)")
+		iters    = flag.Int("iters", 20, "outer iterations per run")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		faults   = flag.String("faults", "", "fault script applied to every run in the sweep")
+		degrade  = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
+		jsonOut  = flag.String("json", "", "write machine-readable sweep results to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -44,44 +69,90 @@ func main() {
 		Degrade:        *degrade,
 	}
 
-	fmt.Printf("%-14s %10s %12s %12s %10s\n", *sweep, "KB/s", "fund (Hz)", "period (s)", "packets")
-	row := func(label string, cfg fxnet.RunConfig) {
-		res, err := fxnet.Run(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", label, err)
-		}
-		spec := fxnet.SpectrumOf(res.Trace, fxnet.PaperWindow)
-		f := spec.DominantFreq()
-		fmt.Printf("%-14s %10.1f %12.3f %12.2f %10d\n",
-			label, fxnet.AverageBandwidthKBps(res.Trace), f, 1/f, res.Trace.Len())
+	type point struct {
+		label string
+		value float64
+		cfg   fxnet.RunConfig
 	}
-
+	var points []point
 	switch *sweep {
 	case "p":
 		for _, v := range parseList(*values, "2,4,8") {
 			cfg := base
 			cfg.P = int(v)
-			row(fmt.Sprintf("P=%d", cfg.P), cfg)
+			points = append(points, point{fmt.Sprintf("P=%d", cfg.P), v, cfg})
 		}
 	case "bitrate":
 		for _, v := range parseList(*values, "10e6,40e6,100e6") {
 			cfg := base
 			cfg.BitRate = v
-			row(fmt.Sprintf("%.0f Mb/s", v/1e6), cfg)
+			points = append(points, point{fmt.Sprintf("%.0f Mb/s", v/1e6), v, cfg})
 		}
 	case "loss":
 		for _, v := range parseList(*values, "0,0.01,0.05") {
 			cfg := base
 			cfg.FrameLossProb = v
-			row(fmt.Sprintf("loss=%.2f", v), cfg)
+			points = append(points, point{fmt.Sprintf("loss=%.2f", v), v, cfg})
 		}
 	case "medium":
-		row("shared", base)
+		points = append(points, point{"shared", 0, base})
 		cfg := base
 		cfg.Switched = true
-		row("switched", cfg)
+		points = append(points, point{"switched", 1, cfg})
 	default:
 		log.Fatalf("unknown sweep dimension %q", *sweep)
+	}
+
+	farm, err := fxnet.NewFarm(fxnet.FarmOptions{
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
+		OnProgress: func(ev fxnet.FarmEvent) {
+			how := "ran"
+			if ev.Cached {
+				how = "cache hit"
+			}
+			fmt.Fprintf(os.Stderr, "fxsweep: %s %s (%d/%d)\n", how, ev.Label, ev.Done, ev.Total)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	farmJobs := make([]fxnet.FarmJob, len(points))
+	for i, pt := range points {
+		farmJobs[i] = fxnet.FarmJob{Label: pt.label, Config: pt.cfg}
+	}
+	results := farm.RunBatch(farmJobs)
+
+	fmt.Printf("%-14s %10s %12s %12s %10s\n", *sweep, "KB/s", "fund (Hz)", "period (s)", "packets")
+	rows := make([]sweepRow, 0, len(results))
+	for i, jr := range results {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Job.Label, jr.Err)
+		}
+		spec := fxnet.SpectrumOf(jr.Result.Trace, fxnet.PaperWindow)
+		f := spec.DominantFreq()
+		kbps := fxnet.AverageBandwidthKBps(jr.Result.Trace)
+		fmt.Printf("%-14s %10.1f %12.3f %12.2f %10d\n",
+			jr.Job.Label, kbps, f, 1/f, jr.Result.Trace.Len())
+		rows = append(rows, sweepRow{
+			Sweep: *sweep, Label: jr.Job.Label, Value: points[i].value,
+			Program: *program, Seed: *seed,
+			KBps: kbps, FundamentalHz: f, PeriodSec: 1 / f,
+			Packets: jr.Result.Trace.Len(), Cached: jr.Cached, Key: jr.Key,
+		})
+	}
+
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

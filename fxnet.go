@@ -34,6 +34,7 @@ import (
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
 	"fxnet/internal/ethernet"
+	"fxnet/internal/farm"
 	"fxnet/internal/faults"
 	"fxnet/internal/fx"
 	"fxnet/internal/fxc"
@@ -190,6 +191,62 @@ const PaperWindow = analysis.PaperWindow
 
 // Run executes one experiment on the simulated testbed.
 func Run(cfg RunConfig) (*Result, error) { return core.Run(cfg) }
+
+// Experiment-farm types: batch execution of independent runs on a
+// bounded worker pool with content-addressed caching (see DESIGN.md §7).
+type (
+	// Farm executes batches of runs in parallel with singleflight dedup
+	// and an optional on-disk result cache. Farm output is byte-identical
+	// to serial runs for any worker count.
+	Farm = farm.Farm
+	// FarmJob is one labeled run configuration.
+	FarmJob = farm.Job
+	// FarmJobResult is a completed farm job (result, characterization,
+	// cache provenance, wall time).
+	FarmJobResult = farm.JobResult
+	// FarmStats counts farm activity (executions, cache hits, dedups).
+	FarmStats = farm.Stats
+	// FarmEvent is a per-job progress report with an ETA.
+	FarmEvent = farm.Event
+	// RunCache is the on-disk content-addressed run cache.
+	RunCache = farm.Cache
+)
+
+// FarmOptions configures NewFarm.
+type FarmOptions struct {
+	// Workers bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheDir enables the on-disk result cache in that directory
+	// (created if absent); empty disables disk caching.
+	CacheDir string
+	// Memoize keeps completed results in memory for the farm's lifetime,
+	// so resubmitting a configuration never re-simulates in-process.
+	Memoize bool
+	// OnProgress, when non-nil, receives one event per completed job.
+	OnProgress func(FarmEvent)
+}
+
+// NewFarm creates an experiment farm.
+func NewFarm(o FarmOptions) (*Farm, error) {
+	opts := farm.Options{Workers: o.Workers, Memoize: o.Memoize, OnProgress: o.OnProgress}
+	if o.CacheDir != "" {
+		c, err := farm.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = c
+	}
+	return farm.New(opts), nil
+}
+
+// RunKey returns the content-addressed cache key of a configuration: two
+// configs share a key exactly when Run would produce byte-identical
+// traces for them.
+func RunKey(cfg RunConfig) string { return farm.Key(cfg) }
+
+// MarshalReport renders a characterization as JSON (the farm cache's
+// report encoding; spectra carry re/im coefficient arrays).
+func MarshalReport(rep *Report) ([]byte, error) { return farm.MarshalReport(rep) }
 
 // Characterize computes the paper-figure characterization of a run.
 func Characterize(res *Result) *Report { return core.Characterize(res) }

@@ -1,0 +1,360 @@
+package farm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fxnet/internal/core"
+	"fxnet/internal/dsp"
+	"fxnet/internal/ethernet"
+	"fxnet/internal/fx"
+	"fxnet/internal/sim"
+	"fxnet/internal/stats"
+	"fxnet/internal/trace"
+)
+
+// cacheMagic heads every cache entry; the trailing digit is the format
+// version.
+const cacheMagic = "FXFARM01"
+
+// Cache is an on-disk, content-addressed store of completed runs: one
+// file per key holding the run metadata, the characterization JSON, and
+// the binary-codec trace, all guarded by a SHA-256 digest.
+//
+// The cache is corruption-tolerant by construction: a missing, truncated,
+// bit-flipped, or otherwise unreadable entry is reported as a miss and
+// the run is recomputed — a bad cache can cost time, never correctness.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("farm: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".fxrun")
+}
+
+// entryMeta is the JSON header of a cache entry: everything a
+// core.Result carries besides the trace and the live worker handles.
+type entryMeta struct {
+	Elapsed  int64          `json:"elapsed_ns"`
+	SegStats ethernet.Stats `json:"seg_stats"`
+	RepConn  [2]int         `json:"rep_conn"`
+	RunErr   *runErrJSON    `json:"run_err,omitempty"`
+}
+
+// runErrJSON round-trips a run's fault outcome. The underlying error
+// chain cannot survive serialization, so a revived RunError carries the
+// rendered message; errors.Is identity against sentinels is lost, which
+// cached-result consumers must treat as data, not control flow.
+type runErrJSON struct {
+	Program string `json:"program"`
+	Rank    int    `json:"rank"`
+	Phase   string `json:"phase"`
+	Msg     string `json:"msg"`
+}
+
+// Load retrieves a cached run. ok is false on any miss — absent entry,
+// bad magic, digest mismatch, truncation, or undecodable section — and
+// the caller recomputes. A loaded Result has no live Workers or Team
+// (those are process handles, not measurements); its Config is the
+// caller's cfg. The report is recomputed from the trace when the stored
+// characterization is absent or damaged.
+func (c *Cache) Load(key string, cfg core.RunConfig) (res *core.Result, rep *core.Report, ok bool) {
+	body, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	res, rep, err = decodeEntry(body, cfg)
+	if err != nil {
+		return nil, nil, false
+	}
+	if rep == nil {
+		rep = core.Characterize(res)
+	}
+	return res, rep, true
+}
+
+// Store writes a completed run under key, atomically (temp file +
+// rename), so a crashed or interrupted writer can only ever leave behind
+// an entry that Load rejects.
+func (c *Cache) Store(key string, res *core.Result, rep *core.Report) error {
+	body, err := encodeEntry(res, rep)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-"+key[:16]+"-*")
+	if err != nil {
+		return fmt.Errorf("farm: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("farm: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("farm: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("farm: store: %w", err)
+	}
+	return nil
+}
+
+// encodeEntry renders a cache entry:
+//
+//	magic(8) | sha256(32) | metaLen(4) meta | repLen(4) report | trace
+//
+// The digest covers every byte after itself. The report section may be
+// empty (length 0) when the characterization cannot be marshaled (NaNs
+// from degenerate series); Load then recomputes it from the trace.
+func encodeEntry(res *core.Result, rep *core.Report) ([]byte, error) {
+	var payload bytes.Buffer
+	meta := entryMeta{
+		Elapsed:  int64(res.Elapsed),
+		SegStats: res.SegStats,
+		RepConn:  res.RepConn,
+	}
+	if res.RunErr != nil {
+		meta.RunErr = &runErrJSON{
+			Program: res.RunErr.Program,
+			Rank:    res.RunErr.Rank,
+			Phase:   res.RunErr.Phase,
+			Msg:     res.RunErr.Err.Error(),
+		}
+	}
+	metaBytes, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("farm: encode meta: %w", err)
+	}
+	repBytes, err := marshalReport(rep)
+	if err != nil {
+		repBytes = nil // degenerate characterization: recompute on load
+	}
+	writeSection := func(b []byte) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+		payload.Write(n[:])
+		payload.Write(b)
+	}
+	writeSection(metaBytes)
+	writeSection(repBytes)
+	if err := res.Trace.WriteBinary(&payload); err != nil {
+		return nil, fmt.Errorf("farm: encode trace: %w", err)
+	}
+
+	var out bytes.Buffer
+	out.WriteString(cacheMagic)
+	digest := sha256.Sum256(payload.Bytes())
+	out.Write(digest[:])
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// decodeEntry parses and verifies a cache entry body.
+func decodeEntry(body []byte, cfg core.RunConfig) (*core.Result, *core.Report, error) {
+	headLen := len(cacheMagic) + sha256.Size
+	if len(body) < headLen || string(body[:len(cacheMagic)]) != cacheMagic {
+		return nil, nil, errors.New("farm: bad cache magic")
+	}
+	digest := body[len(cacheMagic):headLen]
+	payload := body[headLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(digest, sum[:]) {
+		return nil, nil, errors.New("farm: cache digest mismatch")
+	}
+	readSection := func() ([]byte, error) {
+		if len(payload) < 4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		n := binary.LittleEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint64(n) > uint64(len(payload)) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b := payload[:n]
+		payload = payload[n:]
+		return b, nil
+	}
+	metaBytes, err := readSection()
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta entryMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, nil, err
+	}
+	repBytes, err := readSection()
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep *core.Report
+	if len(repBytes) > 0 {
+		if rep, err = unmarshalReport(repBytes); err != nil {
+			rep = nil // damaged report section: trace is still good
+		}
+	}
+	tr, err := trace.ReadBinary(bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &core.Result{
+		Config:   cfg,
+		Trace:    tr,
+		Elapsed:  sim.Time(meta.Elapsed),
+		SegStats: meta.SegStats,
+		RepConn:  meta.RepConn,
+	}
+	if meta.RunErr != nil {
+		res.RunErr = &fx.RunError{
+			Program: meta.RunErr.Program,
+			Rank:    meta.RunErr.Rank,
+			Phase:   meta.RunErr.Phase,
+			Err:     errors.New(meta.RunErr.Msg),
+		}
+	}
+	return res, rep, nil
+}
+
+// reportJSON mirrors core.Report field for field with JSON-marshalable
+// spectra (complex128 coefficients split into re/im arrays). Go's JSON
+// float encoding is shortest-round-trip, so numbers printed from a
+// revived report are byte-identical to the originals.
+type reportJSON struct {
+	Program          string        `json:"program"`
+	AggSize          stats.Summary `json:"agg_size"`
+	ConnSize         stats.Summary `json:"conn_size"`
+	AggInterarrival  stats.Summary `json:"agg_interarrival"`
+	ConnInterarrival stats.Summary `json:"conn_interarrival"`
+	AggKBps          float64       `json:"agg_kbps"`
+	ConnKBps         float64       `json:"conn_kbps"`
+	AggSeries        []float64     `json:"agg_series"`
+	ConnSeries       []float64     `json:"conn_series"`
+	SeriesDT         float64       `json:"series_dt"`
+	AggSpectrum      *spectrumJSON `json:"agg_spectrum"`
+	ConnSpectrum     *spectrumJSON `json:"conn_spectrum"`
+	SizeModes        int           `json:"size_modes"`
+	Correlation      float64       `json:"correlation"`
+	Coincidence      float64       `json:"coincidence"`
+}
+
+type spectrumJSON struct {
+	Freq    []float64 `json:"freq"`
+	Power   []float64 `json:"power"`
+	CoeffRe []float64 `json:"coeff_re"`
+	CoeffIm []float64 `json:"coeff_im"`
+	DF      float64   `json:"df"`
+	N       int       `json:"n"`
+	DT      float64   `json:"dt"`
+}
+
+func spectrumToJSON(s *dsp.Spectrum) *spectrumJSON {
+	if s == nil {
+		return nil
+	}
+	out := &spectrumJSON{Freq: s.Freq, Power: s.Power, DF: s.DF, N: s.N, DT: s.DT}
+	out.CoeffRe = make([]float64, len(s.Coeff))
+	out.CoeffIm = make([]float64, len(s.Coeff))
+	for i, c := range s.Coeff {
+		out.CoeffRe[i] = real(c)
+		out.CoeffIm[i] = imag(c)
+	}
+	return out
+}
+
+func spectrumFromJSON(s *spectrumJSON) (*dsp.Spectrum, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if len(s.CoeffRe) != len(s.CoeffIm) {
+		return nil, errors.New("farm: spectrum coefficient arrays disagree")
+	}
+	out := &dsp.Spectrum{Freq: s.Freq, Power: s.Power, DF: s.DF, N: s.N, DT: s.DT}
+	out.Coeff = make([]complex128, len(s.CoeffRe))
+	for i := range s.CoeffRe {
+		out.Coeff[i] = complex(s.CoeffRe[i], s.CoeffIm[i])
+	}
+	return out, nil
+}
+
+// MarshalReport renders a characterization as JSON — the cache's report
+// section and fxfarm's -out artifact format.
+func MarshalReport(rep *core.Report) ([]byte, error) { return marshalReport(rep) }
+
+// UnmarshalReport parses a characterization written by MarshalReport.
+func UnmarshalReport(b []byte) (*core.Report, error) { return unmarshalReport(b) }
+
+// marshalReport renders a characterization as JSON (the cache's report
+// section and fxfarm's -out artifact format).
+func marshalReport(rep *core.Report) ([]byte, error) {
+	if rep == nil {
+		return nil, nil
+	}
+	return json.Marshal(reportJSON{
+		Program:          rep.Program,
+		AggSize:          rep.AggSize,
+		ConnSize:         rep.ConnSize,
+		AggInterarrival:  rep.AggInterarrival,
+		ConnInterarrival: rep.ConnInterarrival,
+		AggKBps:          rep.AggKBps,
+		ConnKBps:         rep.ConnKBps,
+		AggSeries:        rep.AggSeries,
+		ConnSeries:       rep.ConnSeries,
+		SeriesDT:         rep.SeriesDT,
+		AggSpectrum:      spectrumToJSON(rep.AggSpectrum),
+		ConnSpectrum:     spectrumToJSON(rep.ConnSpectrum),
+		SizeModes:        rep.SizeModes,
+		Correlation:      rep.Correlation,
+		Coincidence:      rep.Coincidence,
+	})
+}
+
+func unmarshalReport(b []byte) (*core.Report, error) {
+	var rj reportJSON
+	if err := json.Unmarshal(b, &rj); err != nil {
+		return nil, err
+	}
+	agg, err := spectrumFromJSON(rj.AggSpectrum)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := spectrumFromJSON(rj.ConnSpectrum)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Report{
+		Program:          rj.Program,
+		AggSize:          rj.AggSize,
+		ConnSize:         rj.ConnSize,
+		AggInterarrival:  rj.AggInterarrival,
+		ConnInterarrival: rj.ConnInterarrival,
+		AggKBps:          rj.AggKBps,
+		ConnKBps:         rj.ConnKBps,
+		AggSeries:        rj.AggSeries,
+		ConnSeries:       rj.ConnSeries,
+		SeriesDT:         rj.SeriesDT,
+		AggSpectrum:      agg,
+		ConnSpectrum:     conn,
+		SizeModes:        rj.SizeModes,
+		Correlation:      rj.Correlation,
+		Coincidence:      rj.Coincidence,
+	}, nil
+}

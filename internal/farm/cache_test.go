@@ -1,0 +1,172 @@
+package farm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fxnet/internal/core"
+	"fxnet/internal/kernels"
+)
+
+// tinyConfig is a seconds-scale run for cache tests.
+func tinyConfig(seed int64) core.RunConfig {
+	return core.RunConfig{
+		Program: "sor", Seed: seed,
+		Params:            kernels.Params{N: 16, Iters: 2},
+		KeepaliveInterval: -1,
+	}
+}
+
+func tinyRun(t testing.TB, seed int64) (*core.Result, *core.Report) {
+	t.Helper()
+	res, err := core.Run(tinyConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, core.Characterize(res)
+}
+
+func traceBytes(t testing.TB, res *core.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(1)
+	res, rep := tinyRun(t, 1)
+	key := Key(cfg)
+
+	if _, _, ok := c.Load(key, cfg); ok {
+		t.Fatal("load before store reported a hit")
+	}
+	if err := c.Store(key, res, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, gotRep, ok := c.Load(key, cfg)
+	if !ok {
+		t.Fatal("load after store missed")
+	}
+	if !bytes.Equal(traceBytes(t, got), traceBytes(t, res)) {
+		t.Error("trace did not survive the cache byte-identically")
+	}
+	if got.Elapsed != res.Elapsed {
+		t.Errorf("elapsed: got %v want %v", got.Elapsed, res.Elapsed)
+	}
+	if got.SegStats != res.SegStats {
+		t.Errorf("segstats: got %+v want %+v", got.SegStats, res.SegStats)
+	}
+	if got.RepConn != res.RepConn {
+		t.Errorf("repconn: got %v want %v", got.RepConn, res.RepConn)
+	}
+	if got.Workers != nil || got.Team != nil {
+		t.Error("cached result carries live worker/team handles")
+	}
+	if gotRep.AggKBps != rep.AggKBps || gotRep.AggSize != rep.AggSize ||
+		gotRep.SizeModes != rep.SizeModes || gotRep.Coincidence != rep.Coincidence {
+		t.Errorf("report did not survive the cache: got %+v", gotRep)
+	}
+	if gotRep.AggSpectrum.DominantFreq() != rep.AggSpectrum.DominantFreq() {
+		t.Error("spectrum did not survive the cache")
+	}
+}
+
+// cacheFile returns the single entry file in the cache dir.
+func cacheFile(t *testing.T, c *Cache) string {
+	t.Helper()
+	ents, err := filepath.Glob(filepath.Join(c.Dir(), "*.fxrun"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("want one cache entry, got %v (%v)", ents, err)
+	}
+	return ents[0]
+}
+
+func TestCacheTolerantOfDamage(t *testing.T) {
+	cfg := tinyConfig(2)
+	res, rep := tinyRun(t, 2)
+	key := Key(cfg)
+
+	damage := map[string]func([]byte) []byte{
+		"truncated-header": func(b []byte) []byte { return b[:10] },
+		"truncated-body":   func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":            func(b []byte) []byte { return nil },
+		"bit-flip": func(b []byte) []byte {
+			b[len(b)-5] ^= 0x40
+			return b
+		},
+		"bad-magic": func(b []byte) []byte {
+			copy(b, "NOTAFARM")
+			return b
+		},
+		"garbage": func([]byte) []byte { return []byte("not a cache entry at all") },
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			c, err := OpenCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Store(key, res, rep); err != nil {
+				t.Fatal(err)
+			}
+			path := cacheFile(t, c)
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := c.Load(key, cfg); ok {
+				t.Fatal("damaged entry reported as a hit")
+			}
+			// The farm's contract: damage costs a recompute, never an error.
+			f := New(Options{Workers: 1, Cache: c})
+			got, _, err := f.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(traceBytes(t, got), traceBytes(t, res)) {
+				t.Error("recomputed run differs from original")
+			}
+			if s := f.Stats(); s.Executed != 1 || s.CacheHits != 0 {
+				t.Errorf("stats after damaged entry: %+v, want 1 execution", s)
+			}
+		})
+	}
+}
+
+// TestCacheEntryWithoutReport exercises the degenerate-characterization
+// path: an entry stored with no report section recomputes it on load.
+func TestCacheEntryWithoutReport(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(3)
+	res, rep := tinyRun(t, 3)
+	key := Key(cfg)
+	body, err := encodeEntry(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(key), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, gotRep, ok := c.Load(key, cfg)
+	if !ok {
+		t.Fatal("report-less entry missed")
+	}
+	if gotRep == nil || gotRep.AggKBps != rep.AggKBps {
+		t.Errorf("recomputed report wrong: %+v", gotRep)
+	}
+}

@@ -1,0 +1,301 @@
+// Package farm is the experiment-execution engine that scales the
+// reproduction's measurement pipeline: it takes batches of run
+// configurations, hashes each into a content-addressed key, and executes
+// them on a bounded worker pool with single-flight deduplication, an
+// on-disk result cache, and per-job progress/ETA reporting.
+//
+// Every simulation is a single-threaded deterministic DES with no shared
+// mutable package state (see DESIGN.md §7), so cross-experiment
+// parallelism is a pure win: a batch run with any worker count produces
+// results byte-identical to the serial run, job by job.
+package farm
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"fxnet/internal/core"
+)
+
+// Options configures a Farm.
+type Options struct {
+	// Workers bounds how many simulations execute concurrently; <= 0
+	// selects GOMAXPROCS.
+	Workers int
+	// Cache is the on-disk result cache; nil disables disk caching.
+	Cache *Cache
+	// Memoize keeps completed results in memory, so resubmitting a key
+	// never re-simulates within this process even without a disk cache
+	// (the benchmark harness's mode). Results are retained for the
+	// farm's lifetime.
+	Memoize bool
+	// OnProgress, when non-nil, receives one event per completed job.
+	// Events are delivered serially; the callback must not call back
+	// into the farm.
+	OnProgress func(Event)
+}
+
+// Job is one unit of work: a run configuration plus a presentation label.
+type Job struct {
+	// Label identifies the job in progress output ("2dfft", "P=8", …).
+	Label string
+	// Config is the experiment to run.
+	Config core.RunConfig
+}
+
+// JobResult is a completed job.
+type JobResult struct {
+	Job Job
+	// Key is the content-addressed identity of Job.Config.
+	Key string
+	// Result and Report are the run and its characterization. Results
+	// served from the disk cache or shared with a deduplicated twin have
+	// no live Workers/Team handles and must be treated as read-only.
+	Result *core.Result
+	Report *core.Report
+	// Err is the submission failure, if any (unknown program, bad fault
+	// script, …). A run that aborts cleanly under faults is a valid
+	// measurement: it arrives with Err == nil and Result.RunErr set.
+	Err error
+	// Cached reports a disk-cache hit; Deduped reports that this job
+	// shared an in-flight or memoized execution of the same key.
+	Cached  bool
+	Deduped bool
+	// Wall is the real time from submission to completion.
+	Wall time.Duration
+}
+
+// Event is a progress report: job number done of total submitted so far,
+// plus a rough ETA from the mean wall time of executed (non-cached) runs
+// and the current worker count.
+type Event struct {
+	Label   string
+	Key     string
+	Done    int64
+	Total   int64
+	Cached  bool
+	Deduped bool
+	Wall    time.Duration
+	ETA     time.Duration
+}
+
+// Stats counts farm activity.
+type Stats struct {
+	// Submitted jobs; Completed of them have finished.
+	Submitted int64
+	Completed int64
+	// Executed counts actual simulations; CacheHits disk-cache loads;
+	// Deduped jobs that shared another execution; Failed submission
+	// errors.
+	Executed  int64
+	CacheHits int64
+	Deduped   int64
+	Failed    int64
+}
+
+// call is a single-flight execution slot for one key.
+type call struct {
+	done chan struct{}
+	res  *core.Result
+	rep  *core.Report
+	err  error
+	// cached marks a leader that was served from disk.
+	cached bool
+}
+
+// Farm executes run configurations on a bounded worker pool.
+type Farm struct {
+	sem        chan struct{}
+	cache      *Cache
+	memoize    bool
+	onProgress func(Event)
+
+	mu         sync.Mutex
+	progressMu sync.Mutex
+	calls      map[string]*call
+	memo    map[string]*call
+	stats   Stats
+	wallSum time.Duration // total wall of executed runs, for ETA
+	wallN   int64
+}
+
+// New creates a Farm.
+func New(opts Options) *Farm {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Farm{
+		sem:        make(chan struct{}, w),
+		cache:      opts.Cache,
+		memoize:    opts.Memoize,
+		onProgress: opts.OnProgress,
+		calls:      make(map[string]*call),
+		memo:       make(map[string]*call),
+	}
+}
+
+// Workers reports the worker-pool bound.
+func (f *Farm) Workers() int { return cap(f.sem) }
+
+// Stats returns a snapshot of the farm's counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Run executes a single configuration (submitting it through the pool,
+// cache, and dedup machinery) and blocks for the outcome.
+func (f *Farm) Run(cfg core.RunConfig) (*core.Result, *core.Report, error) {
+	jr := f.RunBatch([]Job{{Label: cfg.Program, Config: cfg}})[0]
+	return jr.Result, jr.Report, jr.Err
+}
+
+// RunBatch executes jobs concurrently (bounded by the worker pool) and
+// returns their results in submission order. Identical configurations
+// within the batch are simulated once and share the result.
+func (f *Farm) RunBatch(jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			out[i] = f.do(job)
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}
+
+// Submit executes jobs like RunBatch but streams results in completion
+// order; the channel closes when the batch is done.
+func (f *Farm) Submit(jobs []Job) <-chan JobResult {
+	ch := make(chan JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job Job) {
+			defer wg.Done()
+			ch <- f.do(job)
+		}(job)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+// do runs one job through dedup → cache → pool.
+func (f *Farm) do(job Job) JobResult {
+	start := time.Now()
+	key := Key(job.Config)
+	jr := JobResult{Job: job, Key: key}
+
+	f.mu.Lock()
+	f.stats.Submitted++
+	if c, ok := f.memo[key]; ok {
+		f.stats.Deduped++
+		f.mu.Unlock()
+		jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
+		jr.Deduped, jr.Cached = true, c.cached
+		f.finish(&jr, start)
+		return jr
+	}
+	if c, ok := f.calls[key]; ok {
+		f.stats.Deduped++
+		f.mu.Unlock()
+		<-c.done
+		jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
+		jr.Deduped, jr.Cached = true, c.cached
+		f.finish(&jr, start)
+		return jr
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	f.lead(key, job.Config, c)
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	if f.memoize && c.err == nil {
+		f.memo[key] = c
+	}
+	if c.err != nil {
+		f.stats.Failed++
+	}
+	f.mu.Unlock()
+	close(c.done)
+
+	jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
+	jr.Cached = c.cached
+	f.finish(&jr, start)
+	return jr
+}
+
+// lead performs the actual work for a key: disk-cache probe, then a
+// worker-pool slot and the simulation.
+func (f *Farm) lead(key string, cfg core.RunConfig, c *call) {
+	if f.cache != nil {
+		if res, rep, ok := f.cache.Load(key, cfg); ok {
+			c.res, c.rep, c.cached = res, rep, true
+			f.mu.Lock()
+			f.stats.CacheHits++
+			f.mu.Unlock()
+			return
+		}
+	}
+	f.sem <- struct{}{}
+	runStart := time.Now()
+	res, err := core.Run(cfg)
+	<-f.sem
+	if err != nil {
+		c.err = err
+		return
+	}
+	rep := core.Characterize(res)
+	c.res, c.rep = res, rep
+	f.mu.Lock()
+	f.stats.Executed++
+	f.wallSum += time.Since(runStart)
+	f.wallN++
+	f.mu.Unlock()
+	if f.cache != nil {
+		// A store failure (full disk, read-only dir) costs future time,
+		// not this result's correctness; surface nothing.
+		_ = f.cache.Store(key, res, rep)
+	}
+}
+
+// finish updates completion counters and emits the progress event.
+func (f *Farm) finish(jr *JobResult, start time.Time) {
+	jr.Wall = time.Since(start)
+	f.mu.Lock()
+	f.stats.Completed++
+	ev := Event{
+		Label:   jr.Job.Label,
+		Key:     jr.Key,
+		Done:    f.stats.Completed,
+		Total:   f.stats.Submitted,
+		Cached:  jr.Cached,
+		Deduped: jr.Deduped,
+		Wall:    jr.Wall,
+	}
+	if f.wallN > 0 {
+		avg := f.wallSum / time.Duration(f.wallN)
+		remaining := f.stats.Submitted - f.stats.Completed
+		workers := int64(cap(f.sem))
+		ev.ETA = avg * time.Duration((remaining+workers-1)/workers)
+	}
+	cb := f.onProgress
+	f.mu.Unlock()
+	if cb != nil {
+		f.progressMu.Lock()
+		cb(ev)
+		f.progressMu.Unlock()
+	}
+}

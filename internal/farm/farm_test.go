@@ -1,0 +1,201 @@
+package farm
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"fxnet/internal/core"
+	"fxnet/internal/kernels"
+)
+
+// tinyJobs builds a batch of small distinct runs across programs and
+// seeds.
+func tinyJobs() []Job {
+	var jobs []Job
+	for _, prog := range []string{"sor", "2dfft", "seq"} {
+		for _, seed := range []int64{1, 2} {
+			jobs = append(jobs, Job{
+				Label: prog,
+				Config: core.RunConfig{
+					Program: prog, Seed: seed,
+					Params:            kernels.Params{N: 16, Iters: 2},
+					KeepaliveInterval: -1,
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// TestParallelMatchesSerial is the subsystem's determinism contract: a
+// batch run with any worker count yields traces and characterizations
+// byte-identical to the serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := New(Options{Workers: 1}).RunBatch(tinyJobs())
+	parallel := New(Options{Workers: 4}).RunBatch(tinyJobs())
+	if len(serial) != len(parallel) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, s.Err, p.Err)
+		}
+		if s.Key != p.Key {
+			t.Fatalf("job %d keys differ", i)
+		}
+		if !bytes.Equal(traceBytes(t, s.Result), traceBytes(t, p.Result)) {
+			t.Errorf("job %d (%s seed %d): parallel trace differs from serial",
+				i, s.Job.Config.Program, s.Job.Config.Seed)
+		}
+		if s.Report.AggKBps != p.Report.AggKBps ||
+			s.Report.AggSize != p.Report.AggSize ||
+			s.Report.AggInterarrival != p.Report.AggInterarrival ||
+			s.Report.Coincidence != p.Report.Coincidence ||
+			s.Report.Correlation != p.Report.Correlation {
+			t.Errorf("job %d: parallel characterization differs from serial", i)
+		}
+		if s.Result.Elapsed != p.Result.Elapsed {
+			t.Errorf("job %d: virtual elapsed differs", i)
+		}
+	}
+}
+
+// TestSingleflightDedup submits many copies of one configuration
+// concurrently: exactly one simulation runs, everyone shares its result.
+func TestSingleflightDedup(t *testing.T) {
+	f := New(Options{Workers: 4})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Label: "dup", Config: tinyConfig(5)}
+	}
+	out := f.RunBatch(jobs)
+	var deduped int
+	for _, jr := range out {
+		if jr.Err != nil {
+			t.Fatal(jr.Err)
+		}
+		if jr.Result != out[0].Result {
+			t.Error("deduplicated jobs do not share one result")
+		}
+		if jr.Deduped {
+			deduped++
+		}
+	}
+	s := f.Stats()
+	if s.Executed != 1 {
+		t.Errorf("executed %d simulations for 8 identical jobs", s.Executed)
+	}
+	if s.Deduped != 7 || deduped != 7 {
+		t.Errorf("deduped = %d (stats %d), want 7", deduped, s.Deduped)
+	}
+	if s.Submitted != 8 || s.Completed != 8 {
+		t.Errorf("submitted/completed = %d/%d, want 8/8", s.Submitted, s.Completed)
+	}
+}
+
+// TestCacheHitMissAccounting checks the miss→store→hit lifecycle across
+// farm instances sharing one cache directory.
+func TestCacheHitMissAccounting(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{Label: "a", Config: tinyConfig(10)},
+		{Label: "b", Config: tinyConfig(11)},
+	}
+	cold := New(Options{Workers: 2, Cache: c1})
+	coldOut := cold.RunBatch(jobs)
+	if s := cold.Stats(); s.Executed != 2 || s.CacheHits != 0 {
+		t.Fatalf("cold stats %+v, want 2 executions, 0 hits", s)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Options{Workers: 2, Cache: c2})
+	warmOut := warm.RunBatch(jobs)
+	if s := warm.Stats(); s.Executed != 0 || s.CacheHits != 2 {
+		t.Fatalf("warm stats %+v, want 0 executions, 2 hits", s)
+	}
+	for i := range jobs {
+		if !warmOut[i].Cached {
+			t.Errorf("warm job %d not marked cached", i)
+		}
+		if !bytes.Equal(traceBytes(t, warmOut[i].Result), traceBytes(t, coldOut[i].Result)) {
+			t.Errorf("job %d: cached trace differs from computed", i)
+		}
+		if warmOut[i].Report.AggKBps != coldOut[i].Report.AggKBps {
+			t.Errorf("job %d: cached report differs from computed", i)
+		}
+	}
+}
+
+// TestMemoize keeps results in memory: sequential resubmission of a key
+// re-simulates nothing even without a disk cache.
+func TestMemoize(t *testing.T) {
+	f := New(Options{Workers: 2, Memoize: true})
+	r1, _, err := f.Run(tinyConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := f.Run(tinyConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("memoized rerun returned a different result")
+	}
+	if s := f.Stats(); s.Executed != 1 || s.Deduped != 1 {
+		t.Errorf("stats %+v, want 1 execution and 1 dedup", s)
+	}
+}
+
+func TestSubmitStreams(t *testing.T) {
+	f := New(Options{Workers: 2})
+	jobs := tinyJobs()[:3]
+	var n int
+	for jr := range f.Submit(jobs) {
+		if jr.Err != nil {
+			t.Fatal(jr.Err)
+		}
+		n++
+	}
+	if n != len(jobs) {
+		t.Fatalf("streamed %d results for %d jobs", n, len(jobs))
+	}
+}
+
+func TestBadJobSurfacesError(t *testing.T) {
+	f := New(Options{Workers: 1})
+	out := f.RunBatch([]Job{{Label: "bad", Config: core.RunConfig{Program: "no-such-kernel"}}})
+	if out[0].Err == nil {
+		t.Fatal("unknown program did not error")
+	}
+	if s := f.Stats(); s.Failed != 1 {
+		t.Errorf("failed counter %d, want 1", s.Failed)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var events atomic.Int64
+	var sawTotal atomic.Int64
+	f := New(Options{Workers: 2, OnProgress: func(ev Event) {
+		events.Add(1)
+		if ev.Done == ev.Total {
+			sawTotal.Add(1)
+		}
+	}})
+	jobs := tinyJobs()[:4]
+	f.RunBatch(jobs)
+	if got := events.Load(); got != int64(len(jobs)) {
+		t.Errorf("got %d progress events for %d jobs", got, len(jobs))
+	}
+	if sawTotal.Load() == 0 {
+		t.Error("no event reported Done == Total")
+	}
+}

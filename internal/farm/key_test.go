@@ -1,0 +1,96 @@
+package farm
+
+import (
+	"reflect"
+	"testing"
+
+	"fxnet/internal/core"
+	"fxnet/internal/faults"
+	"fxnet/internal/fx"
+	"fxnet/internal/kernels"
+	"fxnet/internal/netstack"
+)
+
+// keyMutators perturbs every core.RunConfig field. TestKeyCoversAllFields
+// walks the struct by reflection and fails if a field has no mutator, so
+// a new RunConfig field cannot silently escape the cache key.
+var keyMutators = map[string]func(*core.RunConfig){
+	"Program":           func(c *core.RunConfig) { c.Program = "t2dfft" },
+	"P":                 func(c *core.RunConfig) { c.P = 8 },
+	"Params":            func(c *core.RunConfig) { c.Params = kernels.Params{N: 128, Iters: 3} },
+	"AirshedParams":     func(c *core.RunConfig) { c.AirshedParams.Layers = 9 },
+	"Seed":              func(c *core.RunConfig) { c.Seed = 99 },
+	"BitRate":           func(c *core.RunConfig) { c.BitRate = 40e6 },
+	"Cost":              func(c *core.RunConfig) { c.Cost = &fx.CostModel{DefaultRate: 1e6} },
+	"DisableDesched":    func(c *core.RunConfig) { c.DisableDesched = true },
+	"ForceCopyLoop":     func(c *core.RunConfig) { c.ForceCopyLoop = true },
+	"ForceFragments":    func(c *core.RunConfig) { c.ForceFragments = true },
+	"Net":               func(c *core.RunConfig) { c.Net = netstack.Config{SendWindow: 64 * 1024} },
+	"KeepaliveInterval": func(c *core.RunConfig) { c.KeepaliveInterval = -1 },
+	"FrameLossProb":     func(c *core.RunConfig) { c.FrameLossProb = 0.02 },
+	"Switched":          func(c *core.RunConfig) { c.Switched = true },
+	"Nagle":             func(c *core.RunConfig) { c.Nagle = true },
+	"CrossTrafficKBps":  func(c *core.RunConfig) { c.CrossTrafficKBps = 500 },
+	"GuaranteeProgram":  func(c *core.RunConfig) { c.GuaranteeProgram = true },
+	"FaultScript":       func(c *core.RunConfig) { c.FaultScript = "5s:linkdown host2" },
+	"Faults":            func(c *core.RunConfig) { c.Faults = faults.MustParse("1s:segdown,2s:segup") },
+	"Degrade":           func(c *core.RunConfig) { c.Degrade = true },
+	"HeartbeatMisses":   func(c *core.RunConfig) { c.HeartbeatMisses = 5 },
+}
+
+func TestKeyCoversAllFields(t *testing.T) {
+	typ := reflect.TypeOf(core.RunConfig{})
+	base := core.RunConfig{Program: "2dfft", Seed: 1}
+	baseKey := Key(base)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		mut, ok := keyMutators[name]
+		if !ok {
+			t.Errorf("RunConfig.%s has no key mutator: extend farm.Key and this table", name)
+			continue
+		}
+		cfg := base
+		mut(&cfg)
+		if Key(cfg) == baseKey {
+			t.Errorf("mutating RunConfig.%s does not change the cache key", name)
+		}
+	}
+	if len(keyMutators) != typ.NumField() {
+		t.Errorf("mutator table has %d entries for %d fields", len(keyMutators), typ.NumField())
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	cfg := core.RunConfig{
+		Program: "sor", Seed: 7, P: 4,
+		Cost: &fx.CostModel{
+			DefaultRate: 2e6,
+			Rates:       map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5},
+		},
+	}
+	k0 := Key(cfg)
+	for i := 0; i < 20; i++ { // map-order independence
+		if k := Key(cfg); k != k0 {
+			t.Fatalf("key not deterministic: %s vs %s", k, k0)
+		}
+	}
+	if len(k0) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k0)
+	}
+}
+
+// TestKeyFaultsPrecedence mirrors core.Run: a parsed schedule overrides
+// the script, and a schedule equal to a script's parse hashes like it.
+func TestKeyFaultsPrecedence(t *testing.T) {
+	script := "5s:linkdown host2,7s:linkup host2"
+	viaScript := core.RunConfig{Program: "sor", FaultScript: script}
+	viaSchedule := core.RunConfig{Program: "sor", Faults: faults.MustParse(script)}
+	if Key(viaScript) != Key(viaSchedule) {
+		t.Error("equivalent schedule and script produce different keys")
+	}
+	shadowed := viaSchedule
+	shadowed.FaultScript = "1s:segdown" // ignored by core.Run when Faults is set
+	if Key(shadowed) != Key(viaSchedule) {
+		t.Error("shadowed FaultScript leaked into the key")
+	}
+}

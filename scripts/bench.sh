@@ -1,0 +1,74 @@
+#!/bin/sh
+# Farm benchmark: wall-clock of a -quick reproduction serially vs on the
+# worker pool, and cache-cold vs cache-warm. Writes BENCH_farm.json.
+#
+# The parallel speedup depends on the host: on a single-core container
+# -j N cannot beat -j 1, which is why the JSON records "cores" next to
+# the timings. The cache-warm invariant is machine-independent: a warm
+# rerun must execute zero simulations.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-4}"
+OUT="${OUT:-BENCH_farm.json}"
+BIN="$(mktemp -d)/fxrepro"
+CACHE="$(mktemp -d)/fxcache"
+trap 'rm -rf "$(dirname "$BIN")" "$(dirname "$CACHE")"' EXIT
+
+go build -o "$BIN" ./cmd/fxrepro
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# run <args...>: time one fxrepro invocation, leaving WALL_MS and
+# EXECUTED set from the wall clock and the farm's stderr summary.
+run() {
+	start=$(now_ms)
+	"$BIN" "$@" >/dev/null 2>"$CACHE.err"
+	WALL_MS=$(( $(now_ms) - start ))
+	EXECUTED=$(sed -n 's/.*executed=\([0-9]*\).*/\1/p' "$CACHE.err" | tail -1)
+}
+
+echo "bench: serial (-j 1)" >&2
+run -quick -j 1
+SERIAL_MS=$WALL_MS
+
+echo "bench: parallel (-j $JOBS)" >&2
+run -quick -j "$JOBS"
+PARALLEL_MS=$WALL_MS
+
+echo "bench: cache cold (-j $JOBS -cache)" >&2
+run -quick -j "$JOBS" -cache "$CACHE"
+COLD_MS=$WALL_MS
+COLD_EXECUTED=$EXECUTED
+
+echo "bench: cache warm (-j $JOBS -cache)" >&2
+run -quick -j "$JOBS" -cache "$CACHE"
+WARM_MS=$WALL_MS
+WARM_EXECUTED=$EXECUTED
+
+if [ "$WARM_EXECUTED" != "0" ]; then
+	echo "bench: FAIL: warm-cache rerun executed $WARM_EXECUTED simulations, want 0" >&2
+	exit 1
+fi
+
+CORES=$(nproc 2>/dev/null || echo 1)
+SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $SERIAL_MS/$PARALLEL_MS}")
+WARMUP=$(awk "BEGIN{printf \"%.2f\", $COLD_MS/$WARM_MS}")
+
+printf '{
+  "bench": "fxrepro -quick through the experiment farm",
+  "cores": %s,
+  "jobs": %s,
+  "serial_ms": %s,
+  "parallel_ms": %s,
+  "parallel_speedup": %s,
+  "cache_cold_ms": %s,
+  "cache_cold_executed": %s,
+  "cache_warm_ms": %s,
+  "cache_warm_executed": %s,
+  "cache_warm_speedup": %s
+}\n' "$CORES" "$JOBS" "$SERIAL_MS" "$PARALLEL_MS" "$SPEEDUP" \
+	"$COLD_MS" "$COLD_EXECUTED" "$WARM_MS" "$WARM_EXECUTED" "$WARMUP" >"$OUT"
+
+cat "$OUT"
