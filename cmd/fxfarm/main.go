@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"fxnet"
+	"fxnet/internal/profiling"
 )
 
 type batchRow struct {
@@ -63,8 +64,19 @@ func main() {
 		outDir   = flag.String("out", "", "write per-run trace + report artifacts to this directory")
 		jsonOut  = flag.String("json", "", "write the batch summary JSON to this file (\"-\" = stdout)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
+		prof     = profiling.Register()
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	progList := fxnet.Programs()
 	if *programs != "all" {

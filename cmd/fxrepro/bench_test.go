@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"fxnet"
+)
+
+// BenchmarkEndToEndQuickRun measures one serial pass over every program
+// at the -quick sizes — the end-to-end number the performance work in
+// this tree is tracked against (scripts/bench.sh records it in
+// BENCH_sim.json).
+func BenchmarkEndToEndQuickRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, name := range fxnet.Programs() {
+			cfg := reproConfig(name, reproOptions{Quick: true, Seed: 42})
+			if _, err := fxnet.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

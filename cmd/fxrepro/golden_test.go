@@ -1,0 +1,61 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"fxnet"
+)
+
+// goldenQuickDigests pins the SHA-256 of the binary trace of every
+// program under the -quick regime at seed 42. These digests are the
+// determinism contract of the simulator: any change to event ordering,
+// protocol behaviour, or the trace codec shows up here as a mismatch.
+//
+// Performance work (event pooling, heap layout, timer strategy, buffer
+// reuse) must keep every digest byte-identical. A deliberate behaviour
+// change updates this map with the "got" digests the failing test
+// prints.
+var goldenQuickDigests = map[string]string{
+	"sor":     "a25d5ba700db8269f4c2bc4698e90a14b9e4dd28b3f1889e03471a288e757947",
+	"2dfft":   "28a5e6ca06c90e3294979fa8a4ba75b193db56f4a5d918299ce0e4e0a1a64218",
+	"t2dfft":  "f0ba808a68bdea5d68d38f420020803cc0de94a661bd401d7d3fb25d9550dc1a",
+	"seq":     "bad34c9f673c9aa85c4bb7b65c4af9e1b16fa7199ef03d8eac0de6336bb77d78",
+	"hist":    "57d57b41067e48ffc29d3e7b213792e25cd5ac7bd237aa1595f3a2a0d78f9873",
+	"airshed": "db10f5d0c59caff0d1cfd09d39410da34adda1adf3f605815ab467d304ec2a36",
+}
+
+func quickDigest(t testing.TB, name string) string {
+	cfg := reproConfig(name, reproOptions{Quick: true, Seed: 42})
+	res, err := fxnet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	if err := res.Trace.WriteBinary(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenQuickDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every -quick program")
+	}
+	for _, name := range fxnet.Programs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenQuickDigests[name]
+			if !ok {
+				t.Fatalf("no golden digest recorded for program %q", name)
+			}
+			if got := quickDigest(t, name); got != want {
+				t.Errorf("trace digest changed:\n got  %s\n want %s\n"+
+					"the simulation is no longer byte-identical to the committed golden run",
+					got, want)
+			}
+		})
+	}
+}

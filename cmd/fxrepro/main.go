@@ -16,6 +16,8 @@ import (
 	"flag"
 	"log"
 	"os"
+
+	"fxnet/internal/profiling"
 )
 
 func main() {
@@ -28,10 +30,16 @@ func main() {
 		csv   = flag.String("csvdir", "", "optional directory for bandwidth-series CSVs")
 		jobs  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
+		prof  = profiling.Register()
 	)
 	flag.Parse()
 
-	_, err := repro(reproOptions{
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = repro(reproOptions{
 		Quick:    *quick,
 		Tiny:     *tiny,
 		Seed:     *seed,
@@ -40,6 +48,9 @@ func main() {
 		CacheDir: *cache,
 	}, os.Stdout, os.Stderr)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 }

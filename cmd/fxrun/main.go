@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"fxnet"
+	"fxnet/internal/profiling"
 )
 
 func main() {
@@ -33,8 +34,19 @@ func main() {
 		format  = flag.String("format", "bin", "trace format: bin or text")
 		faults  = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
 		degrade = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
+		prof    = profiling.Register()
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	cfg := fxnet.RunConfig{
 		Program:     *program,

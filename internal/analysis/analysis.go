@@ -109,6 +109,18 @@ func SpectrumOfSeries(series []float64, dt float64) *dsp.Spectrum {
 	})
 }
 
+// SpectrumInto is SpectrumOfSeries computing into a reusable dsp
+// workspace: analyses that take spectra in a loop (sliding windows,
+// parameter sweeps) reuse one Workspace and allocate nothing per
+// iteration. The returned spectrum aliases ws and is overwritten by the
+// next call.
+func SpectrumInto(ws *dsp.Workspace, series []float64, dt float64) *dsp.Spectrum {
+	return ws.Periodogram(series, dt, dsp.PeriodogramOptions{
+		RemoveMean: true,
+		PadPow2:    true,
+	})
+}
+
 // Window is one segment of a fault-bracketed trace with its spectrum —
 // the unit of the pre/during/post comparison.
 type Window struct {

@@ -50,6 +50,24 @@ func BenchmarkPeriodogram_20000Samples(b *testing.B) {
 	}
 }
 
+// BenchmarkPeriodogramWorkspace_20000Samples is the scratch-reusing form:
+// after the first iteration warms the workspace it should allocate
+// nothing per spectrum.
+func BenchmarkPeriodogramWorkspace_20000Samples(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	var ws Workspace
+	ws.Periodogram(x, 0.01, PeriodogramOptions{RemoveMean: true, PadPow2: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Periodogram(x, 0.01, PeriodogramOptions{RemoveMean: true, PadPow2: true})
+	}
+}
+
 func BenchmarkFFT2D_64x64(b *testing.B) {
 	m := benchSignal(64 * 64)
 	b.ReportAllocs()

@@ -19,6 +19,13 @@ const (
 // Apply returns x multiplied by the window, leaving x unchanged.
 func (w Window) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
+	copy(out, x)
+	w.applyTo(out)
+	return out
+}
+
+// applyTo multiplies x by the window in place.
+func (w Window) applyTo(x []float64) {
 	n := float64(len(x) - 1)
 	for i, v := range x {
 		var g float64
@@ -30,9 +37,8 @@ func (w Window) Apply(x []float64) []float64 {
 		default:
 			g = 1
 		}
-		out[i] = v * g
+		x[i] = v * g
 	}
-	return out
 }
 
 // Spectrum is a one-sided power spectrum of a uniformly sampled signal,
@@ -71,10 +77,32 @@ type PeriodogramOptions struct {
 // seconds. This mirrors the paper's analysis: the input is the 10 ms-binned
 // instantaneous average bandwidth, and the result is the periodogram whose
 // spikes characterize the program's periodicity.
+//
+// Each call allocates a fresh Spectrum; analyses that compute spectra in
+// a loop (sliding windows, farm sweeps) should reuse a Workspace instead.
 func Periodogram(x []float64, dt float64, opt PeriodogramOptions) *Spectrum {
+	var ws Workspace
+	return ws.Periodogram(x, dt, opt)
+}
+
+// Workspace owns the scratch and output buffers of a periodogram. The
+// zero value is ready to use; buffers grow to the largest size seen and
+// are reused, so repeated same-size spectra allocate nothing. The
+// *Spectrum returned by Workspace.Periodogram aliases the workspace and
+// is overwritten by the next call.
+type Workspace struct {
+	work []float64 // mean-removed, windowed, zero-padded input
+	xbuf []complex128
+	spec Spectrum
+}
+
+// Periodogram is the scratch-reusing form of the package-level function.
+func (ws *Workspace) Periodogram(x []float64, dt float64, opt PeriodogramOptions) *Spectrum {
 	n := len(x)
+	s := &ws.spec
 	if n == 0 || dt <= 0 {
-		return &Spectrum{DT: dt}
+		*s = Spectrum{DT: dt}
+		return s
 	}
 	mean := 0.0
 	if opt.RemoveMean {
@@ -83,31 +111,31 @@ func Periodogram(x []float64, dt float64, opt PeriodogramOptions) *Spectrum {
 		}
 		mean /= float64(n)
 	}
-	work := make([]float64, n)
-	for i, v := range x {
-		work[i] = v - mean
-	}
-	if opt.Window != Rectangular {
-		work = opt.Window.Apply(work)
-	}
 	m := n
 	if opt.PadPow2 {
 		m = NextPow2(n)
 	}
-	padded := make([]complex128, m)
-	for i, v := range work {
-		padded[i] = complex(v, 0)
+	ws.work = growF(ws.work, m)
+	work := ws.work
+	for i, v := range x {
+		work[i] = v - mean
 	}
-	X := FFT(padded)
+	for i := n; i < m; i++ {
+		work[i] = 0
+	}
+	if opt.Window != Rectangular {
+		opt.Window.applyTo(work[:n])
+	}
+	ws.xbuf = growC(ws.xbuf, m)
+	X := ws.xbuf
+	FFTRealInto(X, work)
 	half := m/2 + 1
-	s := &Spectrum{
-		Freq:  make([]float64, half),
-		Power: make([]float64, half),
-		Coeff: make([]complex128, half),
-		DF:    1 / (float64(m) * dt),
-		N:     n,
-		DT:    dt,
-	}
+	s.Freq = growF(s.Freq, half)
+	s.Power = growF(s.Power, half)
+	s.Coeff = growC(s.Coeff, half)
+	s.DF = 1 / (float64(m) * dt)
+	s.N = n
+	s.DT = dt
 	for i := 0; i < half; i++ {
 		s.Freq[i] = float64(i) * s.DF
 		s.Power[i] = real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
@@ -117,6 +145,23 @@ func Periodogram(x []float64, dt float64, opt PeriodogramOptions) *Spectrum {
 	s.Coeff[0] += complex(mean, 0)
 	s.Power[0] = cmplx.Abs(s.Coeff[0]*complex(float64(m), 0)) * cmplx.Abs(s.Coeff[0]*complex(float64(m), 0))
 	return s
+}
+
+// growF returns s resized to length n, reusing its backing array when
+// large enough.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growC is growF for complex slices.
+func growC(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
 }
 
 // Peak is a spectral spike: a local maximum of the power spectrum.

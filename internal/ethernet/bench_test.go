@@ -16,6 +16,7 @@ func BenchmarkSharedSaturation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a.Send(&Frame{Dst: 1, NetLen: 1500})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
@@ -33,6 +34,7 @@ func BenchmarkSharedContention(b *testing.B) {
 		st := sts[i%4]
 		st.Send(&Frame{Dst: (st.ID() + 1) % 4, NetLen: 700})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
@@ -46,6 +48,7 @@ func BenchmarkSwitchForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a.Send(&Frame{Dst: 1, NetLen: 1500})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

@@ -136,11 +136,20 @@ type Segment struct {
 	state    segState
 	txStart  sim.Time
 	txFrom   *Station
-	txEnd    *sim.Event
+	txEnd    sim.Event
 	idleAt   sim.Time // instant the medium last became idle
 	waiters  []*Station
 	arbAt    sim.Time
-	arbEvent *sim.Event
+	arbEvent sim.Event
+	// contenders is arbitrate's scratch slice, reused across arbitration
+	// rounds so contention resolution allocates nothing.
+	contenders []*Station
+
+	// Once-allocated event callbacks: scheduling a delivery, a jam end,
+	// or an arbitration allocates no closure on the hot path.
+	deliverFn func()
+	jamEndFn  func()
+	arbFn     func()
 
 	// dropProb is the injected frame-corruption probability: a corrupted
 	// frame occupies the wire but fails its FCS everywhere, so neither
@@ -293,12 +302,16 @@ func NewSegment(k *sim.Kernel, bitRate float64) *Segment {
 	if bitRate <= 0 {
 		bitRate = DefaultBitRate
 	}
-	return &Segment{
+	s := &Segment{
 		k:       k,
 		bitRate: bitRate,
 		rng:     k.Rand("ethernet.segment"),
 		idleAt:  -sim.Time(InterFrameGap), // medium usable at t=0
 	}
+	s.deliverFn = s.deliver
+	s.jamEndFn = s.jamEnd
+	s.arbFn = s.arbitrate
+	return s
 }
 
 // BitRate reports the segment's raw bit rate in bits per second.
@@ -314,7 +327,8 @@ func (s *Segment) Tap(fn func(Capture)) { s.taps = append(s.taps, fn) }
 // Attach creates a new station on the segment and returns it. The name is
 // used in diagnostics only; the returned station's ID is its address.
 func (s *Segment) Attach(name string) *Station {
-	st := &Station{seg: s, id: len(s.stations), name: name}
+	st := &Station{seg: s, id: len(s.stations), name: name, retryName: "eth.retry:" + name}
+	st.contendFn = st.contend
 	s.stations = append(s.stations, st)
 	return st
 }
@@ -329,15 +343,21 @@ func (s *Segment) txDuration(f *Frame) sim.Duration {
 }
 
 // Station is one attached network adaptor with a FIFO transmit queue.
+// The queue pops from a head index and rewinds to the start of its
+// backing array whenever it drains, so steady-state traffic reuses one
+// allocation instead of pinning consumed prefixes.
 type Station struct {
-	seg      *Segment
-	id       int
-	name     string
-	queue    []*Frame
-	attempts int
-	pending  bool // a contention attempt is registered or scheduled
-	waiting  bool // registered in seg.waiters
-	recv     func(*Frame)
+	seg       *Segment
+	id        int
+	name      string
+	retryName string // precomputed "eth.retry:"+name
+	queue     []*Frame
+	qhead     int
+	attempts  int
+	pending   bool   // a contention attempt is registered or scheduled
+	waiting   bool   // registered in seg.waiters
+	contendFn func() // once-allocated contention callback
+	recv      func(*Frame)
 
 	// TxFrames / TxBytes count frames this station put on the wire.
 	TxFrames int64
@@ -356,7 +376,20 @@ func (st *Station) Name() string { return st.name }
 func (st *Station) OnReceive(fn func(*Frame)) { st.recv = fn }
 
 // QueueLen reports the number of frames waiting to transmit.
-func (st *Station) QueueLen() int { return len(st.queue) }
+func (st *Station) QueueLen() int { return len(st.queue) - st.qhead }
+
+// head returns the frame at the front of the transmit queue.
+func (st *Station) head() *Frame { return st.queue[st.qhead] }
+
+// popHead removes the front frame; a drained queue rewinds its storage.
+func (st *Station) popHead() {
+	st.queue[st.qhead] = nil
+	st.qhead++
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+}
 
 // Send enqueues a frame for transmission. The frame's Src is forced to
 // this station. Sending to self panics: the loopback path belongs to the
@@ -423,82 +456,81 @@ func (st *Station) backoff(from sim.Time) {
 	if at < s.k.Now() {
 		at = s.k.Now()
 	}
-	s.k.At(at, "eth.retry:"+st.name, st.contend)
+	s.k.At(at, st.retryName, st.contendFn)
 }
 
 // startTx begins serializing st's head frame onto the wire.
 func (s *Segment) startTx(st *Station) {
-	f := st.queue[0]
+	f := st.head()
 	s.state = segBusy
 	s.txFrom = st
 	s.txStart = s.k.Now()
-	s.txEnd = s.k.After(s.txDuration(f), "eth.txend:"+st.name, func() { s.deliver(st, f) })
+	s.txEnd = s.k.After(s.txDuration(f), "eth.txend", s.deliverFn)
 }
 
 // deliver completes a successful transmission: update state, pop the
-// queue, invoke taps and the destination upcall, then rearbitrate.
-func (s *Segment) deliver(st *Station, f *Frame) {
+// transmitter's queue, invoke taps and the destination upcall, then
+// rearbitrate. The transmitter and its head frame are read from the
+// segment state, so the txEnd event needs no per-frame closure.
+func (s *Segment) deliver() {
 	now := s.k.Now()
+	st := s.txFrom
+	f := st.head()
 	s.state = segIdle
 	s.idleAt = now
 	s.txFrom = nil
-	s.txEnd = nil
+	s.txEnd = sim.Event{}
 
-	st.queue = st.queue[1:]
+	st.popHead()
 	st.attempts = 0
 	st.TxFrames++
 	st.TxBytes += int64(f.CapturedSize())
 
-	rearb := func() {
-		// The sender either requeues for its next frame or goes quiet.
-		if len(st.queue) > 0 {
-			st.joinWaiters()
-		} else {
-			st.pending = false
-		}
-		if len(s.waiters) > 0 {
-			s.scheduleArb(now.Add(InterFrameGap))
-		}
-	}
-
-	if s.dropProb > 0 && s.dropRng.Float64() < s.dropProb {
-		s.stats.Corrupted++
+	delivered := true
+	switch {
+	case s.dropProb > 0 && s.dropRng.Float64() < s.dropProb:
 		// The wire was occupied, but the frame is gone: skip taps and
 		// delivery, then rearbitrate as usual.
-		rearb()
-		return
-	}
-	if s.gated(f.Src, f.Dst) {
+		s.stats.Corrupted++
+		delivered = false
+	case s.gated(f.Src, f.Dst):
 		// A fault gate (link down, segment down, partition) discards the
 		// frame: the wire was occupied but nothing hears it.
 		s.stats.Dropped++
-		rearb()
-		return
-	}
-
-	if s.reorderProb > 0 && s.held == nil && s.faultRand().Float64() < s.reorderProb {
+		delivered = false
+	case s.reorderProb > 0 && s.held == nil && s.faultRand().Float64() < s.reorderProb:
 		// Hold the frame back; it is re-emitted right after the next
 		// successful delivery (a multipath bridge race).
 		s.stats.Reordered++
 		s.held = f
-		rearb()
-		return
+		delivered = false
 	}
 
-	s.emit(f)
-	if s.dupProb > 0 && s.faultRand().Float64() < s.dupProb {
-		s.stats.Duplicated++
+	if delivered {
 		s.emit(f)
-	}
-	if held := s.held; held != nil {
-		s.held = nil
-		if !s.gated(held.Src, held.Dst) {
-			s.emit(held)
-		} else {
-			s.stats.Dropped++
+		if s.dupProb > 0 && s.faultRand().Float64() < s.dupProb {
+			s.stats.Duplicated++
+			s.emit(f)
+		}
+		if held := s.held; held != nil {
+			s.held = nil
+			if !s.gated(held.Src, held.Dst) {
+				s.emit(held)
+			} else {
+				s.stats.Dropped++
+			}
 		}
 	}
-	rearb()
+
+	// The sender either requeues for its next frame or goes quiet.
+	if st.QueueLen() > 0 {
+		st.joinWaiters()
+	} else {
+		st.pending = false
+	}
+	if len(s.waiters) > 0 {
+		s.scheduleArb(now.Add(InterFrameGap))
+	}
 }
 
 // emit performs one delivery of a frame that survived the wire: capture
@@ -531,28 +563,29 @@ func (s *Segment) emit(f *Frame) {
 	}
 }
 
+// jamEnd returns the medium to idle after a jam and rearbitrates.
+func (s *Segment) jamEnd() {
+	if s.state == segJam {
+		s.state = segIdle
+	}
+	if len(s.waiters) > 0 {
+		s.scheduleArb(s.idleAt.Add(InterFrameGap))
+	}
+}
+
 // collide handles a collision between the in-flight transmitter and
 // latecomer st (or, via collideAll, among simultaneous contenders).
 func (s *Segment) collide(st *Station) {
 	s.stats.Collisions++
-	if s.txEnd != nil {
-		s.txEnd.Cancel()
-		s.txEnd = nil
-	}
+	s.txEnd.Cancel()
+	s.txEnd = sim.Event{}
 	tx := s.txFrom
 	s.txFrom = nil
 	now := s.k.Now()
 	s.state = segJam
 	jamEnd := now.Add(JamTime)
 	s.idleAt = jamEnd
-	s.k.At(jamEnd, "eth.jamend", func() {
-		if s.state == segJam {
-			s.state = segIdle
-		}
-		if len(s.waiters) > 0 {
-			s.scheduleArb(s.idleAt.Add(InterFrameGap))
-		}
-	})
+	s.k.At(jamEnd, "eth.jamend", s.jamEndFn)
 	tx.backoff(jamEnd)
 	st.backoff(jamEnd)
 }
@@ -564,14 +597,7 @@ func (s *Segment) collideAll(contenders []*Station) {
 	s.state = segJam
 	jamEnd := now.Add(JamTime)
 	s.idleAt = jamEnd
-	s.k.At(jamEnd, "eth.jamend", func() {
-		if s.state == segJam {
-			s.state = segIdle
-		}
-		if len(s.waiters) > 0 {
-			s.scheduleArb(s.idleAt.Add(InterFrameGap))
-		}
-	})
+	s.k.At(jamEnd, "eth.jamend", s.jamEndFn)
 	for _, st := range contenders {
 		st.backoff(jamEnd)
 	}
@@ -583,20 +609,20 @@ func (s *Segment) scheduleArb(t sim.Time) {
 	if t < s.k.Now() {
 		t = s.k.Now()
 	}
-	if s.arbEvent != nil && !s.arbEvent.Cancelled() {
+	if s.arbEvent.Pending() {
 		if s.arbAt <= t {
 			return
 		}
 		s.arbEvent.Cancel()
 	}
 	s.arbAt = t
-	s.arbEvent = s.k.At(t, "eth.arb", s.arbitrate)
+	s.arbEvent = s.k.At(t, "eth.arb", s.arbFn)
 }
 
 // arbitrate resolves contention at an idle-medium instant: one waiter
 // transmits; several collide.
 func (s *Segment) arbitrate() {
-	s.arbEvent = nil
+	s.arbEvent = sim.Event{}
 	if s.state != segIdle {
 		return // busy again; deliver/jam-end will rearbitrate
 	}
@@ -604,16 +630,17 @@ func (s *Segment) arbitrate() {
 		s.scheduleArb(ready)
 		return
 	}
-	var contenders []*Station
+	contenders := s.contenders[:0]
 	for _, st := range s.waiters {
 		st.waiting = false
-		if len(st.queue) > 0 {
+		if st.QueueLen() > 0 {
 			contenders = append(contenders, st)
 		} else {
 			st.pending = false
 		}
 	}
 	s.waiters = s.waiters[:0]
+	s.contenders = contenders
 	switch len(contenders) {
 	case 0:
 	case 1:

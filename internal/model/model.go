@@ -70,10 +70,26 @@ func (m *BandwidthModel) Eval(t float64) float64 {
 }
 
 // Series evaluates the model at n uniform samples spaced dt seconds.
+// Uniform spacing lets each component advance by a constant phasor
+// rotation per sample instead of a sin/cos pair per (component, sample);
+// the phasor is re-anchored to an exact evaluation every 512 samples, so
+// the recurrence agrees with Eval to rounding error.
 func (m *BandwidthModel) Series(n int, dt float64) []float64 {
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = m.Eval(float64(i) * dt)
+		out[i] = m.DC
+	}
+	for _, c := range m.Components {
+		w := 2 * math.Pi * c.Freq
+		step := cmplx.Rect(1, w*dt)
+		var z complex128
+		for i := range out {
+			if i&511 == 0 {
+				z = c.Coeff * cmplx.Rect(1, w*float64(i)*dt)
+			}
+			out[i] += 2 * real(z)
+			z *= step
+		}
 	}
 	return out
 }

@@ -90,9 +90,12 @@ func TestConvergenceWithMoreSpikes(t *testing.T) {
 
 func TestEvalAndSeriesAgree(t *testing.T) {
 	m := &BandwidthModel{DC: 5, Components: []Component{{Freq: 1, Coeff: complex(2, 1)}}}
-	s := m.Series(10, 0.1)
+	const n, dt = 4000, 0.1 // spans several phasor re-anchor intervals
+	s := m.Series(n, dt)
 	for i, v := range s {
-		if got := m.Eval(float64(i) * 0.1); got != v {
+		// Series advances a phasor recurrence; it must agree with the
+		// direct evaluation to rounding error over the whole span.
+		if got := m.Eval(float64(i) * dt); math.Abs(got-v) > 1e-9 {
 			t.Fatalf("Series[%d] = %v, Eval = %v", i, v, got)
 		}
 	}

@@ -306,30 +306,49 @@ type Conn struct {
 	onEstablished         func()
 	established           sim.Gate
 
-	// Send side.
+	// Send side. sndQ and unacked are head-indexed queues: popping
+	// advances a cursor instead of re-slicing, and the slice rewinds to
+	// its start when drained, so a long-lived connection reuses one
+	// backing array. Retired sendSeg structs go to segFree for reuse.
 	sndNext   int64 // next byte sequence to assign
 	sndQueued int64 // bytes handed to the station
 	sndUna    int64 // lowest unacknowledged byte
 	sndQ      []*sendSeg
+	sndQHead  int
 	buffered  int // bytes in sndQ (the socket send buffer)
 	writers   sim.Gate
 	finSent   bool
+	segFree   []*sendSeg
 
 	// Reliability: segments on the wire but unacknowledged, oldest
-	// first, plus the retransmission timer state.
-	unacked    []*sendSeg
-	rtoTimer   *sim.Event
-	rtoBackoff int
-	dupAcks    int
-	fastAt     int64 // sndUna at the last fast retransmit (one per window)
-	synTimer   *sim.Event
+	// first, plus the retransmission timer state. The RTO and delayed-ACK
+	// timers are lazy: re-arming only moves the logical deadline
+	// (rtoDeadline / delAckAt; zero = disarmed), and the one physical
+	// kernel event re-schedules itself when it fires early. Acknowledging
+	// a segment therefore never pushes a fresh heap event, where the
+	// eager version scheduled (and lazily cancelled) one per ACK.
+	unacked     []*sendSeg
+	unaHead     int
+	rtoTimer    sim.Event
+	rtoDeadline sim.Time
+	rtoBackoff  int
+	dupAcks     int
+	fastAt      int64 // sndUna at the last fast retransmit (one per window)
+	synTimer    sim.Event
+
+	// Timer callbacks, bound once at construction: re-arming a timer
+	// must not allocate a fresh method value per segment.
+	onRTOFn    func()
+	onDelAckFn func()
+	synRetryFn func()
 
 	// Receive side.
 	rcvNext     int64 // next expected byte
 	rcvBuf      []byte
 	readers     sim.Gate
 	unackedSegs int
-	delAck      *sim.Event
+	delAck      sim.Event
+	delAckAt    sim.Time
 	peerClosed  bool
 
 	// err records why the connection failed (ErrTimedOut, ErrReset);
@@ -349,8 +368,49 @@ type sendSeg struct {
 	fin  bool
 }
 
+// newSeg takes a segment from the connection's free list (or allocates).
+func (c *Conn) newSeg() *sendSeg {
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+		return s
+	}
+	return &sendSeg{}
+}
+
+// freeSeg retires a segment for reuse. The data slice is released (frames
+// already on the wire hold their own copy of the slice header).
+func (c *Conn) freeSeg(s *sendSeg) {
+	s.data = nil
+	s.fin = false
+	c.segFree = append(c.segFree, s)
+}
+
+// qLen reports queued-but-unsent segments; inFlight reports sent-but-
+// unacknowledged ones.
+func (c *Conn) qLen() int     { return len(c.sndQ) - c.sndQHead }
+func (c *Conn) inFlight() int { return len(c.unacked) - c.unaHead }
+
+// popSndQ removes the head of the send queue, rewinding the backing
+// array once drained.
+func (c *Conn) popSndQ() *sendSeg {
+	s := c.sndQ[c.sndQHead]
+	c.sndQ[c.sndQHead] = nil
+	c.sndQHead++
+	if c.sndQHead == len(c.sndQ) {
+		c.sndQ = c.sndQ[:0]
+		c.sndQHead = 0
+	}
+	return s
+}
+
 func newConn(h *Host, remote int, localPort, remotePort uint16) *Conn {
-	return &Conn{h: h, remoteHost: remote, localPort: localPort, remotePort: remotePort}
+	c := &Conn{h: h, remoteHost: remote, localPort: localPort, remotePort: remotePort}
+	c.onRTOFn = c.onRTO
+	c.onDelAckFn = c.onDelAck
+	c.synRetryFn = c.synRetry
+	return c
 }
 
 // Connect opens a TCP connection to dstHost:dstPort, blocking p until the
@@ -377,7 +437,7 @@ func (h *Host) ConnectErr(p *sim.Proc, dstHost int, dstPort uint16) (*Conn, erro
 	key := connKey{dstHost, c.localPort, c.remotePort}
 	h.conns[key] = c
 	c.sendSyn()
-	var deadline *sim.Event
+	var deadline sim.Event
 	if h.cfg.ConnectTimeout > 0 {
 		deadline = h.k.After(h.cfg.ConnectTimeout, "tcp.conntimeout", func() {
 			if c.state != stateEstablished {
@@ -392,9 +452,7 @@ func (h *Host) ConnectErr(p *sim.Proc, dstHost int, dstPort uint16) (*Conn, erro
 		}
 		c.established.Wait(p)
 	}
-	if deadline != nil {
-		deadline.Cancel()
-	}
+	deadline.Cancel()
 	return c, nil
 }
 
@@ -403,18 +461,20 @@ func (h *Host) ConnectErr(p *sim.Proc, dstHost int, dstPort uint16) (*Conn, erro
 // configured, a persistently unanswered SYN fails the connection.
 func (c *Conn) sendSyn() {
 	c.sendControl(ethernet.FlagSyn, &tcpInfo{syn: true})
-	c.synTimer = c.h.k.After(c.h.cfg.RTO, "tcp.synrto", func() {
-		if c.state != stateSynSent {
-			return
-		}
-		c.synRetries++
-		if max := c.h.cfg.MaxRetransmits; max > 0 && c.synRetries > max {
-			c.fail(ErrTimedOut)
-			return
-		}
-		c.Retransmits++
-		c.sendSyn()
-	})
+	c.synTimer = c.h.k.After(c.h.cfg.RTO, "tcp.synrto", c.synRetryFn)
+}
+
+func (c *Conn) synRetry() {
+	if c.state != stateSynSent {
+		return
+	}
+	c.synRetries++
+	if max := c.h.cfg.MaxRetransmits; max > 0 && c.synRetries > max {
+		c.fail(ErrTimedOut)
+		return
+	}
+	c.Retransmits++
+	c.sendSyn()
 }
 
 // Err reports why the connection failed, or nil while it is healthy.
@@ -434,14 +494,14 @@ func (c *Conn) fail(err error) {
 	}
 	c.err = err
 	c.state = stateClosed
-	for _, ev := range []*sim.Event{c.rtoTimer, c.synTimer, c.delAck} {
-		if ev != nil {
-			ev.Cancel()
-		}
-	}
-	c.rtoTimer, c.synTimer, c.delAck = nil, nil, nil
-	c.unacked = nil
-	c.sndQ = nil
+	c.rtoTimer.Cancel()
+	c.synTimer.Cancel()
+	c.delAck.Cancel()
+	c.rtoTimer, c.synTimer, c.delAck = sim.Event{}, sim.Event{}, sim.Event{}
+	c.rtoDeadline, c.delAckAt = 0, 0
+	c.unacked, c.unaHead = nil, 0
+	c.sndQ, c.sndQHead = nil, 0
+	c.segFree = nil
 	c.buffered = 0
 	c.established.Broadcast()
 	c.readers.Broadcast()
@@ -508,7 +568,9 @@ func (c *Conn) WriteErr(p *sim.Proc, data []byte) error {
 		if c.err != nil {
 			return c.err
 		}
-		seg := &sendSeg{data: chunk, seq: c.sndNext}
+		seg := c.newSeg()
+		seg.data = chunk
+		seg.seq = c.sndNext
 		c.sndNext += int64(len(seg.data))
 		c.buffered += len(seg.data)
 		c.sndQ = append(c.sndQ, seg)
@@ -520,8 +582,8 @@ func (c *Conn) WriteErr(p *sim.Proc, data []byte) error {
 // pump admits queued segments while the send window has room, applying
 // Nagle coalescing when configured.
 func (c *Conn) pump() {
-	for len(c.sndQ) > 0 {
-		seg := c.sndQ[0]
+	for c.qLen() > 0 {
+		seg := c.sndQ[c.sndQHead]
 		if c.h.cfg.Nagle && !seg.fin && len(seg.data) < MSS {
 			seg = c.nagleCoalesce()
 			if seg == nil {
@@ -533,9 +595,10 @@ func (c *Conn) pump() {
 		if !seg.fin && c.sndQueued+int64(len(seg.data))-c.sndUna > int64(c.h.cfg.SendWindow) {
 			return
 		}
-		c.sndQ = c.sndQ[1:]
+		c.popSndQ()
 		if seg.fin {
 			c.sendControl(ethernet.FlagFin, &tcpInfo{fin: true, seq: seg.seq})
+			c.freeSeg(seg)
 			continue
 		}
 		c.transmit(seg)
@@ -556,16 +619,17 @@ func (c *Conn) transmit(seg *sendSeg) {
 // MSS. It returns nil when the (still sub-MSS) merged segment must wait
 // for outstanding data to drain, per Nagle's rule.
 func (c *Conn) nagleCoalesce() *sendSeg {
+	q := c.sndQ[c.sndQHead:]
 	total := 0
 	n := 0
-	for n < len(c.sndQ) && !c.sndQ[n].fin && total+len(c.sndQ[n].data) <= MSS {
-		total += len(c.sndQ[n].data)
+	for n < len(q) && !q[n].fin && total+len(q[n].data) <= MSS {
+		total += len(q[n].data)
 		n++
 	}
 	if n == 0 {
-		n, total = 1, len(c.sndQ[0].data) // single oversize-window case
+		n, total = 1, len(q[0].data) // single oversize-window case
 	}
-	if total < MSS && len(c.unacked) > 0 {
+	if total < MSS && c.inFlight() > 0 {
 		return nil
 	}
 	if c.sndQueued+int64(total)-c.sndUna > int64(c.h.cfg.SendWindow) {
@@ -574,29 +638,31 @@ func (c *Conn) nagleCoalesce() *sendSeg {
 	// Byte-granular fill: top up from the next segment so coalesced
 	// segments are exactly MSS when the buffer has the bytes.
 	take := 0
-	if total < MSS && n < len(c.sndQ) && !c.sndQ[n].fin {
+	if total < MSS && n < len(q) && !q[n].fin {
 		take = MSS - total
-		if take > len(c.sndQ[n].data) {
-			take = len(c.sndQ[n].data)
+		if take > len(q[n].data) {
+			take = len(q[n].data)
 		}
 		total += take
 	}
 	if n == 1 && take == 0 {
-		seg := c.sndQ[0]
-		c.sndQ = c.sndQ[1:]
-		return seg
+		return c.popSndQ()
 	}
-	merged := &sendSeg{seq: c.sndQ[0].seq, data: make([]byte, 0, total)}
+	merged := c.newSeg()
+	merged.seq = q[0].seq
+	merged.data = make([]byte, 0, total)
 	for i := 0; i < n; i++ {
-		merged.data = append(merged.data, c.sndQ[i].data...)
+		merged.data = append(merged.data, q[i].data...)
 	}
 	if take > 0 {
-		next := c.sndQ[n]
+		next := q[n]
 		merged.data = append(merged.data, next.data[:take]...)
 		next.data = next.data[take:]
 		next.seq += int64(take)
 	}
-	c.sndQ = c.sndQ[n:]
+	for i := 0; i < n; i++ {
+		c.freeSeg(c.popSndQ())
+	}
 	return merged
 }
 
@@ -614,32 +680,47 @@ func (c *Conn) sendData(seg *sendSeg) {
 	})
 }
 
-// armRTO (re)arms the retransmission timer. With reset, the exponential
-// backoff returns to the base timeout (called on forward progress).
+// armRTO (re)arms the retransmission timer by moving its logical
+// deadline; the physical kernel event is only scheduled when none is
+// outstanding. With reset, the exponential backoff returns to the base
+// timeout (called on forward progress).
 func (c *Conn) armRTO(reset bool) {
 	if reset {
 		c.rtoBackoff = 0
 	}
-	if c.rtoTimer != nil {
+	if c.inFlight() == 0 {
+		// Fully acknowledged: disarm physically too, so an idle
+		// connection leaves nothing in the event queue. This happens once
+		// per write burst, not once per ACK, so the cancel churn the lazy
+		// deadline avoids does not come back.
+		c.rtoDeadline = 0
 		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
-	if len(c.unacked) == 0 {
+		c.rtoTimer = sim.Event{}
 		return
 	}
 	rto := c.h.cfg.RTO << c.rtoBackoff
 	if max := c.h.cfg.MaxRTO; max > 0 && rto > max {
 		rto = max
 	}
-	c.rtoTimer = c.h.k.After(rto, "tcp.rto", c.onRTO)
+	c.rtoDeadline = c.h.k.Now().Add(rto)
+	if !c.rtoTimer.Pending() {
+		c.rtoTimer = c.h.k.At(c.rtoDeadline, "tcp.rto", c.onRTOFn)
+	}
 }
 
-// onRTO goes back N: the receiver keeps no out-of-order buffer, so every
+// onRTO fires the physical timer. A deadline that moved forward since the
+// event was scheduled re-arms instead of timing out; a genuine expiry goes
+// back N — the receiver keeps no out-of-order buffer, so every
 // unacknowledged segment is resent in order, then the timer backs off.
 // With MaxRetransmits configured, a segment that keeps timing out fails
 // the connection with ErrTimedOut instead of backing off forever.
 func (c *Conn) onRTO() {
-	if len(c.unacked) == 0 {
+	c.rtoTimer = sim.Event{}
+	if c.inFlight() == 0 || c.rtoDeadline == 0 {
+		return
+	}
+	if now := c.h.k.Now(); now < c.rtoDeadline {
+		c.rtoTimer = c.h.k.At(c.rtoDeadline, "tcp.rto", c.onRTOFn)
 		return
 	}
 	c.rtoBackoff++
@@ -653,14 +734,14 @@ func (c *Conn) onRTO() {
 // fastRetransmit triggers the same go-back-N resend after triple
 // duplicate ACKs, without growing the backoff.
 func (c *Conn) fastRetransmit() {
-	if len(c.unacked) == 0 {
+	if c.inFlight() == 0 {
 		return
 	}
 	c.goBackN()
 }
 
 func (c *Conn) goBackN() {
-	for _, seg := range c.unacked {
+	for _, seg := range c.unacked[c.unaHead:] {
 		c.Retransmits++
 		c.sendData(seg)
 	}
@@ -672,10 +753,8 @@ func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
 	switch {
 	case info.syn && f.Flags&ethernet.FlagAck != 0: // SYN-ACK at client
 		if c.state == stateSynSent {
-			if c.synTimer != nil {
-				c.synTimer.Cancel()
-				c.synTimer = nil
-			}
+			c.synTimer.Cancel()
+			c.synTimer = sim.Event{}
 			c.state = stateEstablished
 			// ack=0 in the data sequence space: the handshake must not
 			// disturb byte-count window accounting.
@@ -712,8 +791,11 @@ func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
 			c.unackedSegs++
 			if c.unackedSegs >= c.h.cfg.AckEvery {
 				c.sendAckNow()
-			} else if c.delAck == nil || c.delAck.Cancelled() {
-				c.delAck = c.h.k.After(c.h.cfg.DelayedAckTimeout, "tcp.delack", c.sendAckNow)
+			} else if c.delAckAt == 0 {
+				c.delAckAt = c.h.k.Now().Add(c.h.cfg.DelayedAckTimeout)
+				if !c.delAck.Pending() {
+					c.delAck = c.h.k.At(c.delAckAt, "tcp.delack", c.onDelAckFn)
+				}
 			}
 		default:
 			// Duplicate (retransmission after a lost ACK) or a
@@ -722,10 +804,7 @@ func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
 			// immediately so the sender converges.
 			c.DupSegsIn++
 			c.unackedSegs = 0
-			if c.delAck != nil {
-				c.delAck.Cancel()
-				c.delAck = nil
-			}
+			c.delAckAt = 0
 			c.sendControl(ethernet.FlagAck, &tcpInfo{ack: c.rcvNext})
 		}
 	}
@@ -734,17 +813,23 @@ func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
 		case info.ack > c.sndUna:
 			c.sndUna = info.ack
 			c.dupAcks = 0
-			for len(c.unacked) > 0 {
-				seg := c.unacked[0]
+			for c.inFlight() > 0 {
+				seg := c.unacked[c.unaHead]
 				if seg.seq+int64(len(seg.data)) > info.ack {
 					break
 				}
-				c.unacked = c.unacked[1:]
+				c.unacked[c.unaHead] = nil
+				c.unaHead++
+				c.freeSeg(seg)
+			}
+			if c.unaHead == len(c.unacked) {
+				c.unacked = c.unacked[:0]
+				c.unaHead = 0
 			}
 			c.armRTO(true)
 			c.pump()
 			c.writers.Broadcast()
-		case info.ack == c.sndUna && info.dataLen == 0 && len(c.unacked) > 0 && !info.syn && !info.fin:
+		case info.ack == c.sndUna && info.dataLen == 0 && c.inFlight() > 0 && !info.syn && !info.fin:
 			// One fast retransmit per loss window: a go-back-N resend
 			// itself provokes duplicate ACKs, which must not re-trigger.
 			c.dupAcks++
@@ -756,15 +841,27 @@ func (c *Conn) handle(f *ethernet.Frame, info *tcpInfo) {
 	}
 }
 
+// onDelAck fires the physical delayed-ACK timer: disarmed (delAckAt zero,
+// the ACK already went out) it dies quietly; a deadline still in the
+// future re-arms; a genuine expiry emits the ACK.
+func (c *Conn) onDelAck() {
+	c.delAck = sim.Event{}
+	if c.delAckAt == 0 {
+		return
+	}
+	if now := c.h.k.Now(); now < c.delAckAt {
+		c.delAck = c.h.k.At(c.delAckAt, "tcp.delack", c.onDelAckFn)
+		return
+	}
+	c.sendAckNow()
+}
+
 func (c *Conn) sendAckNow() {
 	if c.unackedSegs == 0 {
 		return
 	}
 	c.unackedSegs = 0
-	if c.delAck != nil {
-		c.delAck.Cancel()
-		c.delAck = nil
-	}
+	c.delAckAt = 0
 	c.sendControl(ethernet.FlagAck, &tcpInfo{ack: c.rcvNext})
 }
 
@@ -807,7 +904,10 @@ func (c *Conn) Close() {
 		return
 	}
 	c.finSent = true
-	c.sndQ = append(c.sndQ, &sendSeg{fin: true, seq: c.sndNext})
+	fin := c.newSeg()
+	fin.fin = true
+	fin.seq = c.sndNext
+	c.sndQ = append(c.sndQ, fin)
 	c.pump()
 }
 

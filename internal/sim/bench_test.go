@@ -13,6 +13,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 		}
 	}
 	k.After(0, "e", reschedule)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 	if n < b.N {
@@ -27,6 +28,7 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 			p.Sleep(Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
@@ -45,6 +47,7 @@ func BenchmarkChanHandoff(b *testing.B) {
 			p.Yield()
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

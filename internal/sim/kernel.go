@@ -1,71 +1,80 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 )
 
-// Event is a handle to a scheduled callback. It may be cancelled before it
-// fires; cancelling a fired or already-cancelled event is a no-op.
-type Event struct {
+// event is one scheduled callback. Events are owned by the kernel: they
+// live either in the timer heap, in the same-instant ring, or on the
+// free list, and are recycled once they leave the queue. The gen counter
+// is bumped on every recycle so that stale Event handles become no-ops
+// instead of touching an unrelated reuse of the same slot.
+type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	proc   *Proc // when non-nil, dispatch this process instead of fn
 	name   string
-	index  int // heap index, -1 once popped
+	gen    uint64
 	cancel bool
 }
 
+// Event is a handle to a scheduled callback. The zero Event refers to no
+// event: all its methods are no-ops. A handle outlives its event safely —
+// once the event has fired (or its cancellation has been collected), the
+// handle goes stale and Cancel/Pending become no-ops, so callers may keep
+// handles around without lifecycle bookkeeping.
+type Event struct {
+	e   *event
+	gen uint64
+}
+
 // Cancel prevents the event's callback from running. Safe to call at any
-// point; idempotent.
-func (e *Event) Cancel() { e.cancel = true }
-
-// Cancelled reports whether Cancel has been called on e.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-// Time reports the virtual instant the event is scheduled for.
-func (e *Event) Time() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// point, including after the event has fired; idempotent.
+func (h Event) Cancel() {
+	if h.e != nil && h.e.gen == h.gen {
+		h.e.cancel = true
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
-// Kernel is a discrete-event simulation engine. Create one with New, attach
-// components and processes, then call Run or RunUntil.
+// Cancelled reports whether Cancel was called on a still-queued event.
+func (h Event) Cancelled() bool { return h.e != nil && h.e.gen == h.gen && h.e.cancel }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (h Event) Pending() bool { return h.e != nil && h.e.gen == h.gen && !h.e.cancel }
+
+// Time reports the virtual instant the event is scheduled for, or 0 if
+// the handle is stale.
+func (h Event) Time() Time {
+	if h.e != nil && h.e.gen == h.gen {
+		return h.e.at
+	}
+	return 0
+}
+
+// Kernel is a discrete-event simulation engine. Create one with New,
+// attach components and processes, then call Run or RunUntil.
+//
+// Scheduling is zero-allocation in steady state: event objects are
+// recycled through a free list, future events live in an inlined 4-ary
+// min-heap (no interface boxing, better cache locality than the binary
+// container/heap), and events scheduled for the current instant bypass
+// the heap entirely through a FIFO ring whose (time, seq) order merges
+// exactly with the heap's.
 type Kernel struct {
 	now      Time
-	queue    eventHeap
+	queue    []*event // 4-ary min-heap on (at, seq)
+	imm      []*event // power-of-two ring: events at the current instant
+	immHead  int
+	immN     int
+	free     []*event
 	seq      uint64
 	seed     int64
 	executed uint64
 	stopped  bool
+	rands    map[string]*rand.Rand
 
 	// current process, non-nil while a process goroutine is executing.
 	cur *Proc
@@ -86,34 +95,88 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // Executed reports how many events have run so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// At schedules fn to run at virtual time t, which must not precede Now.
-// The returned handle can cancel the event.
-func (k *Kernel) At(t Time, name string, fn func()) *Event {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, k.now))
+// alloc takes an event from the free list (or the allocator) and stamps
+// it with the next sequence number.
+func (k *Kernel) alloc(t Time, name string) *event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, name: name}
+	e.at = t
+	e.seq = k.seq
+	e.name = name
 	k.seq++
-	heap.Push(&k.queue, e)
 	return e
 }
 
+// recycle returns a popped event to the free list, invalidating handles.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	e.name = ""
+	e.cancel = false
+	k.free = append(k.free, e)
+}
+
+// enqueue routes a stamped event to the same-instant ring or the heap.
+func (k *Kernel) enqueue(e *event) {
+	if e.at == k.now {
+		k.immPush(e)
+	} else {
+		k.heapPush(e)
+	}
+}
+
+// At schedules fn to run at virtual time t, which must not precede Now.
+// The returned handle can cancel the event.
+func (k *Kernel) At(t Time, name string, fn func()) Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, k.now))
+	}
+	e := k.alloc(t, name)
+	e.fn = fn
+	k.enqueue(e)
+	return Event{e: e, gen: e.gen}
+}
+
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Duration, name string, fn func()) *Event {
+func (k *Kernel) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d for %q", d, name))
 	}
 	return k.At(k.now.Add(d), name, fn)
 }
 
-// Rand returns a deterministic random generator derived from the kernel
-// seed and the given name. Each distinct name gets an independent stream;
-// calling Rand twice with the same name returns generators with identical
-// sequences, so components should create their generator once.
+// atProc schedules a dispatch of p at time t without allocating a
+// closure — the wake/sleep fast path.
+func (k *Kernel) atProc(t Time, p *Proc) {
+	e := k.alloc(t, p.wakeName)
+	e.proc = p
+	k.enqueue(e)
+}
+
+// Rand returns the deterministic random generator derived from the
+// kernel seed and the given name. Each distinct name is an independent
+// stream. The generator is memoized: repeated calls with the same name
+// return the same *rand.Rand, so callers cannot accidentally fork two
+// identical streams by looking the name up twice.
 func (k *Kernel) Rand(name string) *rand.Rand {
+	if r, ok := k.rands[name]; ok {
+		return r
+	}
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	return rand.New(rand.NewSource(k.seed ^ int64(h.Sum64())))
+	r := rand.New(rand.NewSource(k.seed ^ int64(h.Sum64())))
+	if k.rands == nil {
+		k.rands = make(map[string]*rand.Rand)
+	}
+	k.rands[name] = r
+	return r
 }
 
 // Stop makes Run return after the current event completes.
@@ -126,15 +189,42 @@ func (k *Kernel) Run() Time { return k.RunUntil(Time(1<<63 - 1)) }
 // RunUntil executes events with timestamps ≤ limit, then advances the
 // clock to min(limit, last event time) and returns it. Events scheduled
 // beyond limit remain queued.
+//
+// The same-instant ring and the heap are merged on (time, seq): ring
+// entries are pushed with the then-current clock and a globally
+// increasing sequence number, so the ring is itself sorted and a single
+// head-to-head comparison picks the next event — the exact order the
+// old single-heap kernel produced.
 func (k *Kernel) RunUntil(limit Time) Time {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		e := k.queue[0]
-		if e.at > limit {
+	for !k.stopped {
+		var e *event
+		switch {
+		case k.immN > 0 && len(k.queue) > 0:
+			ie, he := k.imm[k.immHead], k.queue[0]
+			if he.at < ie.at || (he.at == ie.at && he.seq < ie.seq) {
+				if he.at > limit {
+					e = nil
+				} else {
+					e = k.heapPop()
+				}
+			} else if ie.at <= limit {
+				e = k.immPop()
+			}
+		case k.immN > 0:
+			if ie := k.imm[k.immHead]; ie.at <= limit {
+				e = k.immPop()
+			}
+		case len(k.queue) > 0:
+			if k.queue[0].at <= limit {
+				e = k.heapPop()
+			}
+		}
+		if e == nil {
 			break
 		}
-		heap.Pop(&k.queue)
 		if e.cancel {
+			k.recycle(e)
 			continue
 		}
 		if e.at < k.now {
@@ -142,7 +232,13 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		k.now = e.at
 		k.executed++
-		e.fn()
+		fn, p := e.fn, e.proc
+		k.recycle(e)
+		if p != nil {
+			p.dispatch()
+		} else {
+			fn()
+		}
 	}
 	if k.now < limit && limit < Time(1<<63-1) {
 		k.now = limit
@@ -152,4 +248,101 @@ func (k *Kernel) RunUntil(limit Time) Time {
 
 // Pending reports the number of events currently queued (including
 // cancelled events that have not yet been popped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.queue) + k.immN }
+
+// --- same-instant FIFO ring ---
+
+func (k *Kernel) immPush(e *event) {
+	if k.immN == len(k.imm) {
+		k.immGrow()
+	}
+	k.imm[(k.immHead+k.immN)&(len(k.imm)-1)] = e
+	k.immN++
+}
+
+func (k *Kernel) immPop() *event {
+	e := k.imm[k.immHead]
+	k.imm[k.immHead] = nil
+	k.immHead = (k.immHead + 1) & (len(k.imm) - 1)
+	k.immN--
+	return e
+}
+
+// immGrow doubles the ring, re-linearizing so head lands at 0.
+func (k *Kernel) immGrow() {
+	n := len(k.imm) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]*event, n)
+	for i := 0; i < k.immN; i++ {
+		buf[i] = k.imm[(k.immHead+i)&(len(k.imm)-1)]
+	}
+	k.imm = buf
+	k.immHead = 0
+}
+
+// --- 4-ary min-heap on (at, seq) ---
+
+// eventLess orders events by time, then by schedule order. The seq
+// tie-break is the determinism contract: same-instant events fire in the
+// order they were scheduled, and DESIGN.md §8 argues why the 4-ary
+// layout cannot perturb it.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *event) {
+	q := append(k.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(e, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = e
+	k.queue = q
+}
+
+func (k *Kernel) heapPop() *event {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if eventLess(q[j], q[min]) {
+					min = j
+				}
+			}
+			if !eventLess(q[min], last) {
+				break
+			}
+			q[i] = q[min]
+			i = min
+		}
+		q[i] = last
+	}
+	k.queue = q
+	return top
+}

@@ -11,14 +11,15 @@ import "fmt"
 // its own goroutine. Wake must be called from event context (or from
 // another process), never from the process itself.
 type Proc struct {
-	k       *Kernel
-	name    string
-	resume  chan struct{}
-	yielded chan struct{}
-	done    bool
-	waiting bool // true while parked in Suspend
-	started bool
-	killed  bool
+	k        *Kernel
+	name     string
+	wakeName string // precomputed "wake:"+name: Sleep/Wake allocate nothing
+	resume   chan struct{}
+	yielded  chan struct{}
+	done     bool
+	waiting  bool // true while parked in Suspend
+	started  bool
+	killed   bool
 }
 
 // killedSignal unwinds a killed process's goroutine from its next (or
@@ -29,10 +30,11 @@ type killedSignal struct{}
 // virtual time (via an immediate event) and runs until it returns.
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		k:       k,
-		name:    name,
-		resume:  make(chan struct{}),
-		yielded: make(chan struct{}),
+		k:        k,
+		name:     name,
+		wakeName: "wake:" + name,
+		resume:   make(chan struct{}),
+		yielded:  make(chan struct{}),
 	}
 	k.At(k.now, "start:"+name, func() {
 		p.started = true
@@ -112,7 +114,7 @@ func (p *Proc) Kill() {
 	}
 	p.killed = true
 	p.waiting = false
-	p.k.At(p.k.now, "kill:"+p.name, func() { p.dispatch() })
+	p.k.atProc(p.k.now, p)
 }
 
 // Sleep advances the process's virtual time by d, allowing other events to
@@ -122,7 +124,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.After(d, "wake:"+p.name, func() { p.dispatch() })
+	p.k.atProc(p.k.now.Add(d), p)
 	p.park()
 }
 
@@ -153,7 +155,7 @@ func (p *Proc) Wake() {
 		panic("sim: Wake on non-suspended process " + p.name)
 	}
 	p.waiting = false
-	p.k.At(p.k.now, "wake:"+p.name, func() { p.dispatch() })
+	p.k.atProc(p.k.now, p)
 }
 
 // Waiting reports whether the process is parked in Suspend.
@@ -166,14 +168,69 @@ func (p *Proc) checkSelf(op string) {
 }
 
 // Gate is a FIFO wait queue of processes: a minimal condition variable for
-// the simulation. The zero value is ready to use.
+// the simulation. The zero value is ready to use. Waiters live in a ring
+// buffer, so a long-lived gate reuses its storage instead of re-slicing a
+// growing backing array.
 type Gate struct {
-	waiters []*Proc
+	buf  []*Proc
+	head int
+	n    int
+}
+
+// push appends p at the tail of the ring, growing as needed.
+func (g *Gate) push(p *Proc) {
+	if g.n == len(g.buf) {
+		g.grow()
+	}
+	g.buf[(g.head+g.n)&(len(g.buf)-1)] = p
+	g.n++
+}
+
+// pop removes and returns the head of the ring, which must be non-empty.
+func (g *Gate) pop() *Proc {
+	p := g.buf[g.head]
+	g.buf[g.head] = nil
+	g.head = (g.head + 1) & (len(g.buf) - 1)
+	g.n--
+	return p
+}
+
+// remove deletes the first occurrence of p, preserving FIFO order of the
+// rest, and reports whether it was present.
+func (g *Gate) remove(p *Proc) bool {
+	mask := len(g.buf) - 1
+	for i := 0; i < g.n; i++ {
+		if g.buf[(g.head+i)&mask] != p {
+			continue
+		}
+		for j := i; j < g.n-1; j++ {
+			g.buf[(g.head+j)&mask] = g.buf[(g.head+j+1)&mask]
+		}
+		g.buf[(g.head+g.n-1)&mask] = nil
+		g.n--
+		return true
+	}
+	return false
+}
+
+// grow doubles the ring (power-of-two capacity), re-linearizing so head
+// lands at index 0.
+func (g *Gate) grow() {
+	n := len(g.buf) * 2
+	if n == 0 {
+		n = 4
+	}
+	buf := make([]*Proc, n)
+	for i := 0; i < g.n; i++ {
+		buf[i] = g.buf[(g.head+i)&(len(g.buf)-1)]
+	}
+	g.buf = buf
+	g.head = 0
 }
 
 // Wait parks p until a Signal or Broadcast reaches it.
 func (g *Gate) Wait(p *Proc) {
-	g.waiters = append(g.waiters, p)
+	g.push(p)
 	p.Suspend()
 }
 
@@ -189,13 +246,9 @@ func (g *Gate) WaitTimeout(p *Proc, d Duration) bool {
 	ev := p.k.After(d, "gate.timeout:"+p.name, func() {
 		// Only a process still queued in this gate can time out: a
 		// Signal removes it from waiters before waking it.
-		for i, w := range g.waiters {
-			if w == p {
-				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
-				timedOut = true
-				p.Wake()
-				return
-			}
+		if g.remove(p) {
+			timedOut = true
+			p.Wake()
 		}
 	})
 	g.Wait(p)
@@ -206,9 +259,8 @@ func (g *Gate) WaitTimeout(p *Proc, d Duration) bool {
 // Signal wakes the longest-waiting live process, if any, and reports
 // whether one was woken. Processes that died while queued are discarded.
 func (g *Gate) Signal() bool {
-	for len(g.waiters) > 0 {
-		p := g.waiters[0]
-		g.waiters = g.waiters[1:]
+	for g.n > 0 {
+		p := g.pop()
 		if p.done || p.killed {
 			continue
 		}
@@ -218,11 +270,11 @@ func (g *Gate) Signal() bool {
 	return false
 }
 
-// Broadcast wakes every live waiting process in FIFO order.
+// Broadcast wakes every live waiting process in FIFO order. Only event
+// context runs during the drain, so no new waiter can slip in mid-loop.
 func (g *Gate) Broadcast() {
-	ws := g.waiters
-	g.waiters = nil
-	for _, p := range ws {
+	for g.n > 0 {
+		p := g.pop()
 		if p.done || p.killed {
 			continue
 		}
@@ -231,45 +283,73 @@ func (g *Gate) Broadcast() {
 }
 
 // Len reports the number of waiting processes.
-func (g *Gate) Len() int { return len(g.waiters) }
+func (g *Gate) Len() int { return g.n }
 
 // Chan is an unbounded FIFO queue connecting event-context producers to
 // process-context consumers. Put never blocks; Get blocks the calling
-// process until an item is available.
+// process until an item is available. Items live in a ring buffer: the
+// queue's memory stays proportional to its high-water mark instead of
+// pinning every consumed item's backing array, and a drained queue
+// reuses its storage allocation-free.
 type Chan[T any] struct {
-	items []T
-	gate  Gate
+	buf  []T
+	head int
+	n    int
+	gate Gate
 }
 
 // Put appends v and wakes one waiting consumer, if any.
 func (c *Chan[T]) Put(v T) {
-	c.items = append(c.items, v)
+	if c.n == len(c.buf) {
+		c.grow()
+	}
+	c.buf[(c.head+c.n)&(len(c.buf)-1)] = v
+	c.n++
 	c.gate.Signal()
+}
+
+// grow doubles the ring (power-of-two capacity), re-linearizing so head
+// lands at index 0.
+func (c *Chan[T]) grow() {
+	n := len(c.buf) * 2
+	if n == 0 {
+		n = 4
+	}
+	buf := make([]T, n)
+	for i := 0; i < c.n; i++ {
+		buf[i] = c.buf[(c.head+i)&(len(c.buf)-1)]
+	}
+	c.buf = buf
+	c.head = 0
+}
+
+// take removes and returns the head item, zeroing its slot so consumed
+// values are not retained.
+func (c *Chan[T]) take() T {
+	var zero T
+	v := c.buf[c.head]
+	c.buf[c.head] = zero
+	c.head = (c.head + 1) & (len(c.buf) - 1)
+	c.n--
+	return v
 }
 
 // Get removes and returns the oldest item, blocking p until one exists.
 func (c *Chan[T]) Get(p *Proc) T {
-	for len(c.items) == 0 {
+	for c.n == 0 {
 		c.gate.Wait(p)
 	}
-	v := c.items[0]
-	var zero T
-	c.items[0] = zero
-	c.items = c.items[1:]
-	return v
+	return c.take()
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (c *Chan[T]) TryGet() (T, bool) {
-	var zero T
-	if len(c.items) == 0 {
+	if c.n == 0 {
+		var zero T
 		return zero, false
 	}
-	v := c.items[0]
-	c.items[0] = zero
-	c.items = c.items[1:]
-	return v, true
+	return c.take(), true
 }
 
 // Len reports the number of queued items.
-func (c *Chan[T]) Len() int { return len(c.items) }
+func (c *Chan[T]) Len() int { return c.n }

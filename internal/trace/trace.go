@@ -138,9 +138,19 @@ func New() *Trace {
 	return &Trace{Meta: make(map[string]string)}
 }
 
-// Collector is a promiscuous capture session on a segment.
+// collectorChunk is the capture granularity: packets are recorded into
+// fixed-size chunks so a million-packet capture never memmoves its whole
+// history through append's doubling, and the tap's append is in-place
+// (allocation only once per chunk).
+const collectorChunk = 16384
+
+// Collector is a promiscuous capture session on a segment. Packets are
+// accumulated in fixed-size chunks and linearized on demand by Trace.
 type Collector struct {
 	tr      *Trace
+	chunks  [][]Packet // filled chunks, in capture order
+	cur     []Packet   // chunk currently being filled
+	dirty   bool       // packets captured since the last materialization
 	enabled bool
 }
 
@@ -150,25 +160,36 @@ type Collector struct {
 // program).
 func Capture(seg ethernet.TrafficSource) *Collector {
 	c := &Collector{tr: New(), enabled: true}
-	seg.Tap(func(cp ethernet.Capture) {
-		if !c.enabled {
-			return
-		}
-		c.tr.Packets = append(c.tr.Packets, Packet{
-			Time:    cp.Time,
-			Size:    uint16(cp.Size),
-			Src:     uint8(cp.Src),
-			Dst:     uint8(max(cp.Dst, 0)), // broadcast recorded as 0xFF below
-			Proto:   cp.Proto,
-			Flags:   cp.Flags,
-			SrcPort: cp.SrcPort,
-			DstPort: cp.DstPort,
-		})
-		if cp.Dst == ethernet.Broadcast {
-			c.tr.Packets[len(c.tr.Packets)-1].Dst = 0xFF
-		}
-	})
+	seg.Tap(c.record)
 	return c
+}
+
+// record is the tap callback: one branch, one bounds-checked append.
+func (c *Collector) record(cp ethernet.Capture) {
+	if !c.enabled {
+		return
+	}
+	if len(c.cur) == cap(c.cur) {
+		if c.cur != nil {
+			c.chunks = append(c.chunks, c.cur)
+		}
+		c.cur = make([]Packet, 0, collectorChunk)
+	}
+	dst := uint8(max(cp.Dst, 0))
+	if cp.Dst == ethernet.Broadcast {
+		dst = 0xFF
+	}
+	c.cur = append(c.cur, Packet{
+		Time:    cp.Time,
+		Size:    uint16(cp.Size),
+		Src:     uint8(cp.Src),
+		Dst:     dst,
+		Proto:   cp.Proto,
+		Flags:   cp.Flags,
+		SrcPort: cp.SrcPort,
+		DstPort: cp.DstPort,
+	})
+	c.dirty = true
 }
 
 // Pause stops recording.
@@ -177,9 +198,27 @@ func (c *Collector) Pause() { c.enabled = false }
 // Resume restarts recording.
 func (c *Collector) Resume() { c.enabled = true }
 
-// Trace returns the collected trace (live; callers should stop the
-// simulation before analyzing).
-func (c *Collector) Trace() *Trace { return c.tr }
+// Trace returns the collected trace, linearizing any chunks captured
+// since the last call into Packets with a single exact-size allocation
+// (live; callers should stop the simulation before analyzing).
+func (c *Collector) Trace() *Trace {
+	if c.dirty {
+		total := len(c.cur)
+		for _, ch := range c.chunks {
+			total += len(ch)
+		}
+		if cap(c.tr.Packets) < total {
+			c.tr.Packets = make([]Packet, 0, total)
+		}
+		c.tr.Packets = c.tr.Packets[:0]
+		for _, ch := range c.chunks {
+			c.tr.Packets = append(c.tr.Packets, ch...)
+		}
+		c.tr.Packets = append(c.tr.Packets, c.cur...)
+		c.dirty = false
+	}
+	return c.tr
+}
 
 // Len reports the number of captured packets.
 func (t *Trace) Len() int { return len(t.Packets) }
@@ -330,16 +369,31 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Packets))); err != nil {
 		return err
 	}
-	for _, p := range t.Packets {
-		rec := [...]any{int64(p.Time), p.Size, p.Src, p.Dst, uint8(p.Proto), p.Flags, p.SrcPort, p.DstPort}
-		for _, f := range rec {
-			if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
-				return err
-			}
+	// Packets are encoded with direct byte packing rather than per-field
+	// binary.Write: the record layout is fixed (18 bytes little-endian)
+	// and reflection per field dominates serialization of million-packet
+	// traces.
+	var rec [packetRecBytes]byte
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(int64(p.Time)))
+		binary.LittleEndian.PutUint16(rec[8:], p.Size)
+		rec[10] = p.Src
+		rec[11] = p.Dst
+		rec[12] = uint8(p.Proto)
+		rec[13] = p.Flags
+		binary.LittleEndian.PutUint16(rec[14:], p.SrcPort)
+		binary.LittleEndian.PutUint16(rec[16:], p.DstPort)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
 }
+
+// packetRecBytes is the on-disk packet record size: int64 time, uint16
+// size, four uint8s (src, dst, proto, flags), two uint16 ports.
+const packetRecBytes = 18
 
 // ReadBinary parses a trace written by WriteBinary.
 func ReadBinary(r io.Reader) (*Trace, error) {
@@ -400,21 +454,20 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t.Packets = make([]Packet, 0, nPkts)
+	var rec [packetRecBytes]byte
 	for i := uint64(0); i < nPkts; i++ {
-		var (
-			ts               int64
-			size             uint16
-			src, dst, pr, fl uint8
-			sport, dport     uint16
-		)
-		for _, f := range []any{&ts, &size, &src, &dst, &pr, &fl, &sport, &dport} {
-			if err := binary.Read(br, binary.LittleEndian, f); err != nil {
-				return nil, err
-			}
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
 		}
 		t.Packets = append(t.Packets, Packet{
-			Time: sim.Time(ts), Size: size, Src: src, Dst: dst,
-			Proto: ethernet.Proto(pr), Flags: fl, SrcPort: sport, DstPort: dport,
+			Time:    sim.Time(int64(binary.LittleEndian.Uint64(rec[0:]))),
+			Size:    binary.LittleEndian.Uint16(rec[8:]),
+			Src:     rec[10],
+			Dst:     rec[11],
+			Proto:   ethernet.Proto(rec[12]),
+			Flags:   rec[13],
+			SrcPort: binary.LittleEndian.Uint16(rec[14:]),
+			DstPort: binary.LittleEndian.Uint16(rec[16:]),
 		})
 	}
 	return t, nil

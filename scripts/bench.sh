@@ -1,6 +1,10 @@
 #!/bin/sh
 # Farm benchmark: wall-clock of a -quick reproduction serially vs on the
 # worker pool, and cache-cold vs cache-warm. Writes BENCH_farm.json.
+# Then the hot-path suite: the tracked microbenchmarks (DES kernel,
+# Ethernet delivery, DSP) and the serial end-to-end -quick wall clock,
+# compared against the committed pre-optimization baselines. Writes
+# BENCH_sim.json.
 #
 # The parallel speedup depends on the host: on a single-core container
 # -j N cannot beat -j 1, which is why the JSON records "cores" next to
@@ -72,3 +76,69 @@ printf '{
 	"$COLD_MS" "$COLD_EXECUTED" "$WARM_MS" "$WARM_EXECUTED" "$WARMUP" >"$OUT"
 
 cat "$OUT"
+
+# --- hot-path suite → BENCH_sim.json ---------------------------------
+# Baselines are the numbers measured on this host at the pre-optimization
+# tree (the commit introducing the perf issue); they are pinned here so a
+# rerun always reports progress against the same reference.
+SIM_OUT="${SIM_OUT:-BENCH_sim.json}"
+BASELINE_SERIAL_MS=713
+
+echo "bench: serial end-to-end (-quick -j 1, min of 7)" >&2
+MIN_MS=
+for i in 1 2 3 4 5 6 7; do
+	run -quick -j 1
+	if [ -z "$MIN_MS" ] || [ "$WALL_MS" -lt "$MIN_MS" ]; then
+		MIN_MS=$WALL_MS
+	fi
+done
+
+echo "bench: microbenchmarks (sim, ethernet, dsp)" >&2
+BENCHOUT="$(dirname "$BIN")/bench.out"
+: >"$BENCHOUT"
+go test -run '^$' -bench . -benchmem ./internal/sim >>"$BENCHOUT"
+go test -run '^$' -bench . -benchmem ./internal/ethernet >>"$BENCHOUT"
+go test -run '^$' -bench . -benchmem ./internal/dsp >>"$BENCHOUT"
+
+awk -v min_ms="$MIN_MS" -v base_ms="$BASELINE_SERIAL_MS" '
+BEGIN {
+	# name → "baseline_ns baseline_allocs" at the pre-optimization tree.
+	base["EventThroughput"] = "64.87 0"
+	base["ProcContextSwitch"] = "673.5 3"
+	base["ChanHandoff"] = "1488 8"
+	base["SharedSaturation"] = "462.2 5"
+	base["SharedContention"] = "728.7 6"
+	base["SwitchForwarding"] = "785.4 8"
+	base["FFTRadix2_16384"] = "599084 1"
+	base["FFTBluestein_1000"] = "196202 5"
+	base["Periodogram_20000Samples"] = "1436663 7"
+	# The workspace form is the zero-alloc replacement for the hot loop,
+	# so it is tracked against the old package-level periodogram.
+	base["PeriodogramWorkspace_20000Samples"] = "1436663 7"
+	base["FFT2D_64x64"] = "175956 130"
+	printf "{\n"
+	printf "  \"bench\": \"hot-path microbenchmarks and serial end-to-end fxrepro -quick\",\n"
+	printf "  \"serial_quick\": {\"baseline_ms\": %d, \"min_ms\": %d, \"runs\": 7, \"speedup\": %.2f},\n", base_ms, min_ms, base_ms / min_ms
+	printf "  \"microbenchmarks\": [\n"
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	sub(/-[0-9]+$/, "", name)
+	ns = $3
+	allocs = $(NF - 1)
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s", name, ns, allocs
+	if (name in base) {
+		split(base[name], b, " ")
+		printf ", \"baseline_ns_op\": %s, \"baseline_allocs_op\": %s, \"speedup\": %.2f", b[1], b[2], b[1] / ns
+	}
+	printf "}"
+}
+END {
+	printf "\n  ]\n}\n"
+}' "$BENCHOUT" >"$SIM_OUT"
+
+cat "$SIM_OUT"
