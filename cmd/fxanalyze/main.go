@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"fxnet"
+	"fxnet/internal/version"
 )
 
 func main() {
@@ -32,8 +33,10 @@ func main() {
 		peaks  = flag.Int("peaks", 5, "number of spectral peaks to report")
 		src    = flag.Int("src", -1, "source host for -mode conn")
 		dst    = flag.Int("dst", -1, "destination host for -mode conn")
+		ver    = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	if *in == "" {
 		flag.Usage()

@@ -20,13 +20,16 @@ import (
 	"os"
 
 	"fxnet/internal/fxc"
+	"fxnet/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fxcompile: ")
 	p := flag.Int("p", 4, "processor count to compile for")
+	ver := version.Register()
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	var src []byte
 	var err error

@@ -28,6 +28,7 @@ import (
 
 	"fxnet"
 	"fxnet/internal/profiling"
+	"fxnet/internal/version"
 )
 
 type batchRow struct {
@@ -65,8 +66,10 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the batch summary JSON to this file (\"-\" = stdout)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
 		prof     = profiling.Register()
+		ver      = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	stopProf, err := prof.Start()
 	if err != nil {

@@ -1,0 +1,371 @@
+// Command fxload drives open-loop load against a running fxnetd and
+// reports throughput and latency quantiles. Open-loop means arrivals are
+// scheduled by a fixed-rate clock, not by completions: a slow server
+// accumulates in-flight requests instead of slowing the offered rate,
+// which is the honest way to measure a service's saturation behavior.
+//
+// The traffic is a weighted mix of the service's surfaces: run
+// submissions (deduplicated by the farm after the first execution),
+// status polls, dry-run QoS negotiations, commitment listings, and
+// health checks.
+//
+// Usage:
+//
+//	fxload -url http://127.0.0.1:8080 -rps 800 -duration 10s -json BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fxnet/internal/version"
+)
+
+// opGen issues one request of its kind and reports the HTTP status.
+type opGen struct {
+	name   string
+	weight float64
+	do     func(c *http.Client, base string, rng *rand.Rand) (int, error)
+}
+
+// sample is one completed request.
+type sample struct {
+	op      string
+	code    int
+	latency time.Duration
+	err     bool
+}
+
+// runRequest is the cheap submission the load mix uses; identical
+// configurations after the first are answered from the farm's memo, so
+// the measured path is the service, not the simulator.
+func runBody(seed int64) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"program": "sor", "p": 4, "n": 32, "iters": 4, "seed": seed,
+	})
+	return b
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fxload: ")
+	var (
+		base     = flag.String("url", "http://127.0.0.1:8080", "fxnetd base URL")
+		rps      = flag.Float64("rps", 800, "offered request rate (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		clients  = flag.Int("clients", 8, "distinct client identities (X-Client-ID values)")
+		seed     = flag.Int64("seed", 1, "mix-selection seed")
+		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
+		ver      = version.Register()
+	)
+	flag.Parse()
+	version.ExitIfRequested(ver)
+
+	rep, err := drive(*base, *rps, *duration, *clients, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.print(os.Stdout)
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+// report is the JSON output shape (BENCH_serve.json).
+type report struct {
+	URL         string  `json:"url"`
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Throttled   int     `json:"throttled"`
+
+	LatencyMs quantiles            `json:"latency_ms"`
+	ByOp      map[string]opSummary `json:"by_op"`
+
+	Server json.RawMessage `json:"server,omitempty"` // /healthz snapshot after the run
+}
+
+type quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type opSummary struct {
+	Requests  int       `json:"requests"`
+	Errors    int       `json:"errors"`
+	Throttled int       `json:"throttled"`
+	LatencyMs quantiles `json:"latency_ms"`
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "offered %.0f req/s for %.1fs -> achieved %.1f req/s (%d requests, %d errors, %d throttled)\n",
+		r.TargetRPS, r.DurationS, r.AchievedRPS, r.Requests, r.Errors, r.Throttled)
+	fmt.Fprintf(w, "latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.LatencyMs.P50, r.LatencyMs.P90, r.LatencyMs.P99, r.LatencyMs.Max)
+	ops := make([]string, 0, len(r.ByOp))
+	for op := range r.ByOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		s := r.ByOp[op]
+		fmt.Fprintf(w, "  %-12s %6d req  %3d err  %3d throttled  p99 %.2fms\n",
+			op, s.Requests, s.Errors, s.Throttled, s.LatencyMs.P99)
+	}
+}
+
+func quantilesOf(durs []time.Duration) quantiles {
+	if len(durs) == 0 {
+		return quantiles{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i].Microseconds()) / 1000
+	}
+	return quantiles{
+		P50: at(0.50), P90: at(0.90), P99: at(0.99),
+		Max: float64(durs[len(durs)-1].Microseconds()) / 1000,
+	}
+}
+
+func drive(base string, rps float64, duration time.Duration, clients int, seed int64) (*report, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("rps must be positive")
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * clients * 16,
+			MaxIdleConnsPerHost: 4 * clients * 16,
+		},
+	}
+
+	// Submitted run IDs feed the status-poll op; seed one run up front so
+	// polls always have a target.
+	var (
+		idMu   sync.Mutex
+		runIDs []string
+	)
+	addID := func(id string) {
+		idMu.Lock()
+		runIDs = append(runIDs, id)
+		idMu.Unlock()
+	}
+	pickID := func(rng *rand.Rand) string {
+		idMu.Lock()
+		defer idMu.Unlock()
+		if len(runIDs) == 0 {
+			return ""
+		}
+		return runIDs[rng.Intn(len(runIDs))]
+	}
+
+	var reqSeq atomic.Int64
+	doReq := func(c *http.Client, method, url string, body []byte) (int, []byte, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("X-Client-ID", fmt.Sprintf("fxload-%d", reqSeq.Add(1)%int64(clients)))
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	ops := []opGen{
+		{"submit", 0.10, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+			code, body, err := doReq(c, "POST", base+"/v1/runs", runBody(1+rng.Int63n(4)))
+			if err == nil && code == http.StatusAccepted {
+				var acc struct {
+					ID string `json:"id"`
+				}
+				if json.Unmarshal(body, &acc) == nil && acc.ID != "" {
+					addID(acc.ID)
+				}
+			}
+			return code, err
+		}},
+		{"status", 0.30, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+			id := pickID(rng)
+			if id == "" {
+				code, _, err := doReq(c, "GET", base+"/healthz", nil)
+				return code, err
+			}
+			code, _, err := doReq(c, "GET", base+"/v1/runs/"+id, nil)
+			return code, err
+		}},
+		{"negotiate", 0.20, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+			progs := []string{"sor", "2dfft", "seq", "hist"}
+			body, _ := json.Marshal(map[string]any{
+				"program": progs[rng.Intn(len(progs))], "dry_run": true,
+			})
+			code, _, err := doReq(c, "POST", base+"/v1/qos/negotiate", body)
+			return code, err
+		}},
+		{"commitments", 0.10, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+			code, _, err := doReq(c, "GET", base+"/v1/qos/commitments", nil)
+			return code, err
+		}},
+		{"healthz", 0.30, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+			code, _, err := doReq(c, "GET", base+"/healthz", nil)
+			return code, err
+		}},
+	}
+
+	// Warm up: one run submitted and executed so status polls and the
+	// submit op's duplicates hit a memoized result.
+	code, body, err := doReq(client, "POST", base+"/v1/runs", runBody(1))
+	if err != nil || code != http.StatusAccepted {
+		return nil, fmt.Errorf("warm-up submit: code %d err %v", code, err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil || acc.ID == "" {
+		return nil, fmt.Errorf("warm-up submit: bad accept payload %s", body)
+	}
+	addID(acc.ID)
+	warmDeadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body, err := doReq(client, "GET", base+"/v1/runs/"+acc.ID, nil)
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("warm-up poll: code %d err %v", code, err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, err
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State != "queued" {
+			return nil, fmt.Errorf("warm-up run ended %s", st.State)
+		}
+		if time.Now().After(warmDeadline) {
+			return nil, fmt.Errorf("warm-up run never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Open loop: a fixed-rate clock launches each request in its own
+	// goroutine; completions never slow the offered rate.
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / rps)
+	total := int(rps * duration.Seconds())
+	rngSrc := rand.New(rand.NewSource(seed))
+	// Pre-draw the op sequence so the hot loop only launches goroutines.
+	plan := make([]*opGen, total)
+	for i := range plan {
+		x := rngSrc.Float64()
+		acc := 0.0
+		plan[i] = &ops[len(ops)-1]
+		for k := range ops {
+			acc += ops[k].weight
+			if x < acc {
+				plan[i] = &ops[k]
+				break
+			}
+		}
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		op := plan[i]
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			t0 := time.Now()
+			code, err := op.do(client, base, rng)
+			s := sample{op: op.name, code: code, latency: time.Since(t0), err: err != nil}
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		URL:       base,
+		TargetRPS: rps,
+		DurationS: elapsed.Seconds(),
+		Requests:  len(samples),
+		ByOp:      make(map[string]opSummary),
+	}
+	rep.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
+	var all []time.Duration
+	byOp := map[string][]time.Duration{}
+	for _, s := range samples {
+		all = append(all, s.latency)
+		byOp[s.op] = append(byOp[s.op], s.latency)
+		sum := rep.ByOp[s.op]
+		sum.Requests++
+		if s.err || s.code >= 500 {
+			rep.Errors++
+			sum.Errors++
+		}
+		if s.code == http.StatusTooManyRequests {
+			rep.Throttled++
+			sum.Throttled++
+		}
+		rep.ByOp[s.op] = sum
+	}
+	rep.LatencyMs = quantilesOf(all)
+	for op, durs := range byOp {
+		sum := rep.ByOp[op]
+		sum.LatencyMs = quantilesOf(durs)
+		rep.ByOp[op] = sum
+	}
+
+	if code, body, err := doReq(client, "GET", base+"/healthz", nil); err == nil && code == http.StatusOK {
+		rep.Server = json.RawMessage(body)
+	}
+	return rep, nil
+}

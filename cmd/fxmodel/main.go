@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"fxnet"
+	"fxnet/internal/version"
 )
 
 func main() {
@@ -29,8 +30,10 @@ func main() {
 		synth    = flag.String("synth", "", "write a synthetic trace generated from the model")
 		duration = flag.Float64("duration", 30, "synthetic trace duration (s)")
 		pktSize  = flag.Int("pktsize", 1460, "synthetic packet size (captured bytes ≈ pktsize+58)")
+		ver      = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,126 @@
+// Command fxnetd serves the reproduction's measurement pipeline as a
+// long-running daemon: an asynchronous run queue over the experiment
+// farm, NDJSON result streaming, and the paper's §7.3 QoS admission
+// broker, with a Prometheus /metrics surface, /debug/pprof, /healthz,
+// per-client backpressure, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	fxnetd -addr :8080 -j 8 -cache .fxcache
+//	fxnetd -addr 127.0.0.1:0 -portfile /tmp/fxnetd.port   # ephemeral port
+//
+// Endpoints:
+//
+//	POST   /v1/runs                   submit a run (202 + id)
+//	GET    /v1/runs/{id}              poll status
+//	DELETE /v1/runs/{id}              cancel a queued run
+//	GET    /v1/runs/{id}/trace        stream the trace (NDJSON; ?format=bin)
+//	GET    /v1/runs/{id}/spectrum     stream the spectrum (?conn=1)
+//	POST   /v1/qos/negotiate          QoS admission broker
+//	GET    /v1/qos/commitments        outstanding commitments
+//	DELETE /v1/qos/commitments/{id}   release a commitment
+//	GET    /metrics, /healthz, /debug/pprof/
+//
+// On SIGTERM or SIGINT the daemon stops accepting submissions, lets
+// in-flight simulations finish (bounded by -drain-timeout), and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fxnet/internal/server"
+	"fxnet/internal/version"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("fxnetd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (port 0 = ephemeral)")
+		portfile = flag.String("portfile", "", "write the actual listen port to this file (for ephemeral ports)")
+		workers  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
+		capacity = flag.Float64("capacity", 0, "QoS broker capacity in bytes/s (0 = calibrated shared-segment default)")
+		maxP     = flag.Int("maxp", 0, "QoS processor search bound (0 = 32)")
+		climit   = flag.Int("client-limit", 16, "max in-flight API requests per client (0 = unlimited)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight simulations on shutdown")
+		ver      = version.Register()
+	)
+	flag.Parse()
+	version.ExitIfRequested(ver)
+
+	if err := run(*addr, *portfile, *workers, *cache, *capacity, *maxP, *climit, *drainTO); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, portfile string, workers int, cache string, capacity float64, maxP, climit int, drainTO time.Duration) error {
+	s, err := server.New(server.Options{
+		Workers:     workers,
+		CacheDir:    cache,
+		Memoize:     true,
+		CapacityBps: capacity,
+		MaxP:        maxP,
+		ClientLimit: climit,
+		Log:         log.Default(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portfile != "" {
+		_, port, err := net.SplitHostPort(ln.Addr().String())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(portfile, []byte(port+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("%s listening on %s (workers=%d cache=%q)", version.String(), ln.Addr(), s.Workers(), cache)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("%v: draining (timeout %v)", sig, drainTO)
+	}
+
+	// Stop accepting new submissions, close idle connections, and let
+	// in-flight simulations run to completion before exiting.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("drained, exiting")
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"fxnet"
+	"fxnet/internal/version"
 )
 
 func main() {
@@ -23,8 +24,10 @@ func main() {
 	var (
 		capacity = flag.Float64("capacity", 1.25e6, "network capacity in bytes/s")
 		maxP     = flag.Int("maxp", 32, "largest processor count the cluster offers")
+		ver      = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	// Characterizations of the measured kernels (N=512 calibration).
 	progs := []fxnet.QoSProgram{

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"fxnet/internal/profiling"
+	"fxnet/internal/version"
 )
 
 func main() {
@@ -31,8 +32,10 @@ func main() {
 		jobs  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
 		prof  = profiling.Register()
+		ver   = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	stopProf, err := prof.Start()
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"fxnet"
 	"fxnet/internal/profiling"
+	"fxnet/internal/version"
 )
 
 func main() {
@@ -35,8 +36,10 @@ func main() {
 		faults  = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
 		degrade = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
 		prof    = profiling.Register()
+		ver     = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	stopProf, err := prof.Start()
 	if err != nil {

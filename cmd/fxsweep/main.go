@@ -22,26 +22,64 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"fxnet"
+	"fxnet/internal/version"
 )
+
+// jsonFloat marshals NaN and ±Inf as JSON null — a sweep point with no
+// spectral peak has an undefined fundamental and an infinite period, and
+// encoding/json refuses bare non-finite values. Decoding null restores
+// NaN so round-tripped sweeps keep "undefined" distinguishable from 0.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
 
 // sweepRow is one sweep point, in both the text table and -json output.
 type sweepRow struct {
-	Sweep         string  `json:"sweep"`
-	Label         string  `json:"label"`
-	Value         float64 `json:"value"`
-	Program       string  `json:"program"`
-	Seed          int64   `json:"seed"`
-	KBps          float64 `json:"kbps"`
-	FundamentalHz float64 `json:"fundamental_hz"`
-	PeriodSec     float64 `json:"period_s"`
-	Packets       int     `json:"packets"`
-	Cached        bool    `json:"cached"`
-	Key           string  `json:"key"`
+	Sweep         string    `json:"sweep"`
+	Label         string    `json:"label"`
+	Value         float64   `json:"value"`
+	Program       string    `json:"program"`
+	Seed          int64     `json:"seed"`
+	KBps          jsonFloat `json:"kbps"`
+	FundamentalHz jsonFloat `json:"fundamental_hz"`
+	PeriodSec     jsonFloat `json:"period_s"`
+	Packets       int       `json:"packets"`
+	Cached        bool      `json:"cached"`
+	Key           string    `json:"key"`
+}
+
+// encodeRows renders the -json output.
+func encodeRows(rows []sweepRow) ([]byte, error) {
+	enc, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
 }
 
 func main() {
@@ -58,8 +96,10 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
 		jsonOut  = flag.String("json", "", "write machine-readable sweep results to this file (\"-\" = stdout)")
+		ver      = version.Register()
 	)
 	flag.Parse()
+	version.ExitIfRequested(ver)
 
 	base := fxnet.RunConfig{
 		Program: *program, Seed: *seed,
@@ -137,17 +177,16 @@ func main() {
 		rows = append(rows, sweepRow{
 			Sweep: *sweep, Label: jr.Job.Label, Value: points[i].value,
 			Program: *program, Seed: *seed,
-			KBps: kbps, FundamentalHz: f, PeriodSec: 1 / f,
+			KBps: jsonFloat(kbps), FundamentalHz: jsonFloat(f), PeriodSec: jsonFloat(1 / f),
 			Packets: jr.Result.Trace.Len(), Cached: jr.Cached, Key: jr.Key,
 		})
 	}
 
 	if *jsonOut != "" {
-		enc, err := json.MarshalIndent(rows, "", "  ")
+		enc, err := encodeRows(rows)
 		if err != nil {
 			log.Fatal(err)
 		}
-		enc = append(enc, '\n')
 		if *jsonOut == "-" {
 			os.Stdout.Write(enc)
 		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {

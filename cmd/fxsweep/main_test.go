@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// A sweep point with no spectral peak has FundamentalHz = 0 and
+// PeriodSec = +Inf; a degenerate series can yield NaN. The -json output
+// must stay valid JSON (null), and decoding must keep "undefined"
+// distinguishable from a real zero.
+func TestEncodeRowsNonFinite(t *testing.T) {
+	rows := []sweepRow{
+		{Sweep: "loss", Label: "0.05", Value: 0.05, Program: "sor", Seed: 42,
+			KBps: 12.5, FundamentalHz: 0, PeriodSec: jsonFloat(math.Inf(1)), Packets: 10},
+		{Sweep: "loss", Label: "0.10", Value: 0.10, Program: "sor", Seed: 42,
+			KBps: jsonFloat(math.NaN()), FundamentalHz: jsonFloat(math.NaN()),
+			PeriodSec: jsonFloat(math.Inf(-1)), Packets: 0},
+	}
+	enc, err := encodeRows(rows)
+	if err != nil {
+		t.Fatalf("encodeRows: %v", err)
+	}
+	if !json.Valid(enc) {
+		t.Fatalf("output is not valid JSON:\n%s", enc)
+	}
+	if !strings.Contains(string(enc), `"period_s": null`) {
+		t.Errorf("Inf period not rendered as null:\n%s", enc)
+	}
+
+	var back []sweepRow
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip: %d rows, want 2", len(back))
+	}
+	if float64(back[0].KBps) != 12.5 || float64(back[0].FundamentalHz) != 0 {
+		t.Errorf("finite values corrupted: %+v", back[0])
+	}
+	// Non-finite values come back as NaN, not 0.
+	for _, v := range []float64{float64(back[0].PeriodSec), float64(back[1].KBps),
+		float64(back[1].FundamentalHz), float64(back[1].PeriodSec)} {
+		if !math.IsNaN(v) {
+			t.Errorf("non-finite value decoded as %v, want NaN", v)
+		}
+	}
+}
+
+// The failure mode this guards against: encoding/json rejects bare
+// non-finite floats outright, which used to abort the whole sweep.
+func TestBareNonFiniteWouldFail(t *testing.T) {
+	_, err := json.Marshal(math.Inf(1))
+	if err == nil {
+		t.Skip("encoding/json accepts Inf now; jsonFloat is belt-and-suspenders")
+	}
+}

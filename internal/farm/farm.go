@@ -11,6 +11,8 @@
 package farm
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -87,11 +89,17 @@ type Stats struct {
 	Completed int64
 	// Executed counts actual simulations; CacheHits disk-cache loads;
 	// Deduped jobs that shared another execution; Failed submission
-	// errors.
+	// errors; Cancelled jobs abandoned through their context before a
+	// simulation ran on their behalf.
 	Executed  int64
 	CacheHits int64
 	Deduped   int64
 	Failed    int64
+	Cancelled int64
+	// Running is the number of simulations holding a worker slot right
+	// now (the service's "in-flight sims" gauge). Queued jobs are
+	// Submitted − Completed − Running.
+	Running int64
 }
 
 // call is a single-flight execution slot for one key.
@@ -110,6 +118,9 @@ type Farm struct {
 	cache      *Cache
 	memoize    bool
 	onProgress func(Event)
+	// runFn executes one configuration; tests stub it to model slow or
+	// blocking simulations. Defaults to core.Run.
+	runFn func(core.RunConfig) (*core.Result, error)
 
 	mu         sync.Mutex
 	progressMu sync.Mutex
@@ -131,6 +142,7 @@ func New(opts Options) *Farm {
 		cache:      opts.Cache,
 		memoize:    opts.Memoize,
 		onProgress: opts.OnProgress,
+		runFn:      core.Run,
 		calls:      make(map[string]*call),
 		memo:       make(map[string]*call),
 	}
@@ -149,7 +161,17 @@ func (f *Farm) Stats() Stats {
 // Run executes a single configuration (submitting it through the pool,
 // cache, and dedup machinery) and blocks for the outcome.
 func (f *Farm) Run(cfg core.RunConfig) (*core.Result, *core.Report, error) {
-	jr := f.RunBatch([]Job{{Label: cfg.Program, Config: cfg}})[0]
+	return f.RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: a job cancelled while it is queued for a
+// worker slot (or while it waits on a deduplicated twin) returns the
+// context error without ever occupying a worker. A simulation that has
+// already started runs to completion — the DES kernel has no preemption
+// points — but its result is still stored and memoized, so the work is
+// not wasted.
+func (f *Farm) RunCtx(ctx context.Context, cfg core.RunConfig) (*core.Result, *core.Report, error) {
+	jr := f.do(ctx, Job{Label: cfg.Program, Config: cfg})
 	return jr.Result, jr.Report, jr.Err
 }
 
@@ -157,13 +179,19 @@ func (f *Farm) Run(cfg core.RunConfig) (*core.Result, *core.Report, error) {
 // returns their results in submission order. Identical configurations
 // within the batch are simulated once and share the result.
 func (f *Farm) RunBatch(jobs []Job) []JobResult {
+	return f.RunBatchCtx(context.Background(), jobs)
+}
+
+// RunBatchCtx is RunBatch under a shared context; cancelling it abandons
+// every job of the batch that has not yet started executing.
+func (f *Farm) RunBatchCtx(ctx context.Context, jobs []Job) []JobResult {
 	out := make([]JobResult, len(jobs))
 	var wg sync.WaitGroup
 	for i, job := range jobs {
 		wg.Add(1)
 		go func(i int, job Job) {
 			defer wg.Done()
-			out[i] = f.do(job)
+			out[i] = f.do(ctx, job)
 		}(i, job)
 	}
 	wg.Wait()
@@ -179,7 +207,7 @@ func (f *Farm) Submit(jobs []Job) <-chan JobResult {
 		wg.Add(1)
 		go func(job Job) {
 			defer wg.Done()
-			ch <- f.do(job)
+			ch <- f.do(context.Background(), job)
 		}(job)
 	}
 	go func() {
@@ -189,43 +217,72 @@ func (f *Farm) Submit(jobs []Job) <-chan JobResult {
 	return ch
 }
 
+// isCtxErr reports whether an error is a context cancellation/deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // do runs one job through dedup → cache → pool.
-func (f *Farm) do(job Job) JobResult {
+func (f *Farm) do(ctx context.Context, job Job) JobResult {
 	start := time.Now()
 	key := Key(job.Config)
 	jr := JobResult{Job: job, Key: key}
 
 	f.mu.Lock()
 	f.stats.Submitted++
-	if c, ok := f.memo[key]; ok {
-		f.stats.Deduped++
-		f.mu.Unlock()
-		jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
-		jr.Deduped, jr.Cached = true, c.cached
-		f.finish(&jr, start)
-		return jr
-	}
-	if c, ok := f.calls[key]; ok {
-		f.stats.Deduped++
-		f.mu.Unlock()
-		<-c.done
-		jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
-		jr.Deduped, jr.Cached = true, c.cached
-		f.finish(&jr, start)
-		return jr
+	for {
+		if c, ok := f.memo[key]; ok {
+			f.stats.Deduped++
+			f.mu.Unlock()
+			jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
+			jr.Deduped, jr.Cached = true, c.cached
+			f.finish(&jr, start)
+			return jr
+		}
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				jr.Err = ctx.Err()
+				f.mu.Lock()
+				f.stats.Cancelled++
+				f.mu.Unlock()
+				f.finish(&jr, start)
+				return jr
+			}
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				// The leader was abandoned, not us: retry as a fresh
+				// leader rather than inheriting its cancellation.
+				f.mu.Lock()
+				continue
+			}
+			f.mu.Lock()
+			f.stats.Deduped++
+			f.mu.Unlock()
+			jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
+			jr.Deduped, jr.Cached = true, c.cached
+			f.finish(&jr, start)
+			return jr
+		}
+		break
 	}
 	c := &call{done: make(chan struct{})}
 	f.calls[key] = c
 	f.mu.Unlock()
 
-	f.lead(key, job.Config, c)
+	f.lead(ctx, key, job.Config, c)
 
 	f.mu.Lock()
 	delete(f.calls, key)
 	if f.memoize && c.err == nil {
 		f.memo[key] = c
 	}
-	if c.err != nil {
+	switch {
+	case c.err == nil:
+	case isCtxErr(c.err):
+		f.stats.Cancelled++
+	default:
 		f.stats.Failed++
 	}
 	f.mu.Unlock()
@@ -238,8 +295,9 @@ func (f *Farm) do(job Job) JobResult {
 }
 
 // lead performs the actual work for a key: disk-cache probe, then a
-// worker-pool slot and the simulation.
-func (f *Farm) lead(key string, cfg core.RunConfig, c *call) {
+// worker-pool slot and the simulation. A context cancelled before the
+// slot is acquired frees the job without consuming a worker.
+func (f *Farm) lead(ctx context.Context, key string, cfg core.RunConfig, c *call) {
 	if f.cache != nil {
 		if res, rep, ok := f.cache.Load(key, cfg); ok {
 			c.res, c.rep, c.cached = res, rep, true
@@ -249,9 +307,26 @@ func (f *Farm) lead(key string, cfg core.RunConfig, c *call) {
 			return
 		}
 	}
-	f.sem <- struct{}{}
+	select {
+	case f.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = ctx.Err()
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled in the same instant the slot freed: give it back.
+		<-f.sem
+		c.err = err
+		return
+	}
+	f.mu.Lock()
+	f.stats.Running++
+	f.mu.Unlock()
 	runStart := time.Now()
-	res, err := core.Run(cfg)
+	res, err := f.runFn(cfg)
+	f.mu.Lock()
+	f.stats.Running--
+	f.mu.Unlock()
 	<-f.sem
 	if err != nil {
 		c.err = err

@@ -2,8 +2,11 @@ package farm
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fxnet/internal/core"
 	"fxnet/internal/kernels"
@@ -197,5 +200,120 @@ func TestProgressEvents(t *testing.T) {
 	}
 	if sawTotal.Load() == 0 {
 		t.Error("no event reported Done == Total")
+	}
+}
+
+// errStub marks a run executed by the stubbed runFn in the cancellation
+// tests; it only matters that it is not a context error.
+var errStub = errors.New("stub run")
+
+// stubRuns installs a runFn that counts executions and, for seed 1,
+// blocks holding its worker slot until release is closed.
+func stubRuns(f *Farm, runs *atomic.Int32, started, release chan struct{}) {
+	f.runFn = func(cfg core.RunConfig) (*core.Result, error) {
+		runs.Add(1)
+		if cfg.Seed == 1 {
+			close(started)
+			<-release
+		}
+		return nil, errStub
+	}
+}
+
+// TestCancelQueuedJobFreesSlot cancels a job while it waits for the
+// single worker slot: it must return the context error without ever
+// executing, and the slot must remain usable for later jobs.
+func TestCancelQueuedJobFreesSlot(t *testing.T) {
+	f := New(Options{Workers: 1})
+	var runs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	stubRuns(f, &runs, started, release)
+
+	aDone := make(chan error, 1)
+	go func() { _, _, err := f.Run(tinyConfig(1)); aDone <- err }()
+	<-started // A holds the only slot
+
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan error, 1)
+	go func() { _, _, err := f.RunCtx(ctx, tinyConfig(2)); bDone <- err }()
+	cancel()
+	select {
+	case err := <-bDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled job returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job did not return while the pool was full")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("cancelled job executed anyway: %d runs, want 1", got)
+	}
+	if s := f.Stats(); s.Cancelled != 1 {
+		t.Errorf("Cancelled counter %d, want 1", s.Cancelled)
+	}
+
+	close(release)
+	if err := <-aDone; !errors.Is(err, errStub) {
+		t.Fatalf("blocking job returned %v, want errStub", err)
+	}
+	// The freed slot must still execute new work.
+	if _, _, err := f.Run(tinyConfig(3)); !errors.Is(err, errStub) {
+		t.Fatalf("post-cancel job returned %v, want errStub", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("%d runs after post-cancel job, want 2", got)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFollower: when a deduplicated twin's
+// leader is abandoned through its own context, a follower with a live
+// context retries as a fresh leader instead of inheriting the
+// cancellation.
+func TestCancelledLeaderDoesNotPoisonFollower(t *testing.T) {
+	f := New(Options{Workers: 1})
+	var runs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	stubRuns(f, &runs, started, release)
+
+	aDone := make(chan error, 1)
+	go func() { _, _, err := f.Run(tinyConfig(1)); aDone <- err }()
+	<-started // fill the pool so the leader stays queued
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leadDone := make(chan error, 1)
+	go func() { _, _, err := f.RunCtx(ctx, tinyConfig(2)); leadDone <- err }()
+	// Wait until the leader has registered its in-flight call, so the
+	// follower actually dedups against it.
+	deadline := time.After(5 * time.Second)
+	for {
+		f.mu.Lock()
+		n := len(f.calls)
+		f.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("leader never registered its call")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	followDone := make(chan error, 1)
+	go func() { _, _, err := f.Run(tinyConfig(2)); followDone <- err }()
+
+	cancel()
+	if err := <-leadDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+	}
+	close(release)
+	<-aDone
+	if err := <-followDone; !errors.Is(err, errStub) {
+		t.Fatalf("follower returned %v, want errStub (a fresh execution)", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("%d runs, want 2 (blocker + retried follower)", got)
 	}
 }

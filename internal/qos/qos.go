@@ -59,6 +59,9 @@ func ConcurrentSenders(c fx.Pattern, P int) int {
 // Offer is the network's answer to a negotiation.
 type Offer struct {
 	Program string
+	// ID identifies an admitted commitment for release; 0 on offers that
+	// were evaluated but never admitted.
+	ID int
 	// P is the processor count the network tells the program to use.
 	P int
 	// BurstBandwidth is the per-connection bandwidth B committed during
@@ -80,6 +83,7 @@ type Network struct {
 	// committedMean is the aggregate mean bandwidth already promised.
 	committedMean float64
 	offers        []Offer
+	nextID        int
 }
 
 // NewNetwork returns a network with the given capacity in bytes/s.
@@ -91,6 +95,9 @@ func NewNetwork(capacityBps float64) *Network {
 func (n *Network) Available() float64 {
 	return math.Max(0, n.CapacityBps-n.committedMean)
 }
+
+// Committed reports the aggregate mean bandwidth already promised.
+func (n *Network) Committed() float64 { return n.committedMean }
 
 // Offers lists accepted commitments.
 func (n *Network) Offers() []Offer { return n.offers }
@@ -165,6 +172,8 @@ func (n *Network) Admit(prog Program, maxP int) (Offer, error) {
 	if err != nil {
 		return Offer{}, err
 	}
+	n.nextID++
+	off.ID = n.nextID
 	n.committedMean += off.MeanBandwidth
 	n.offers = append(n.offers, off)
 	return off, nil
@@ -174,12 +183,33 @@ func (n *Network) Admit(prog Program, maxP int) (Offer, error) {
 func (n *Network) Release(name string) bool {
 	for i, off := range n.offers {
 		if off.Program == name {
-			n.committedMean -= off.MeanBandwidth
-			n.offers = append(n.offers[:i], n.offers[i+1:]...)
-			return true
+			return n.release(i)
 		}
 	}
 	return false
+}
+
+// ReleaseID releases the commitment with the given admission ID — the
+// unambiguous form when several admitted programs share a name (a
+// long-running broker admitting the same kernel for many clients).
+func (n *Network) ReleaseID(id int) bool {
+	for i, off := range n.offers {
+		if off.ID == id {
+			return n.release(i)
+		}
+	}
+	return false
+}
+
+func (n *Network) release(i int) bool {
+	n.committedMean -= n.offers[i].MeanBandwidth
+	n.offers = append(n.offers[:i], n.offers[i+1:]...)
+	if len(n.offers) == 0 {
+		// Empty network: clamp away accumulated float error so a fully
+		// drained broker offers exactly its original capacity again.
+		n.committedMean = 0
+	}
+	return true
 }
 
 // AmdahlLocal builds an l() for a program with W total operations per

@@ -289,3 +289,48 @@ func TestQuickAdmitNeverOversubscribes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReleaseByID: two admissions of the same program name are distinct
+// commitments; releasing by ID frees exactly the identified one, and a
+// fully drained network recovers its exact original capacity.
+func TestReleaseByID(t *testing.T) {
+	n := NewNetwork(1.25e6)
+	prog := Program{
+		Name:    "sor",
+		Local:   AmdahlLocal(1e8, 1e7, 0),
+		Burst:   SurfaceBurst(2048),
+		Pattern: fx.Neighbor,
+	}
+	a, err := n.Admit(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Admit(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == 0 || b.ID == 0 || a.ID == b.ID {
+		t.Fatalf("admission IDs not distinct and nonzero: %d, %d", a.ID, b.ID)
+	}
+	if !n.ReleaseID(a.ID) {
+		t.Fatal("ReleaseID(a) failed")
+	}
+	if n.ReleaseID(a.ID) {
+		t.Fatal("double release of the same ID succeeded")
+	}
+	if got := len(n.Offers()); got != 1 {
+		t.Fatalf("%d offers outstanding, want 1", got)
+	}
+	if n.Offers()[0].ID != b.ID {
+		t.Fatal("released the wrong commitment")
+	}
+	if !n.ReleaseID(b.ID) {
+		t.Fatal("ReleaseID(b) failed")
+	}
+	if n.Available() != n.CapacityBps {
+		t.Fatalf("drained network offers %g, want full capacity %g", n.Available(), n.CapacityBps)
+	}
+	if n.ReleaseID(999) {
+		t.Fatal("releasing an unknown ID succeeded")
+	}
+}

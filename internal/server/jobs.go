@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fxnet/internal/core"
+	"fxnet/internal/farm"
+)
+
+// Job states, as reported by GET /v1/runs/{id}. A job is "queued" from
+// submission until the farm hands back its result: the farm does not
+// distinguish waiting-for-a-slot from simulating, and the distinction is
+// visible in /metrics (fxnetd_sims_in_flight) rather than per job.
+const (
+	stateQueued    = "queued"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// job is one asynchronous run submission.
+type job struct {
+	ID        string
+	Key       string
+	Cfg       core.RunConfig
+	Submitted time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   string
+	res     *core.Result
+	rep     *core.Report
+	err     error
+	cached  bool
+	deduped bool
+	wall    time.Duration
+}
+
+// snapshot returns the job's fields under its lock.
+func (j *job) snapshot() (state string, res *core.Result, rep *core.Report, err error, cached, deduped bool, wall time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.res, j.rep, j.err, j.cached, j.deduped, j.wall
+}
+
+// jobRegistry owns the job table and the background execution goroutines.
+type jobRegistry struct {
+	farm *farm.Farm
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  uint64
+	wg   sync.WaitGroup
+}
+
+func newJobRegistry(f *farm.Farm) *jobRegistry {
+	return &jobRegistry{farm: f, jobs: make(map[string]*job)}
+}
+
+// submit registers a job and starts its execution goroutine. The job's
+// context is cancelled by DELETE /v1/runs/{id}; until the farm grants a
+// worker slot, cancellation frees the job without simulating.
+func (r *jobRegistry) submit(cfg core.RunConfig) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	r.mu.Lock()
+	r.seq++
+	j := &job{
+		ID:        fmt.Sprintf("r-%08d", r.seq),
+		Key:       farm.Key(cfg),
+		Cfg:       cfg,
+		Submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     stateQueued,
+	}
+	r.jobs[j.ID] = j
+	r.wg.Add(1)
+	r.mu.Unlock()
+
+	go func() {
+		defer r.wg.Done()
+		defer cancel()
+		out := r.farm.RunBatchCtx(ctx, []farm.Job{{Label: j.ID, Config: cfg}})
+		jr := out[0]
+		j.mu.Lock()
+		j.res, j.rep, j.err = jr.Result, jr.Report, jr.Err
+		j.cached, j.deduped, j.wall = jr.Cached, jr.Deduped, jr.Wall
+		switch {
+		case jr.Err == nil:
+			j.state = stateDone
+		case ctx.Err() != nil:
+			j.state = stateCancelled
+		default:
+			j.state = stateFailed
+		}
+		j.mu.Unlock()
+		close(j.done)
+	}()
+	return j
+}
+
+// get looks a job up by ID.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// counts tallies jobs by state for /metrics and /healthz.
+func (r *jobRegistry) counts() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]int{stateQueued: 0, stateDone: 0, stateFailed: 0, stateCancelled: 0}
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// drain blocks until every submitted job has finished or ctx expires.
+func (r *jobRegistry) drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

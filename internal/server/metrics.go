@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond cached-run fast path through multi-second simulations.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative-bucket convention.
+type histogram struct {
+	counts []uint64 // one per bucket, non-cumulative; rendered cumulative
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.count++
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	// +Inf bucket is implicit in count.
+}
+
+// metrics aggregates the ops surface counters. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[[2]string]uint64 // {endpoint, code} → count
+	latency   map[string]*histogram
+	throttled uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[[2]string]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) record(endpoint, code string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[[2]string{endpoint, code}]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.latency[endpoint] = h
+	}
+	h.observe(seconds)
+}
+
+func (m *metrics) throttle() {
+	m.mu.Lock()
+	m.throttled++
+	m.mu.Unlock()
+}
+
+// writeProm renders the HTTP-layer metrics in the Prometheus text
+// exposition format. Series are emitted in sorted order so scrapes are
+// diffable.
+func (m *metrics) writeProm(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP fxnetd_http_requests_total HTTP requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE fxnetd_http_requests_total counter")
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "fxnetd_http_requests_total{endpoint=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP fxnetd_http_throttled_total Requests rejected with 429 by the per-client concurrency limiter.")
+	fmt.Fprintln(w, "# TYPE fxnetd_http_throttled_total counter")
+	fmt.Fprintf(w, "fxnetd_http_throttled_total %d\n", m.throttled)
+
+	fmt.Fprintln(w, "# HELP fxnetd_http_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE fxnetd_http_request_duration_seconds histogram")
+	eps := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		h := m.latency[ep]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "fxnetd_http_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		fmt.Fprintf(w, "fxnetd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "fxnetd_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "fxnetd_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+}

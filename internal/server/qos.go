@@ -1,0 +1,218 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fxnet/internal/fx"
+	"fxnet/internal/kernels"
+	"fxnet/internal/qos"
+)
+
+// NegotiateRequest is the wire form of the paper's §7.3 hand-off: the
+// program submits its [l(), b(), c] characterization and the network
+// answers with the processor count and burst bandwidth that minimize the
+// burst interval given the capacity it has not yet promised elsewhere.
+//
+// A request names either a measured kernel (the registry's calibrated
+// characterization at the given problem size) or a custom
+// characterization with an Amdahl local-time law and a surface/block
+// burst law.
+type NegotiateRequest struct {
+	// Client labels the requester in broker listings; optional.
+	Client string `json:"client,omitempty"`
+	// Program selects a kernel characterization ("sor", "2dfft",
+	// "t2dfft", "seq", "hist"); mutually exclusive with Custom.
+	Program string `json:"program,omitempty"`
+	// N and Iters override the kernel problem size (0 = paper default).
+	N     int `json:"n,omitempty"`
+	Iters int `json:"iters,omitempty"`
+	// MaxP bounds the processor search; 0 uses the broker default.
+	MaxP int `json:"max_p,omitempty"`
+	// DryRun negotiates without committing bandwidth.
+	DryRun bool `json:"dry_run,omitempty"`
+	// Custom is a free-form characterization.
+	Custom *CustomProgram `json:"custom,omitempty"`
+}
+
+// CustomProgram carries a [l(), b(), c] characterization for a program
+// the registry does not know.
+type CustomProgram struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"` // neighbor, all-to-all, partition, broadcast, tree
+	Local   struct {
+		TotalOps   float64 `json:"total_ops"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+		SerialFrac float64 `json:"serial_frac"`
+	} `json:"local"`
+	Burst struct {
+		Kind  string  `json:"kind"` // "surface" (P-constant) or "block" (∝ 1/P²)
+		Bytes float64 `json:"bytes"`
+	} `json:"burst"`
+}
+
+// OfferJSON is the wire form of a committed (or dry-run) offer.
+type OfferJSON struct {
+	ID             int     `json:"id,omitempty"` // 0 on dry runs
+	Program        string  `json:"program"`
+	Client         string  `json:"client,omitempty"`
+	P              int     `json:"p"`
+	BurstBandwidth float64 `json:"burst_bandwidth_bps"`
+	BurstSeconds   float64 `json:"burst_s"`
+	BurstInterval  float64 `json:"tbi_s"`
+	MeanBandwidth  float64 `json:"mean_bps"`
+}
+
+// parsePattern inverts fx.Pattern.String.
+func parsePattern(s string) (fx.Pattern, error) {
+	for _, p := range []fx.Pattern{fx.Neighbor, fx.AllToAll, fx.Partition, fx.Broadcast, fx.Tree} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}
+
+// program builds the qos.Program a request describes.
+func (req *NegotiateRequest) program() (qos.Program, error) {
+	switch {
+	case req.Custom != nil && req.Program != "":
+		return qos.Program{}, errors.New("program and custom are mutually exclusive")
+	case req.Custom != nil:
+		c := req.Custom
+		if c.Name == "" {
+			return qos.Program{}, errors.New("custom.name required")
+		}
+		pat, err := parsePattern(c.Pattern)
+		if err != nil {
+			return qos.Program{}, err
+		}
+		if c.Local.TotalOps <= 0 || c.Local.OpsPerSec <= 0 {
+			return qos.Program{}, errors.New("custom.local total_ops and ops_per_sec must be positive")
+		}
+		if c.Local.SerialFrac < 0 || c.Local.SerialFrac > 1 {
+			return qos.Program{}, errors.New("custom.local serial_frac must be in [0,1]")
+		}
+		if c.Burst.Bytes <= 0 {
+			return qos.Program{}, errors.New("custom.burst bytes must be positive")
+		}
+		prog := qos.Program{
+			Name:    c.Name,
+			Local:   qos.AmdahlLocal(c.Local.TotalOps, c.Local.OpsPerSec, c.Local.SerialFrac),
+			Pattern: pat,
+		}
+		switch c.Burst.Kind {
+		case "surface":
+			prog.Burst = qos.SurfaceBurst(c.Burst.Bytes)
+		case "block":
+			prog.Burst = qos.BlockBurst(c.Burst.Bytes)
+		default:
+			return qos.Program{}, fmt.Errorf("unknown burst kind %q (want surface or block)", c.Burst.Kind)
+		}
+		return prog, nil
+	case req.Program != "":
+		spec, ok := kernels.Lookup(req.Program)
+		if !ok || spec.QoS == nil {
+			return qos.Program{}, fmt.Errorf("no QoS characterization for program %q", req.Program)
+		}
+		params := spec.Params
+		if req.N != 0 {
+			params.N = req.N
+		}
+		if req.Iters != 0 {
+			params.Iters = req.Iters
+		}
+		return spec.QoS(params), nil
+	default:
+		return qos.Program{}, errors.New("one of program or custom required")
+	}
+}
+
+// errNoCapacity wraps negotiation failures that should map to 409, not
+// 400: the request was well-formed, the network just cannot serve it now.
+var errNoCapacity = errors.New("no feasible offer")
+
+// broker is the stateful admission-control layer over the pure
+// qos.Network: it serializes negotiations, tracks outstanding
+// commitments by admission ID, and remembers the requesting client for
+// listings. See DESIGN.md §9 for the state machine.
+type broker struct {
+	mu      sync.Mutex
+	net     *qos.Network
+	maxP    int
+	clients map[int]string // admission ID → client label
+}
+
+func newBroker(capacityBps float64, maxP int) *broker {
+	if maxP <= 0 {
+		maxP = 32
+	}
+	return &broker{net: qos.NewNetwork(capacityBps), maxP: maxP, clients: make(map[int]string)}
+}
+
+// negotiate answers one request, committing the offer unless DryRun.
+func (b *broker) negotiate(req *NegotiateRequest) (OfferJSON, error) {
+	prog, err := req.program()
+	if err != nil {
+		return OfferJSON{}, err
+	}
+	maxP := req.MaxP
+	if maxP <= 0 || maxP > b.maxP {
+		maxP = b.maxP
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var off qos.Offer
+	if req.DryRun {
+		off, err = b.net.Negotiate(prog, maxP)
+	} else {
+		off, err = b.net.Admit(prog, maxP)
+	}
+	if err != nil {
+		return OfferJSON{}, fmt.Errorf("%w: %v", errNoCapacity, err)
+	}
+	if !req.DryRun && req.Client != "" {
+		b.clients[off.ID] = req.Client
+	}
+	return OfferJSON{
+		ID:             off.ID,
+		Program:        off.Program,
+		Client:         req.Client,
+		P:              off.P,
+		BurstBandwidth: off.BurstBandwidth,
+		BurstSeconds:   off.BurstSeconds,
+		BurstInterval:  off.BurstInterval,
+		MeanBandwidth:  off.MeanBandwidth,
+	}, nil
+}
+
+// release frees the commitment with the given admission ID.
+func (b *broker) release(id int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.net.ReleaseID(id) {
+		return false
+	}
+	delete(b.clients, id)
+	return true
+}
+
+// snapshot lists outstanding commitments and the capacity ledger.
+func (b *broker) snapshot() (offers []OfferJSON, committed, available, capacity float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, off := range b.net.Offers() {
+		offers = append(offers, OfferJSON{
+			ID:             off.ID,
+			Program:        off.Program,
+			Client:         b.clients[off.ID],
+			P:              off.P,
+			BurstBandwidth: off.BurstBandwidth,
+			BurstSeconds:   off.BurstSeconds,
+			BurstInterval:  off.BurstInterval,
+			MeanBandwidth:  off.MeanBandwidth,
+		})
+	}
+	return offers, b.net.Committed(), b.net.Available(), b.net.CapacityBps
+}

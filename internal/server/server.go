@@ -1,0 +1,530 @@
+// Package server is fxnetd's engine: the reproduction's measurement
+// pipeline exposed as a long-running HTTP/JSON service. It is the shape
+// the paper's §7.3 endgame implies — programs negotiate QoS commitments
+// with the network online, and traffic studies are submitted as jobs
+// rather than run as one-shot CLIs.
+//
+// The service has three surfaces:
+//
+//   - Runs: POST /v1/runs submits a run configuration to an asynchronous
+//     job queue backed by the experiment farm (bounded workers,
+//     content-addressed disk cache, single-flight dedup); GET polls
+//     status; /trace and /spectrum stream results as chunked NDJSON.
+//   - QoS: POST /v1/qos/negotiate is the paper's admission-control
+//     broker; DELETE /v1/qos/commitments/{id} releases a commitment.
+//   - Ops: /metrics (Prometheus text), /healthz, /debug/pprof, request
+//     logging, per-client concurrency limits with 429 backpressure, and
+//     graceful drain that lets in-flight simulations finish.
+//
+// Everything is stdlib-only.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fxnet/internal/airshed"
+	"fxnet/internal/analysis"
+	"fxnet/internal/core"
+	"fxnet/internal/dsp"
+	"fxnet/internal/farm"
+	"fxnet/internal/faults"
+	"fxnet/internal/kernels"
+	"fxnet/internal/version"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheDir enables the content-addressed disk cache; empty disables.
+	CacheDir string
+	// Memoize keeps completed results in memory (on by default in
+	// fxnetd: a service that re-simulates identical submissions is
+	// wasting its own point).
+	Memoize bool
+	// CapacityBps is the QoS broker's schedulable capacity in bytes/s;
+	// <= 0 selects the calibrated shared-segment default (1.1 MB/s).
+	CapacityBps float64
+	// MaxP bounds the broker's processor search; <= 0 selects 32.
+	MaxP int
+	// ClientLimit bounds in-flight API requests per client; <= 0
+	// disables the limiter.
+	ClientLimit int
+	// Log receives request and lifecycle lines; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the fxnetd engine. Create with New, mount via Handler.
+type Server struct {
+	farm    *farm.Farm
+	jobs    *jobRegistry
+	broker  *broker
+	metrics *metrics
+	limiter *clientLimiter
+	logger  *log.Logger
+	started time.Time
+
+	reqSeq   atomic.Uint64
+	draining atomic.Bool
+}
+
+// defaultCapacityBps matches core's qosCapacityBps: 10 Mb/s derated by
+// framing and CSMA/CD overhead.
+const defaultCapacityBps = 1.1e6
+
+// New assembles a server.
+func New(opts Options) (*Server, error) {
+	fo := farm.Options{Workers: opts.Workers, Memoize: opts.Memoize}
+	if opts.CacheDir != "" {
+		c, err := farm.OpenCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		fo.Cache = c
+	}
+	cap := opts.CapacityBps
+	if cap <= 0 {
+		cap = defaultCapacityBps
+	}
+	logger := opts.Log
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	f := farm.New(fo)
+	return &Server{
+		farm:    f,
+		jobs:    newJobRegistry(f),
+		broker:  newBroker(cap, opts.MaxP),
+		metrics: newMetrics(),
+		limiter: newClientLimiter(opts.ClientLimit),
+		logger:  logger,
+		started: time.Now(),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) { s.logger.Printf(format, args...) }
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.instrument("runs_submit", true, s.handleSubmit))
+	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_status", true, s.handleStatus))
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("runs_cancel", true, s.handleCancel))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", true, s.handleTrace))
+	mux.HandleFunc("GET /v1/runs/{id}/spectrum", s.instrument("runs_spectrum", true, s.handleSpectrum))
+	mux.HandleFunc("POST /v1/qos/negotiate", s.instrument("qos_negotiate", true, s.handleNegotiate))
+	mux.HandleFunc("GET /v1/qos/commitments", s.instrument("qos_list", true, s.handleCommitments))
+	mux.HandleFunc("DELETE /v1/qos/commitments/{id}", s.instrument("qos_release", true, s.handleRelease))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Workers reports the farm's concurrency bound.
+func (s *Server) Workers() int { return s.farm.Workers() }
+
+// BeginDrain stops accepting new run submissions; polling and QoS
+// release remain available so clients can collect results and free
+// commitments while the server empties.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every submitted job has finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr renders an error payload.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// RunRequest is the wire form of a run submission: the useful subset of
+// core.RunConfig, with kernel parameters flattened.
+type RunRequest struct {
+	Program        string  `json:"program"`
+	P              int     `json:"p,omitempty"`
+	N              int     `json:"n,omitempty"`
+	Iters          int     `json:"iters,omitempty"`
+	Hours          int     `json:"hours,omitempty"` // airshed only
+	Seed           int64   `json:"seed,omitempty"`
+	BitRate        float64 `json:"bitrate,omitempty"`
+	Switched       bool    `json:"switched,omitempty"`
+	Nagle          bool    `json:"nagle,omitempty"`
+	Loss           float64 `json:"loss,omitempty"`
+	CrossKBps      float64 `json:"cross_kbps,omitempty"`
+	Guarantee      bool    `json:"guarantee,omitempty"`
+	Faults         string  `json:"faults,omitempty"`
+	Degrade        bool    `json:"degrade,omitempty"`
+	DisableDesched bool    `json:"disable_desched,omitempty"`
+}
+
+// config validates the request and builds the run configuration.
+func (req *RunRequest) config() (core.RunConfig, error) {
+	if _, ok := kernels.Lookup(req.Program); !ok && req.Program != core.Airshed {
+		return core.RunConfig{}, fmt.Errorf("unknown program %q (have %v)", req.Program, core.ProgramNames())
+	}
+	if req.Loss < 0 || req.Loss >= 1 {
+		return core.RunConfig{}, fmt.Errorf("loss %g outside [0,1)", req.Loss)
+	}
+	if req.Faults != "" {
+		if _, err := faults.Parse(req.Faults); err != nil {
+			return core.RunConfig{}, fmt.Errorf("bad fault script: %v", err)
+		}
+	}
+	cfg := core.RunConfig{
+		Program:          req.Program,
+		P:                req.P,
+		Params:           kernels.Params{N: req.N, Iters: req.Iters},
+		Seed:             req.Seed,
+		BitRate:          req.BitRate,
+		Switched:         req.Switched,
+		Nagle:            req.Nagle,
+		FrameLossProb:    req.Loss,
+		CrossTrafficKBps: req.CrossKBps,
+		GuaranteeProgram: req.Guarantee,
+		FaultScript:      req.Faults,
+		Degrade:          req.Degrade,
+		DisableDesched:   req.DisableDesched,
+	}
+	if req.Program == core.Airshed && req.Hours > 0 {
+		ap := airshed.PaperParams()
+		ap.Hours = req.Hours
+		cfg.AirshedParams = ap
+	}
+	return cfg, nil
+}
+
+// statusJSON is the GET /v1/runs/{id} payload.
+type statusJSON struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Key       string  `json:"key"`
+	Cached    bool    `json:"cached"`
+	Deduped   bool    `json:"deduped"`
+	WallMs    float64 `json:"wall_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Submitted string  `json:"submitted"`
+
+	Result *resultJSON `json:"result,omitempty"`
+}
+
+// resultJSON summarizes a completed run.
+type resultJSON struct {
+	Packets       int           `json:"packets"`
+	Bytes         int64         `json:"bytes"`
+	ElapsedS      float64       `json:"elapsed_s"`
+	KBps          nullableFloat `json:"kbps"`
+	FundamentalHz nullableFloat `json:"fundamental_hz"`
+	RunError      string        `json:"run_error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.jobs.submit(cfg)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     j.ID,
+		"key":    j.Key,
+		"state":  stateQueued,
+		"status": "/v1/runs/" + j.ID,
+	})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	state, res, rep, err, cached, deduped, wall := j.snapshot()
+	out := statusJSON{
+		ID: j.ID, State: state, Key: j.Key,
+		Cached: cached, Deduped: deduped,
+		WallMs:    float64(wall.Microseconds()) / 1000,
+		Submitted: j.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if state == stateDone && res != nil {
+		rj := &resultJSON{
+			Packets:  res.Trace.Len(),
+			Bytes:    res.Trace.TotalBytes(),
+			ElapsedS: res.Elapsed.Seconds(),
+			KBps:     nullableFloat(analysis.AverageBandwidthKBps(res.Trace)),
+		}
+		if rep != nil && rep.AggSpectrum != nil {
+			rj.FundamentalHz = nullableFloat(rep.AggSpectrum.DominantFreq())
+		}
+		if res.RunErr != nil {
+			rj.RunError = res.RunErr.Error()
+		}
+		out.Result = rj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	<-j.done
+	state, _, _, _, _, _, _ := j.snapshot()
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.ID, "state": state})
+}
+
+// doneJob fetches a job and requires it to be done, else 409/404.
+func (s *Server) doneJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return nil, false
+	}
+	state, _, _, _, _, _, _ := j.snapshot()
+	if state != stateDone {
+		writeErr(w, http.StatusConflict, "run %s is %s, not done", j.ID, state)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.doneJob(w, r)
+	if !ok {
+		return
+	}
+	_, res, _, _, _, _, _ := j.snapshot()
+	if r.URL.Query().Get("format") == "bin" {
+		// The binary codec streams through the same chunked writer the
+		// disk cache uses; fxanalyze reads it directly.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := res.Trace.WriteBinary(w); err != nil {
+			s.logf("trace stream %s: %v", j.ID, err)
+		}
+		return
+	}
+	if err := streamTraceNDJSON(w, res.Trace); err != nil {
+		s.logf("trace stream %s: %v", j.ID, err)
+	}
+}
+
+func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.doneJob(w, r)
+	if !ok {
+		return
+	}
+	_, res, rep, _, _, _, _ := j.snapshot()
+	kind := "aggregate"
+	var spec *dsp.Spectrum
+	if r.URL.Query().Get("conn") != "" {
+		kind = "connection"
+		if rep != nil {
+			spec = rep.ConnSpectrum
+		}
+	} else if rep != nil {
+		spec = rep.AggSpectrum
+	}
+	if spec == nil {
+		writeErr(w, http.StatusNotFound, "run %s has no %s spectrum", j.ID, kind)
+		return
+	}
+	if err := streamSpectrumNDJSON(w, res.Config.Program, kind, spec); err != nil {
+		s.logf("spectrum stream %s: %v", j.ID, err)
+	}
+}
+
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	var req NegotiateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	off, err := s.broker.negotiate(&req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if isNoCapacity(err) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	_, _, available, _ := s.broker.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"offer":         off,
+		"available_bps": available,
+	})
+}
+
+func (s *Server) handleCommitments(w http.ResponseWriter, r *http.Request) {
+	offers, committed, available, capacity := s.broker.snapshot()
+	if offers == nil {
+		offers = []OfferJSON{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"commitments":   offers,
+		"committed_bps": committed,
+		"available_bps": available,
+		"capacity_bps":  capacity,
+	})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad commitment id %q", r.PathValue("id"))
+		return
+	}
+	if !s.broker.release(id) {
+		writeErr(w, http.StatusNotFound, "no commitment %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"released": id})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fs := s.farm.Stats()
+	jobCounts := s.jobs.counts()
+	_, committed, available, capacity := s.broker.snapshot()
+
+	fmt.Fprintf(w, "# HELP fxnetd_build_info Build identity.\n# TYPE fxnetd_build_info gauge\nfxnetd_build_info{version=%q} 1\n", version.String())
+	fmt.Fprintf(w, "# HELP fxnetd_uptime_seconds Seconds since the server started.\n# TYPE fxnetd_uptime_seconds gauge\nfxnetd_uptime_seconds %g\n", time.Since(s.started).Seconds())
+
+	fmt.Fprintln(w, "# HELP fxnetd_farm_submitted_total Jobs submitted to the experiment farm.\n# TYPE fxnetd_farm_submitted_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_submitted_total %d\n", fs.Submitted)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_completed_total Farm jobs completed.\n# TYPE fxnetd_farm_completed_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_completed_total %d\n", fs.Completed)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_executed_total Simulations actually executed (not cached or deduplicated).\n# TYPE fxnetd_farm_executed_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_executed_total %d\n", fs.Executed)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_cache_hits_total Disk-cache hits.\n# TYPE fxnetd_farm_cache_hits_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_cache_hits_total %d\n", fs.CacheHits)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_deduped_total Jobs that shared another execution (single-flight or memo).\n# TYPE fxnetd_farm_deduped_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_deduped_total %d\n", fs.Deduped)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_failed_total Farm jobs that failed.\n# TYPE fxnetd_farm_failed_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_failed_total %d\n", fs.Failed)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_cancelled_total Farm jobs cancelled before executing.\n# TYPE fxnetd_farm_cancelled_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_cancelled_total %d\n", fs.Cancelled)
+
+	fmt.Fprintln(w, "# HELP fxnetd_sims_in_flight Simulations holding a worker slot right now.\n# TYPE fxnetd_sims_in_flight gauge")
+	fmt.Fprintf(w, "fxnetd_sims_in_flight %d\n", fs.Running)
+	queued := fs.Submitted - fs.Completed - fs.Running
+	if queued < 0 {
+		queued = 0
+	}
+	fmt.Fprintln(w, "# HELP fxnetd_queue_depth Farm jobs submitted but neither running nor completed.\n# TYPE fxnetd_queue_depth gauge")
+	fmt.Fprintf(w, "fxnetd_queue_depth %d\n", queued)
+
+	fmt.Fprintln(w, "# HELP fxnetd_jobs Run submissions by state.\n# TYPE fxnetd_jobs gauge")
+	for _, st := range []string{stateQueued, stateDone, stateFailed, stateCancelled} {
+		fmt.Fprintf(w, "fxnetd_jobs{state=%q} %d\n", st, jobCounts[st])
+	}
+
+	fmt.Fprintln(w, "# HELP fxnetd_qos_commitments Outstanding QoS commitments.\n# TYPE fxnetd_qos_commitments gauge")
+	fmt.Fprintf(w, "fxnetd_qos_commitments %d\n", len(s.mustOffers()))
+	fmt.Fprintln(w, "# HELP fxnetd_qos_committed_bytes_per_second Mean bandwidth promised to admitted programs.\n# TYPE fxnetd_qos_committed_bytes_per_second gauge")
+	fmt.Fprintf(w, "fxnetd_qos_committed_bytes_per_second %g\n", committed)
+	fmt.Fprintln(w, "# HELP fxnetd_qos_available_bytes_per_second Capacity not yet committed.\n# TYPE fxnetd_qos_available_bytes_per_second gauge")
+	fmt.Fprintf(w, "fxnetd_qos_available_bytes_per_second %g\n", available)
+	fmt.Fprintln(w, "# HELP fxnetd_qos_capacity_bytes_per_second The broker's schedulable capacity.\n# TYPE fxnetd_qos_capacity_bytes_per_second gauge")
+	fmt.Fprintf(w, "fxnetd_qos_capacity_bytes_per_second %g\n", capacity)
+
+	s.metrics.writeProm(w)
+}
+
+// mustOffers returns the current commitment list (helper for /metrics).
+func (s *Server) mustOffers() []OfferJSON {
+	offers, _, _, _ := s.broker.snapshot()
+	return offers
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fs := s.farm.Stats()
+	jobCounts := s.jobs.counts()
+	offers, committed, available, capacity := s.broker.snapshot()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"version":  version.String(),
+		"uptime_s": time.Since(s.started).Seconds(),
+		"farm": map[string]any{
+			"workers":    s.farm.Workers(),
+			"submitted":  fs.Submitted,
+			"completed":  fs.Completed,
+			"executed":   fs.Executed,
+			"cache_hits": fs.CacheHits,
+			"deduped":    fs.Deduped,
+			"failed":     fs.Failed,
+			"cancelled":  fs.Cancelled,
+			"running":    fs.Running,
+		},
+		"jobs": jobCounts,
+		"qos": map[string]any{
+			"commitments":   len(offers),
+			"committed_bps": committed,
+			"available_bps": available,
+			"capacity_bps":  capacity,
+		},
+	})
+}
+
+// isNoCapacity reports whether a negotiation error is a capacity
+// rejection (409) rather than a malformed request (400).
+func isNoCapacity(err error) bool {
+	for e := err; e != nil; {
+		if e == errNoCapacity {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

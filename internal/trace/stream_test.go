@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"fxnet/internal/ethernet"
+	"fxnet/internal/sim"
+)
+
+// synthPacket builds a deterministic pseudo-random packet from an index,
+// exercising every field of the record layout.
+func synthPacket(i int) Packet {
+	return Packet{
+		Time:    sim.Time(int64(i)*7919 + 13),
+		Size:    uint16(64 + i%1455),
+		Src:     uint8(i % 9),
+		Dst:     uint8((i + 3) % 9),
+		Proto:   ethernet.Proto(i % 3),
+		Flags:   uint8(i % 4),
+		SrcPort: uint16(1024 + i%5000),
+		DstPort: uint16(2048 + i%5000),
+	}
+}
+
+// captureThroughCollector drives n packets through the collector's
+// chunked record path, so the resulting trace has crossed the columnar
+// chunk boundary the same way a live capture does.
+func captureThroughCollector(n int) *Trace {
+	c := &Collector{tr: New(), enabled: true}
+	for i := 0; i < n; i++ {
+		p := synthPacket(i)
+		c.record(ethernet.Capture{
+			Time: p.Time, Size: int(p.Size), Src: int(p.Src), Dst: int(p.Dst),
+			Proto: p.Proto, Flags: p.Flags, SrcPort: p.SrcPort, DstPort: p.DstPort,
+		})
+	}
+	t := c.Trace()
+	t.Hosts = []string{"alpha0", "alpha1"}
+	t.Meta["program"] = "synthetic"
+	t.AddMark(sim.Time(5), "mark-a")
+	return t
+}
+
+// fragmentedReader returns data in fixed odd-sized fragments, so packet
+// records straddle every read boundary.
+type fragmentedReader struct {
+	data []byte
+	frag int
+}
+
+func (r *fragmentedReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(r.frag, min(len(p), len(r.data)))
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestReaderRoundTripChunkBoundaries round-trips traces whose lengths
+// bracket the collector's chunk size through WriteBinary and the
+// streaming Reader, delivering the bytes in 7-byte fragments so records
+// straddle both the columnar chunk boundary and every read boundary.
+func TestReaderRoundTripChunkBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, collectorChunk - 1, collectorChunk, collectorChunk + 1, 2*collectorChunk + 3} {
+		tr := captureThroughCollector(n)
+		if len(tr.Packets) != n {
+			t.Fatalf("n=%d: collector produced %d packets", n, len(tr.Packets))
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		rd, err := NewReader(&fragmentedReader{data: buf.Bytes(), frag: 7})
+		if err != nil {
+			t.Fatalf("n=%d: NewReader: %v", n, err)
+		}
+		if rd.Len() != n {
+			t.Fatalf("n=%d: reader declares %d packets", n, rd.Len())
+		}
+		if len(rd.Hosts()) != 2 || rd.Meta()["program"] != "synthetic" {
+			t.Fatalf("n=%d: header mangled: hosts=%v meta=%v", n, rd.Hosts(), rd.Meta())
+		}
+		if len(rd.Marks()) != 1 || rd.Marks()[0].Label != "mark-a" {
+			t.Fatalf("n=%d: marks mangled: %v", n, rd.Marks())
+		}
+		var p Packet
+		for i := 0; i < n; i++ {
+			if err := rd.Next(&p); err != nil {
+				t.Fatalf("n=%d: Next(%d): %v", n, i, err)
+			}
+			if p != tr.Packets[i] {
+				t.Fatalf("n=%d: packet %d mismatch: got %+v want %+v", n, i, p, tr.Packets[i])
+			}
+		}
+		if err := rd.Next(&p); err != io.EOF {
+			t.Fatalf("n=%d: Next past end: %v, want io.EOF", n, err)
+		}
+	}
+}
+
+// TestReaderTruncation: a stream that ends mid-record must surface
+// io.ErrUnexpectedEOF, not a silent short trace.
+func TestReaderTruncation(t *testing.T) {
+	tr := captureThroughCollector(10)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-packetRecBytes/2]
+	rd, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if lastErr = rd.Next(&p); lastErr != nil {
+			break
+		}
+	}
+	if lastErr != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated stream produced %v, want io.ErrUnexpectedEOF", lastErr)
+	}
+}
+
+// TestReadBinaryMatchesReader: the materializing decoder is a thin loop
+// over the streaming one; the two must agree exactly.
+func TestReadBinaryMatchesReader(t *testing.T) {
+	tr := captureThroughCollector(collectorChunk + 5)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("ReadBinary produced %d packets, want %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range got.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+	if got.Meta["program"] != "synthetic" || len(got.Marks) != 1 {
+		t.Fatalf("metadata mangled: meta=%v marks=%v", got.Meta, got.Marks)
+	}
+}
+
+// FuzzReader throws arbitrary bytes at the streaming decoder: it must
+// never panic or over-allocate, and any stream it fully accepts must
+// re-encode to a trace that decodes identically (the decoder is a
+// function, not a guesser).
+func FuzzReader(f *testing.F) {
+	seedTrace := captureThroughCollector(20)
+	var seed bytes.Buffer
+	if err := seedTrace.WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		first := New()
+		first.Hosts = rd.Hosts()
+		for k, v := range rd.Meta() {
+			first.Meta[k] = v
+		}
+		first.Marks = rd.Marks()
+		var p Packet
+		for {
+			if err := rd.Next(&p); err != nil {
+				if err != io.EOF {
+					return // damaged body: fine, just no panic
+				}
+				break
+			}
+			first.Packets = append(first.Packets, p)
+		}
+		// Accepted stream: must round-trip exactly.
+		var buf bytes.Buffer
+		if err := first.WriteBinary(&buf); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		second, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted stream failed: %v", err)
+		}
+		if len(second.Packets) != len(first.Packets) {
+			t.Fatalf("round-trip packet count %d != %d", len(second.Packets), len(first.Packets))
+		}
+		for i := range second.Packets {
+			if second.Packets[i] != first.Packets[i] {
+				t.Fatalf("round-trip packet %d mismatch", i)
+			}
+		}
+	})
+}

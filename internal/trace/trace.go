@@ -397,7 +397,54 @@ const packetRecBytes = 18
 
 // ReadBinary parses a trace written by WriteBinary.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New()
+	t.Hosts = rd.Hosts()
+	for k, v := range rd.Meta() {
+		t.Meta[k] = v
+	}
+	t.Marks = rd.Marks()
+	// Preallocate from the declared count, but bounded: the count is
+	// untrusted input and must not be able to demand an arbitrary
+	// allocation before a single record has been read.
+	t.Packets = make([]Packet, 0, min(rd.Len(), 1<<20))
+	var p Packet
+	for {
+		if err := rd.Next(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	return t, nil
+}
+
+// Reader streams packets out of the binary trace format without
+// materializing the whole trace: the header (host table, metadata, marks,
+// record count) is parsed eagerly by NewReader, and each Next call
+// decodes exactly one fixed-size record. It is the service's chunked
+// result streamer — a million-packet capture is relayed record by record
+// in constant memory.
+type Reader struct {
+	br    *bufio.Reader
+	hosts []string
+	meta  map[string]string
+	marks []Mark
+	total uint64
+	read  uint64
+}
+
+// NewReader parses a binary-trace header from r and returns a streaming
+// reader positioned at the first packet record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
@@ -419,21 +466,27 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		}
 		return string(buf), nil
 	}
-	t := New()
+	rd := &Reader{br: br, meta: make(map[string]string)}
 	var nHosts uint32
 	if err := binary.Read(br, binary.LittleEndian, &nHosts); err != nil {
 		return nil, err
+	}
+	if nHosts > 1<<16 {
+		return nil, fmt.Errorf("trace: host count %d too large", nHosts)
 	}
 	for i := uint32(0); i < nHosts; i++ {
 		h, err := readStr()
 		if err != nil {
 			return nil, err
 		}
-		t.Hosts = append(t.Hosts, h)
+		rd.hosts = append(rd.hosts, h)
 	}
 	var nMeta uint32
 	if err := binary.Read(br, binary.LittleEndian, &nMeta); err != nil {
 		return nil, err
+	}
+	if nMeta > 1<<16 {
+		return nil, fmt.Errorf("trace: meta count %d too large", nMeta)
 	}
 	for i := uint32(0); i < nMeta; i++ {
 		k, err := readStr()
@@ -444,33 +497,59 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Meta[k] = v
+		rd.meta[k] = v
 	}
-	if err := t.adoptMarksMeta(); err != nil {
-		return nil, err
-	}
-	var nPkts uint64
-	if err := binary.Read(br, binary.LittleEndian, &nPkts); err != nil {
-		return nil, err
-	}
-	t.Packets = make([]Packet, 0, nPkts)
-	var rec [packetRecBytes]byte
-	for i := uint64(0); i < nPkts; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+	if enc, ok := rd.meta["marks"]; ok {
+		marks, err := decodeMarks(enc)
+		if err != nil {
 			return nil, err
 		}
-		t.Packets = append(t.Packets, Packet{
-			Time:    sim.Time(int64(binary.LittleEndian.Uint64(rec[0:]))),
-			Size:    binary.LittleEndian.Uint16(rec[8:]),
-			Src:     rec[10],
-			Dst:     rec[11],
-			Proto:   ethernet.Proto(rec[12]),
-			Flags:   rec[13],
-			SrcPort: binary.LittleEndian.Uint16(rec[14:]),
-			DstPort: binary.LittleEndian.Uint16(rec[16:]),
-		})
+		rd.marks = marks
+		delete(rd.meta, "marks")
 	}
-	return t, nil
+	if err := binary.Read(br, binary.LittleEndian, &rd.total); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Hosts returns the trace's host table.
+func (r *Reader) Hosts() []string { return r.hosts }
+
+// Meta returns the trace's metadata (marks already extracted).
+func (r *Reader) Meta() map[string]string { return r.meta }
+
+// Marks returns the trace's time annotations.
+func (r *Reader) Marks() []Mark { return r.marks }
+
+// Len reports the total packet count the header declares.
+func (r *Reader) Len() int { return int(r.total) }
+
+// Next decodes one packet record into p. It returns io.EOF after the last
+// declared record, and io.ErrUnexpectedEOF if the stream ends early.
+func (r *Reader) Next(p *Packet) error {
+	if r.read >= r.total {
+		return io.EOF
+	}
+	var rec [packetRecBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	r.read++
+	*p = Packet{
+		Time:    sim.Time(int64(binary.LittleEndian.Uint64(rec[0:]))),
+		Size:    binary.LittleEndian.Uint16(rec[8:]),
+		Src:     rec[10],
+		Dst:     rec[11],
+		Proto:   ethernet.Proto(rec[12]),
+		Flags:   rec[13],
+		SrcPort: binary.LittleEndian.Uint16(rec[14:]),
+		DstPort: binary.LittleEndian.Uint16(rec[16:]),
+	}
+	return nil
 }
 
 // WriteText emits a human-readable tcpdump-style listing that ReadText

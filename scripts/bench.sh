@@ -4,7 +4,8 @@
 # Then the hot-path suite: the tracked microbenchmarks (DES kernel,
 # Ethernet delivery, DSP) and the serial end-to-end -quick wall clock,
 # compared against the committed pre-optimization baselines. Writes
-# BENCH_sim.json.
+# BENCH_sim.json. Finally the service suite: fxnetd under fxload's
+# open-loop mixed traffic. Writes BENCH_serve.json.
 #
 # The parallel speedup depends on the host: on a single-core container
 # -j N cannot beat -j 1, which is why the JSON records "cores" next to
@@ -142,3 +143,42 @@ END {
 }' "$BENCHOUT" >"$SIM_OUT"
 
 cat "$SIM_OUT"
+
+# --- service benchmark → BENCH_serve.json ----------------------------
+# fxnetd under open-loop mixed load: boot on an ephemeral port, warm the
+# farm with one executed run, then offer SERVE_RPS req/s of mixed
+# submit/status/negotiate/ops traffic and record achieved throughput and
+# latency quantiles. The acceptance floor is 500 req/s sustained.
+SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+SERVE_RPS="${SERVE_RPS:-800}"
+SERVE_DURATION="${SERVE_DURATION:-5s}"
+
+SERVED="$(dirname "$BIN")/fxnetd"
+LOADER="$(dirname "$BIN")/fxload"
+go build -o "$SERVED" ./cmd/fxnetd
+go build -o "$LOADER" ./cmd/fxload
+
+PORTFILE="$(dirname "$BIN")/port"
+"$SERVED" -addr 127.0.0.1:0 -portfile "$PORTFILE" >"$(dirname "$BIN")/fxnetd.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -s "$PORTFILE" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "bench: FAIL: fxnetd never came up" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "bench: fxload $SERVE_RPS req/s for $SERVE_DURATION" >&2
+"$LOADER" -url "http://127.0.0.1:$(cat "$PORTFILE")" \
+	-rps "$SERVE_RPS" -duration "$SERVE_DURATION" -json "$SERVE_OUT"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "bench: FAIL: fxnetd did not drain cleanly" >&2; exit 1; }
+
+ACHIEVED=$(sed -n 's/.*"achieved_rps": \([0-9.]*\).*/\1/p' "$SERVE_OUT" | head -1)
+if ! awk "BEGIN{exit !($ACHIEVED >= 500)}"; then
+	echo "bench: FAIL: achieved $ACHIEVED req/s, want >= 500" >&2
+	exit 1
+fi
+
+cat "$SERVE_OUT"

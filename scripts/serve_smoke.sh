@@ -1,0 +1,119 @@
+#!/bin/sh
+# Service smoke: boot fxnetd on an ephemeral port, exercise the run
+# queue end to end (submit → poll → trace), prove the dedup invariant
+# over HTTP (the same configuration submitted twice executes exactly one
+# simulation, visible in /metrics), check the QoS broker and ops
+# surface, then SIGTERM with a simulation in flight and require a clean
+# drain with exit status 0.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/fxnetd" ./cmd/fxnetd
+
+"$TMP/fxnetd" -addr 127.0.0.1:0 -portfile "$TMP/port" -j 2 >"$TMP/log" 2>&1 &
+PID=$!
+
+i=0
+while [ ! -s "$TMP/port" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "smoke: FAIL: fxnetd never wrote its port file" >&2
+		cat "$TMP/log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+BASE="http://127.0.0.1:$(cat "$TMP/port")"
+echo "smoke: fxnetd up at $BASE" >&2
+
+curl -fsS "$BASE/healthz" | grep -q '"status": "ok"' || {
+	echo "smoke: FAIL: /healthz not ok" >&2
+	exit 1
+}
+
+# submit <body>: POST a run and print its id.
+submit() {
+	curl -fsS -X POST "$BASE/v1/runs" -d "$1" |
+		sed -n 's/.*"id": "\([^"]*\)".*/\1/p'
+}
+
+# wait_done <id>: poll until the run leaves "queued"; fail unless done.
+wait_done() {
+	j=0
+	while :; do
+		STATE=$(curl -fsS "$BASE/v1/runs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+		[ "$STATE" = "queued" ] || break
+		j=$((j + 1))
+		if [ "$j" -gt 600 ]; then
+			echo "smoke: FAIL: run $1 stuck in queued" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ "$STATE" != "done" ]; then
+		echo "smoke: FAIL: run $1 ended $STATE" >&2
+		curl -fsS "$BASE/v1/runs/$1" >&2 || true
+		exit 1
+	fi
+}
+
+# metric <name>: read one gauge/counter from /metrics.
+metric() {
+	curl -fsS "$BASE/metrics" | sed -n "s/^$1 //p"
+}
+
+CFG='{"program":"sor","p":4,"n":32,"iters":4,"seed":7}'
+
+echo "smoke: submit + poll" >&2
+ID=$(submit "$CFG")
+[ -n "$ID" ] || { echo "smoke: FAIL: no run id" >&2; exit 1; }
+wait_done "$ID"
+
+echo "smoke: trace stream" >&2
+LINES=$(curl -fsS "$BASE/v1/runs/$ID/trace" | wc -l)
+[ "$LINES" -gt 1 ] || { echo "smoke: FAIL: trace stream had $LINES lines" >&2; exit 1; }
+
+echo "smoke: duplicate submission must not re-simulate" >&2
+ID2=$(submit "$CFG")
+wait_done "$ID2"
+EXECUTED=$(metric fxnetd_farm_executed_total)
+DEDUPED=$(metric fxnetd_farm_deduped_total)
+if [ "$EXECUTED" != "1" ] || [ "$DEDUPED" != "1" ]; then
+	echo "smoke: FAIL: executed=$EXECUTED deduped=$DEDUPED, want 1/1" >&2
+	exit 1
+fi
+
+echo "smoke: QoS negotiate/release" >&2
+OFFER=$(curl -fsS -X POST "$BASE/v1/qos/negotiate" -d '{"program":"sor","client":"smoke"}')
+QID=$(echo "$OFFER" | sed -n 's/.*"id": \([0-9]*\).*/\1/p' | head -1)
+[ -n "$QID" ] || { echo "smoke: FAIL: no admission id in $OFFER" >&2; exit 1; }
+curl -fsS -X DELETE "$BASE/v1/qos/commitments/$QID" >/dev/null
+
+echo "smoke: graceful drain under SIGTERM with a run in flight" >&2
+SLOW=$(submit '{"program":"seq","p":4,"n":64,"iters":30,"seed":7}')
+[ -n "$SLOW" ] || { echo "smoke: FAIL: no slow run id" >&2; exit 1; }
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=
+if [ "$STATUS" != "0" ]; then
+	echo "smoke: FAIL: fxnetd exited $STATUS after SIGTERM" >&2
+	cat "$TMP/log" >&2
+	exit 1
+fi
+grep -q "drained, exiting" "$TMP/log" || {
+	echo "smoke: FAIL: no drain line in log" >&2
+	cat "$TMP/log" >&2
+	exit 1
+}
+
+echo "smoke: OK" >&2
