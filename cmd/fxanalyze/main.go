@@ -1,24 +1,34 @@
 // Command fxanalyze is the offline analysis tool: it reads a trace
 // written by fxrun and computes the paper's characterizations — packet
-// statistics, windowed instantaneous bandwidth, power spectra, and
-// per-connection breakdowns.
+// statistics, windowed instantaneous bandwidth, power spectra, full
+// reports, and per-connection breakdowns.
+//
+// -analysis selects the pipeline: "trace" (default) materializes the
+// capture; "stream" folds packets through the decoder one at a time, so
+// arbitrarily long captures analyze in O(bandwidth windows) memory with
+// results bit-identical to the trace pipeline. -j fans the spectral
+// stages of -mode report out on a worker pool (byte-identical output for
+// any worker count), and the same profiling flags as fxrun/fxfarm
+// (-cpuprofile, -memprofile, -trace) cover the analysis itself.
 //
 // Usage:
 //
 //	fxanalyze -in 2dfft.trace -mode stats
 //	fxanalyze -in 2dfft.trace -mode spectrum -peaks 5
-//	fxanalyze -in 2dfft.trace -mode bandwidth > series.csv
-//	fxanalyze -in 2dfft.trace -mode connections
+//	fxanalyze -in 2dfft.trace -mode bandwidth -analysis stream > series.csv
+//	fxanalyze -in 2dfft.trace -mode report -j 4 > report.json
 //	fxanalyze -in 2dfft.trace -mode conn -src 1 -dst 0
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"fxnet"
+	"fxnet/internal/profiling"
 	"fxnet/internal/version"
 )
 
@@ -27,13 +37,16 @@ func main() {
 	log.SetPrefix("fxanalyze: ")
 
 	var (
-		in     = flag.String("in", "", "input binary trace (required)")
-		mode   = flag.String("mode", "stats", "analysis: stats, bandwidth, spectrum, connections, conn")
-		window = flag.Int("window-ms", 10, "averaging window in ms")
-		peaks  = flag.Int("peaks", 5, "number of spectral peaks to report")
-		src    = flag.Int("src", -1, "source host for -mode conn")
-		dst    = flag.Int("dst", -1, "destination host for -mode conn")
-		ver    = version.Register()
+		in       = flag.String("in", "", "input binary trace (required)")
+		mode     = flag.String("mode", "stats", "analysis: stats, bandwidth, spectrum, report, connections, conn")
+		analysis = flag.String("analysis", "trace", "pipeline: trace (materialize the capture) or stream (single-pass, O(windows) memory)")
+		jobs     = flag.Int("j", 0, "parallel analysis workers for -mode report (0 = GOMAXPROCS)")
+		window   = flag.Int("window-ms", 10, "averaging window in ms")
+		peaks    = flag.Int("peaks", 5, "number of spectral peaks to report")
+		src      = flag.Int("src", -1, "source host for -mode conn")
+		dst      = flag.Int("dst", -1, "destination host for -mode conn")
+		prof     = profiling.Register()
+		ver      = version.Register()
 	)
 	flag.Parse()
 	version.ExitIfRequested(ver)
@@ -42,7 +55,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	switch *analysis {
+	case "trace":
+		runTraceMode(*in, *mode, *window, *peaks, *jobs, *src, *dst)
+	case "stream":
+		runStreamMode(*in, *mode, *window, *peaks)
+	default:
+		log.Fatalf("unknown analysis %q (want trace or stream)", *analysis)
+	}
+}
+
+// runTraceMode materializes the capture and analyzes it post hoc.
+func runTraceMode(in, mode string, windowMs, peaks, jobs, src, dst int) {
+	f, err := os.Open(in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,28 +86,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bin := fxnet.Duration(*window) * 1_000_000
+	bin := fxnet.Duration(windowMs) * 1_000_000
 
-	switch *mode {
+	switch mode {
 	case "stats":
 		printStats(tr)
 	case "bandwidth":
 		series, dt := fxnet.BinnedBandwidth(tr, bin)
-		fmt.Println("t_sec,kbps")
-		for i, v := range series {
-			fmt.Printf("%.3f,%.3f\n", float64(i)*dt, v)
-		}
+		printSeries(series, dt)
 	case "spectrum":
-		spec := fxnet.SpectrumOf(tr, bin)
-		fmt.Printf("# df=%.6f Hz, %d bins\n", spec.DF, len(spec.Power))
-		fmt.Printf("# top %d spikes:\n", *peaks)
-		for _, p := range spec.Peaks(*peaks, 2*spec.DF) {
-			fmt.Printf("#   %.4f Hz  power %.4g\n", p.Freq, p.Power)
-		}
-		fmt.Println("freq_hz,power")
-		for i := range spec.Freq {
-			fmt.Printf("%.6f,%.6g\n", spec.Freq[i], spec.Power[i])
-		}
+		printSpectrum(fxnet.SpectrumOf(tr, bin), peaks)
+	case "report":
+		printReport(fxnet.CharacterizeTraceData(tr, fxnet.NewSpectralPool(jobs)))
 	case "connections":
 		fmt.Printf("%-20s %10s %12s\n", "connection", "packets", "KB/s")
 		for _, pr := range tr.Pairs() {
@@ -82,13 +107,107 @@ func main() {
 				conn.Len(), fxnet.AverageBandwidthKBps(conn))
 		}
 	case "conn":
-		if *src < 0 || *dst < 0 {
+		if src < 0 || dst < 0 {
 			log.Fatal("-mode conn requires -src and -dst")
 		}
-		printStats(tr.Connection(*src, *dst))
+		printStats(tr.Connection(src, dst))
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		log.Fatalf("unknown mode %q", mode)
 	}
+}
+
+// runStreamMode folds packets through the binary decoder one at a time;
+// the capture is never materialized.
+func runStreamMode(in, mode string, windowMs, peaks int) {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := fxnet.NewTraceReader(f)
+	if err != nil {
+		log.Fatalf("-analysis stream needs a binary trace: %v", err)
+	}
+	bin := fxnet.Duration(windowMs) * 1_000_000
+
+	switch mode {
+	case "stats", "report":
+		sc := fxnet.NewStreamCharacterizer(rd.Meta()["program"])
+		var p fxnet.Packet
+		for {
+			if err := rd.Next(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			sc.Observe(p)
+		}
+		rep := sc.Report()
+		if mode == "report" {
+			printReport(rep)
+			return
+		}
+		if rep.AggSize.N == 0 {
+			fmt.Println("empty trace")
+			return
+		}
+		dur := float64(len(rep.AggSeries)) * rep.SeriesDT
+		fmt.Printf("packets:        %d over %.3f s\n", rep.AggSize.N, dur)
+		fmt.Printf("size (bytes):   min=%.0f max=%.0f avg=%.1f sd=%.1f\n",
+			rep.AggSize.Min, rep.AggSize.Max, rep.AggSize.Mean, rep.AggSize.SD)
+		fmt.Printf("interarrival:   min=%.2f max=%.1f avg=%.2f sd=%.2f ms\n",
+			rep.AggInterarrival.Min, rep.AggInterarrival.Max, rep.AggInterarrival.Mean, rep.AggInterarrival.SD)
+		fmt.Printf("avg bandwidth:  %.1f KB/s\n", rep.AggKBps)
+	case "bandwidth", "spectrum":
+		acc := fxnet.NewBandwidthAccumulator(bin)
+		var p fxnet.Packet
+		for {
+			if err := rd.Next(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			acc.Add(p.Time, p.Size)
+		}
+		series, dt := acc.Series()
+		if mode == "bandwidth" {
+			printSeries(series, dt)
+			return
+		}
+		printSpectrum(fxnet.SpectrumOfSeries(series, dt), peaks)
+	case "connections", "conn":
+		log.Fatalf("-mode %s needs the materialized capture; use -analysis trace", mode)
+	default:
+		log.Fatalf("unknown mode %q", mode)
+	}
+}
+
+func printSeries(series []float64, dt float64) {
+	fmt.Println("t_sec,kbps")
+	for i, v := range series {
+		fmt.Printf("%.3f,%.3f\n", float64(i)*dt, v)
+	}
+}
+
+func printSpectrum(spec *fxnet.Spectrum, peaks int) {
+	fmt.Printf("# df=%.6f Hz, %d bins\n", spec.DF, len(spec.Power))
+	fmt.Printf("# top %d spikes:\n", peaks)
+	for _, p := range spec.Peaks(peaks, 2*spec.DF) {
+		fmt.Printf("#   %.4f Hz  power %.4g\n", p.Freq, p.Power)
+	}
+	fmt.Println("freq_hz,power")
+	for i := range spec.Freq {
+		fmt.Printf("%.6f,%.6g\n", spec.Freq[i], spec.Power[i])
+	}
+}
+
+func printReport(rep *fxnet.Report) {
+	b, err := fxnet.MarshalReport(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(b)
+	fmt.Println()
 }
 
 func printStats(tr *fxnet.Trace) {

@@ -25,14 +25,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fxrepro: ")
 	var (
-		quick = flag.Bool("quick", false, "reduced problem sizes (fast, non-paper regime)")
-		tiny  = flag.Bool("tiny", false, "minimal problem sizes (CI smoke; implies non-paper regime)")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		csv   = flag.String("csvdir", "", "optional directory for bandwidth-series CSVs")
-		jobs  = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cache = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
-		prof  = profiling.Register()
-		ver   = version.Register()
+		quick    = flag.Bool("quick", false, "reduced problem sizes (fast, non-paper regime)")
+		tiny     = flag.Bool("tiny", false, "minimal problem sizes (CI smoke; implies non-paper regime)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		csv      = flag.String("csvdir", "", "optional directory for bandwidth-series CSVs")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
+		analysis = flag.String("analysis", "trace", "pipeline: trace (full captures) or stream (fold analysis during each run; O(windows) memory)")
+		prof     = profiling.Register()
+		ver      = version.Register()
 	)
 	flag.Parse()
 	version.ExitIfRequested(ver)
@@ -42,6 +43,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	stream, err := parseAnalysis(*analysis)
+	if err != nil {
+		log.Fatal(err)
+	}
 	_, err = repro(reproOptions{
 		Quick:    *quick,
 		Tiny:     *tiny,
@@ -49,6 +54,7 @@ func main() {
 		CSVDir:   *csv,
 		Jobs:     *jobs,
 		CacheDir: *cache,
+		Stream:   stream,
 	}, os.Stdout, os.Stderr)
 	if err != nil {
 		log.Fatal(err)

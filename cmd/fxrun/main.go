@@ -2,15 +2,25 @@
 // simulated testbed and writes the captured packet trace, playing the
 // role of the paper's measurement workstation.
 //
+// -analysis selects the measurement pipeline: "trace" (default) captures
+// and writes the full packet trace; "stream" folds the characterization
+// during the simulation — no trace is ever materialized, memory stays
+// O(bandwidth windows), and the output is the report JSON. -format
+// report characterizes a trace-mode run (spectral stages fanned out on
+// -j workers) instead of dumping packets.
+//
 // Usage:
 //
 //	fxrun -program 2dfft -o 2dfft.trace
 //	fxrun -program airshed -hours 10 -format text -o airshed.txt
+//	fxrun -program 2dfft -format report -j 4 -o 2dfft.report.json
+//	fxrun -program 2dfft -analysis stream -o 2dfft.report.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,19 +34,21 @@ func main() {
 	log.SetPrefix("fxrun: ")
 
 	var (
-		program = flag.String("program", "sor", "program to run: sor, 2dfft, t2dfft, seq, hist, airshed")
-		p       = flag.Int("p", 0, "processor count (0 = paper default of 4)")
-		n       = flag.Int("n", 0, "matrix dimension N (0 = paper default; kernels only)")
-		iters   = flag.Int("iters", 0, "outer iterations (0 = paper default; kernels only)")
-		hours   = flag.Int("hours", 0, "simulated hours (0 = paper default of 100; airshed only)")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		bitrate = flag.Float64("bitrate", 0, "segment bit rate in b/s (0 = 10 Mb/s)")
-		out     = flag.String("o", "", "output trace file (default stdout)")
-		format  = flag.String("format", "bin", "trace format: bin or text")
-		faults  = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
-		degrade = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
-		prof    = profiling.Register()
-		ver     = version.Register()
+		program  = flag.String("program", "sor", "program to run: sor, 2dfft, t2dfft, seq, hist, airshed")
+		p        = flag.Int("p", 0, "processor count (0 = paper default of 4)")
+		n        = flag.Int("n", 0, "matrix dimension N (0 = paper default; kernels only)")
+		iters    = flag.Int("iters", 0, "outer iterations (0 = paper default; kernels only)")
+		hours    = flag.Int("hours", 0, "simulated hours (0 = paper default of 100; airshed only)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		bitrate  = flag.Float64("bitrate", 0, "segment bit rate in b/s (0 = 10 Mb/s)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "bin", "output: bin or text (trace), report (characterization JSON)")
+		analysis = flag.String("analysis", "trace", "pipeline: trace (capture packets) or stream (fold analysis during the run)")
+		jobs     = flag.Int("j", 0, "parallel analysis workers for -format report (0 = GOMAXPROCS)")
+		faults   = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
+		degrade  = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
+		prof     = profiling.Register()
+		ver      = version.Register()
 	)
 	flag.Parse()
 	version.ExitIfRequested(ver)
@@ -66,12 +78,26 @@ func main() {
 		cfg.AirshedParams = ap
 	}
 
-	res, err := fxnet.Run(cfg)
+	var res *fxnet.Result
+	var rep *fxnet.Report
+	switch *analysis {
+	case "trace":
+		res, err = fxnet.Run(cfg)
+	case "stream":
+		res, rep, err = fxnet.RunStream(cfg)
+	default:
+		log.Fatalf("unknown analysis %q (want trace or stream)", *analysis)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets captured\n",
-		*program, res.Elapsed, res.Trace.Len())
+	if *analysis == "stream" {
+		fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets analyzed in-flight\n",
+			*program, res.Elapsed, rep.AggSize.N)
+	} else {
+		fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets captured\n",
+			*program, res.Elapsed, res.Trace.Len())
+	}
 	if res.RunErr != nil {
 		fmt.Fprintf(os.Stderr, "fxrun: program aborted under faults: %v\n", res.RunErr)
 	} else if *faults != "" && res.Team != nil {
@@ -92,15 +118,36 @@ func main() {
 		}()
 		w = f
 	}
+	if *analysis == "stream" {
+		// A stream run has no packets to dump; the report is the output.
+		if *format != "report" && *format != "bin" {
+			log.Fatalf("-analysis stream produces a report, not a %s trace", *format)
+		}
+		writeReport(w, rep)
+		return
+	}
 	switch *format {
 	case "bin":
 		err = res.Trace.WriteBinary(w)
 	case "text":
 		err = res.Trace.WriteText(w)
+	case "report":
+		writeReport(w, fxnet.CharacterizePool(res, fxnet.NewSpectralPool(*jobs)))
 	default:
-		log.Fatalf("unknown format %q (want bin or text)", *format)
+		log.Fatalf("unknown format %q (want bin, text, or report)", *format)
 	}
 	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeReport renders a characterization as JSON.
+func writeReport(w io.Writer, rep *fxnet.Report) {
+	b, err := fxnet.MarshalReport(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -5,9 +5,13 @@
 // planning" loop made executable.
 //
 // The sweep's runs are submitted through the experiment farm: -j runs
-// them concurrently and -cache reuses previously simulated points. -json
-// writes a machine-readable record of the sweep alongside the text table
-// (for dashboards and BENCH files); "-" selects stdout.
+// them concurrently and -cache reuses previously simulated points.
+// -analysis stream folds each point's characterization during its
+// simulation (no traces are materialized and cache entries are
+// spectrum-level), which the sweep can afford because every printed
+// column comes from the Report. -json writes a machine-readable record
+// of the sweep alongside the text table (for dashboards and BENCH
+// files); "-" selects stdout.
 //
 // Usage:
 //
@@ -95,11 +99,21 @@ func main() {
 		degrade  = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
+		analysis = flag.String("analysis", "trace", "pipeline: trace (full captures) or stream (fold analysis during each run; O(windows) memory)")
 		jsonOut  = flag.String("json", "", "write machine-readable sweep results to this file (\"-\" = stdout)")
 		ver      = version.Register()
 	)
 	flag.Parse()
 	version.ExitIfRequested(ver)
+
+	var stream bool
+	switch *analysis {
+	case "", "trace":
+	case "stream":
+		stream = true
+	default:
+		log.Fatalf("unknown analysis %q (want trace or stream)", *analysis)
+	}
 
 	base := fxnet.RunConfig{
 		Program: *program, Seed: *seed,
@@ -159,7 +173,7 @@ func main() {
 	}
 	farmJobs := make([]fxnet.FarmJob, len(points))
 	for i, pt := range points {
-		farmJobs[i] = fxnet.FarmJob{Label: pt.label, Config: pt.cfg}
+		farmJobs[i] = fxnet.FarmJob{Label: pt.label, Config: pt.cfg, Stream: stream}
 	}
 	results := farm.RunBatch(farmJobs)
 
@@ -169,16 +183,19 @@ func main() {
 		if jr.Err != nil {
 			log.Fatalf("%s: %v", jr.Job.Label, jr.Err)
 		}
-		spec := fxnet.SpectrumOf(jr.Result.Trace, fxnet.PaperWindow)
-		f := spec.DominantFreq()
-		kbps := fxnet.AverageBandwidthKBps(jr.Result.Trace)
+		// The farm's report already carries the spectrum and bandwidth
+		// (computed in-flight for stream jobs, post hoc otherwise); the
+		// sweep no longer recomputes an FFT per point.
+		f := jr.Report.AggSpectrum.DominantFreq()
+		kbps := jr.Report.AggKBps
+		packets := int(jr.Report.AggSize.N)
 		fmt.Printf("%-14s %10.1f %12.3f %12.2f %10d\n",
-			jr.Job.Label, kbps, f, 1/f, jr.Result.Trace.Len())
+			jr.Job.Label, kbps, f, 1/f, packets)
 		rows = append(rows, sweepRow{
 			Sweep: *sweep, Label: jr.Job.Label, Value: points[i].value,
 			Program: *program, Seed: *seed,
 			KBps: jsonFloat(kbps), FundamentalHz: jsonFloat(f), PeriodSec: jsonFloat(1 / f),
-			Packets: jr.Result.Trace.Len(), Cached: jr.Cached, Key: jr.Key,
+			Packets: packets, Cached: jr.Cached, Key: jr.Key,
 		})
 	}
 

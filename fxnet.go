@@ -192,6 +192,76 @@ const PaperWindow = analysis.PaperWindow
 // Run executes one experiment on the simulated testbed.
 func Run(cfg RunConfig) (*Result, error) { return core.Run(cfg) }
 
+// RunStream executes one experiment in streaming-analysis mode: packets
+// fold into the characterization as they are captured, the returned
+// Result carries a metadata-only trace, and peak memory stays
+// O(bandwidth windows) instead of O(packets). The report's series,
+// spectra, bandwidths, correlation, and coincidence are bit-identical to
+// Characterize(Run(cfg)); standard deviations agree to ~1e-9 relative
+// (streaming moments vs two-pass).
+func RunStream(cfg RunConfig) (*Result, *Report, error) { return core.RunStream(cfg) }
+
+// Streaming/parallel analysis types.
+type (
+	// SpectralPool is a bounded worker pool with reusable DSP scratch;
+	// analyses run on it are byte-identical for every worker count.
+	SpectralPool = dsp.Pool
+	// WelchOptions configure the averaged-periodogram estimate.
+	WelchOptions = dsp.WelchOptions
+	// StreamCharacterizer folds packets into a Report in a single pass.
+	StreamCharacterizer = analysis.StreamCharacterizer
+	// BandwidthAccumulator folds packets into the windowed bandwidth
+	// series in a single pass.
+	BandwidthAccumulator = analysis.Accumulator
+	// TraceReader decodes a binary trace one packet at a time.
+	TraceReader = trace.Reader
+)
+
+// NewSpectralPool creates a pool bounded at workers goroutines
+// (<= 0 selects GOMAXPROCS).
+func NewSpectralPool(workers int) *SpectralPool { return dsp.NewPool(workers) }
+
+// CharacterizePool is Characterize with the spectral stages fanned out
+// on a pool; the output is byte-identical to the serial Characterize.
+func CharacterizePool(res *Result, pool *SpectralPool) *Report {
+	return core.CharacterizePool(res, pool)
+}
+
+// CharacterizeTraceData characterizes a bare trace (program and
+// representative connection derived from its metadata), optionally on a
+// pool — the offline fxanalyze path.
+func CharacterizeTraceData(t *Trace, pool *SpectralPool) *Report {
+	prog := t.Meta["program"]
+	return analysis.CharacterizeTracePool(t, prog, core.RepConn(prog), pool)
+}
+
+// NewStreamCharacterizer creates a single-pass characterizer for the
+// named program (its representative connection is looked up like Run's).
+func NewStreamCharacterizer(program string) *StreamCharacterizer {
+	return analysis.NewStreamCharacterizer(program, core.RepConn(program))
+}
+
+// NewBandwidthAccumulator creates a single-pass bandwidth accumulator
+// with the given averaging window.
+func NewBandwidthAccumulator(bin Duration) *BandwidthAccumulator {
+	return analysis.NewAccumulator(bin)
+}
+
+// NewTraceReader opens a streaming decoder over a binary trace.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// SpectrumOfSeries computes the paper-options periodogram of a bandwidth
+// series (RemoveMean, PadPow2) — what SpectrumOf does after binning.
+func SpectrumOfSeries(series []float64, dt float64) *Spectrum {
+	return analysis.SpectrumOfSeries(series, dt)
+}
+
+// Welch estimates a power spectrum by averaging segment periodograms on
+// a pool; the result is byte-identical for every worker count.
+func Welch(x []float64, dt float64, opt WelchOptions, pool *SpectralPool) *Spectrum {
+	return dsp.Welch(x, dt, opt, pool)
+}
+
 // Experiment-farm types: batch execution of independent runs on a
 // bounded worker pool with content-addressed caching (see DESIGN.md §7).
 type (

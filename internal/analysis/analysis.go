@@ -276,21 +276,31 @@ func PhaseCoincidence(t *trace.Trace, pairs [][2]int, gap sim.Duration) float64 
 // series are truncated to the shorter length; pairs with fewer than two
 // overlapping bins are skipped.
 func ConnectionCorrelation(t *trace.Trace, pairs [][2]int, bin sim.Duration) float64 {
+	return connectionCorrelation(t, pairs, bin, nil)
+}
+
+// connectionCorrelation builds the per-pair series on the pool (each
+// pair's bins are an independent scan of the read-only trace) and then
+// folds the pairwise correlations serially in (i, j) order, so the
+// result is bit-identical for any pool size.
+func connectionCorrelation(t *trace.Trace, pairs [][2]int, bin sim.Duration, pool *dsp.Pool) float64 {
 	if len(t.Packets) == 0 {
 		return 0
 	}
 	t0 := t.Packets[0].Time
 	end := t.Packets[len(t.Packets)-1].Time
 	n := int(end.Sub(t0)/bin) + 1
-	var series [][]float64
-	for _, pr := range pairs {
-		conn := t.Connection(pr[0], pr[1])
+	series := make([][]float64, len(pairs))
+	pool.Map(len(pairs), func(_ *dsp.Workspace, i int) {
+		pr := pairs[i]
 		s := make([]float64, n)
-		for _, p := range conn.Packets {
-			s[int(p.Time.Sub(t0)/bin)] += float64(p.Size)
+		for _, p := range t.Packets {
+			if int(p.Src) == pr[0] && int(p.Dst) == pr[1] {
+				s[int(p.Time.Sub(t0)/bin)] += float64(p.Size)
+			}
 		}
-		series = append(series, s)
-	}
+		series[i] = s
+	})
 	var sum float64
 	var count int
 	for i := 0; i < len(series); i++ {

@@ -1,0 +1,344 @@
+// Streaming characterization: the single-pass form of CharacterizeTrace.
+// A StreamCharacterizer is attached to a trace.Collector as a Sink and
+// folds every captured packet into windowed aggregates during the
+// simulation, so an analysis-only run never materializes the packet
+// trace. Memory is O(windows + connections), not O(packets).
+//
+// Exactness contract: the bandwidth series (agg and connection), their
+// spectra, average bandwidths, correlation, coincidence, size modality,
+// and the Min/Max/Mean/N of every summary are bit-identical to the
+// trace-derived report — the streaming fold performs the same float64
+// operations in the same order. Only the SD fields differ: the two-pass
+// variance of stats.Summarize needs the full sample, so the stream uses
+// the moment form (E[x²] − E[x]²), which agrees to ~1e-9 relative but
+// not to the last bit.
+package analysis
+
+import (
+	"math"
+
+	"fxnet/internal/ethernet"
+	"fxnet/internal/sim"
+	"fxnet/internal/stats"
+	"fxnet/internal/trace"
+)
+
+// running accumulates streaming moments for a stats.Summary.
+type running struct {
+	n          int
+	min, max   float64
+	sum, sumsq float64
+}
+
+func (r *running) add(x float64) {
+	if r.n == 0 || x < r.min {
+		r.min = x
+	}
+	if r.n == 0 || x > r.max {
+		r.max = x
+	}
+	r.n++
+	r.sum += x
+	r.sumsq += x * x
+}
+
+func (r *running) summary() stats.Summary {
+	if r.n == 0 {
+		return stats.Summary{}
+	}
+	mean := r.sum / float64(r.n)
+	varc := r.sumsq/float64(r.n) - mean*mean
+	if varc < 0 {
+		varc = 0 // rounding can drive a near-constant sample negative
+	}
+	return stats.Summary{N: r.n, Min: r.min, Max: r.max, Mean: mean, SD: math.Sqrt(varc)}
+}
+
+// histCounts is a streaming stats.Histogram over the Ethernet size range.
+type histCounts struct {
+	counts []int
+	under  int
+	over   int
+}
+
+const histLo, histHi, histBins = 0, 1600, 32
+
+func (h *histCounts) add(x float64) {
+	if h.counts == nil {
+		h.counts = make([]int, histBins)
+	}
+	w := float64(histHi-histLo) / float64(histBins)
+	switch {
+	case x < histLo:
+		h.under++
+	case x >= histHi:
+		h.over++
+	default:
+		h.counts[int((x-histLo)/w)]++
+	}
+}
+
+func (h *histCounts) histogram() *stats.Histogram {
+	c := h.counts
+	if c == nil {
+		c = make([]int, histBins)
+	}
+	return &stats.Histogram{Lo: histLo, Hi: histHi, Counts: c, Under: h.under, Over: h.over}
+}
+
+// pairKey identifies a (src, dst) connection compactly.
+type pairKey struct{ src, dst uint8 }
+
+// corrTracker streams the per-connection bandwidth series that feed the
+// connection-correlation statistic. All series share the aggregate
+// trace's first-packet origin, exactly like ConnectionCorrelation.
+type corrTracker struct {
+	bin    sim.Duration
+	series map[pairKey][]float64
+}
+
+func (c *corrTracker) add(t0, t sim.Time, src, dst uint8, size uint16) {
+	if c.series == nil {
+		c.series = make(map[pairKey][]float64)
+	}
+	k := pairKey{src, dst}
+	s := c.series[k]
+	idx := int(t.Sub(t0) / c.bin)
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	s[idx] += float64(size)
+	c.series[k] = s
+}
+
+// correlation finalizes the statistic: pairs sorted as trace.Pairs()
+// sorts them, each series zero-padded to the aggregate bin count, and
+// the pairwise Pearson correlations folded in (i, j) order — the same
+// values in the same order as the trace-derived computation.
+func (c *corrTracker) correlation(t0, last sim.Time) (float64, int) {
+	if len(c.series) < 2 {
+		return 0, len(c.series)
+	}
+	keys := make([]pairKey, 0, len(c.series))
+	for k := range c.series {
+		keys = append(keys, k)
+	}
+	sortPairKeys(keys)
+	n := int(last.Sub(t0)/c.bin) + 1
+	series := make([][]float64, len(keys))
+	for i, k := range keys {
+		s := c.series[k]
+		for len(s) < n {
+			s = append(s, 0)
+		}
+		series[i] = s[:n]
+	}
+	var sum float64
+	var count int
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			sum += stats.PearsonR(series[i], series[j])
+			count++
+		}
+	}
+	return sum / float64(count), len(keys)
+}
+
+func sortPairKeys(keys []pairKey) {
+	// Insertion sort: the pair universe is O(P²), tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if a.src < b.src || (a.src == b.src && a.dst <= b.dst) {
+				break
+			}
+			keys[j-1], keys[j] = b, a
+		}
+	}
+}
+
+// coinTracker streams the phase-coincidence statistic: bursts of
+// TCP-data packets separated by idle gaps, scored by the fraction of
+// data connections active in each burst.
+type coinTracker struct {
+	gap     sim.Duration
+	started bool
+	last    sim.Time
+	cur     map[pairKey]struct{}
+	all     map[pairKey]struct{}
+	counts  []int
+}
+
+func (c *coinTracker) add(t sim.Time, src, dst uint8) {
+	if c.cur == nil {
+		c.cur = make(map[pairKey]struct{})
+		c.all = make(map[pairKey]struct{})
+	}
+	if c.started && t.Sub(c.last) >= c.gap {
+		c.counts = append(c.counts, len(c.cur))
+		clear(c.cur)
+	}
+	k := pairKey{src, dst}
+	c.cur[k] = struct{}{}
+	c.all[k] = struct{}{}
+	c.last = t
+	c.started = true
+}
+
+func (c *coinTracker) coincidence() float64 {
+	if !c.started || len(c.all) < 2 {
+		return 0
+	}
+	counts := append(c.counts, len(c.cur))
+	fracs := make([]float64, len(counts))
+	for i, n := range counts {
+		fracs[i] = float64(n) / float64(len(c.all))
+	}
+	if len(fracs) > 2 {
+		fracs = fracs[1 : len(fracs)-1]
+	}
+	return stats.Mean(fracs)
+}
+
+// StreamCharacterizer folds captured packets into the full Report in a
+// single pass. Attach it to a Collector with AddSink, run the
+// simulation, Flush the collector, then call Report.
+type StreamCharacterizer struct {
+	program string
+	repConn [2]int
+
+	n          int64
+	totalBytes int64
+	first      sim.Time
+	last       sim.Time
+
+	aggSize  running
+	aggInter running
+	aggAcc   *Accumulator
+
+	connN     int64
+	connBytes int64
+	connFirst sim.Time
+	connLast  sim.Time
+	connSize  running
+	connInter running
+	connAcc   *Accumulator
+
+	hist histCounts
+	corr corrTracker
+	coin coinTracker
+}
+
+// NewStreamCharacterizer builds a characterizer for one run. repConn is
+// the program's representative connection, or (-1, -1) to skip the
+// per-connection figures.
+func NewStreamCharacterizer(program string, repConn [2]int) *StreamCharacterizer {
+	return &StreamCharacterizer{
+		program: program,
+		repConn: repConn,
+		aggAcc:  NewAccumulator(PaperWindow),
+		connAcc: NewAccumulator(PaperWindow),
+		corr:    corrTracker{bin: CorrelationBin},
+		coin:    coinTracker{gap: CoincidenceGap},
+	}
+}
+
+// Fold implements trace.Sink.
+func (sc *StreamCharacterizer) Fold(ch *trace.Chunk) {
+	for i, t := range ch.Time {
+		sc.addPacket(t, ch.Size[i], ch.Src[i], ch.Dst[i], ch.Proto[i], ch.Flags[i])
+	}
+}
+
+// addPacket is the per-packet fold. Packets must arrive in capture
+// (time) order, as the collector delivers them.
+func (sc *StreamCharacterizer) addPacket(t sim.Time, size uint16, src, dst uint8, proto ethernet.Proto, flags uint8) {
+	v := float64(size)
+	if sc.n == 0 {
+		sc.first = t
+	} else {
+		sc.aggInter.add(t.Sub(sc.last).Milliseconds())
+	}
+	sc.n++
+	sc.totalBytes += int64(size)
+	sc.aggSize.add(v)
+	sc.aggAcc.Add(t, size)
+	sc.hist.add(v)
+
+	if int(src) == sc.repConn[0] && int(dst) == sc.repConn[1] {
+		if sc.connN == 0 {
+			sc.connFirst = t
+		} else {
+			sc.connInter.add(t.Sub(sc.connLast).Milliseconds())
+		}
+		sc.connN++
+		sc.connBytes += int64(size)
+		sc.connSize.add(v)
+		sc.connAcc.Add(t, size)
+		sc.connLast = t
+	}
+
+	if dst != 0xFF {
+		sc.corr.add(sc.first, t, src, dst, size)
+	}
+	if proto == ethernet.ProtoTCP && flags&ethernet.FlagData != 0 {
+		sc.coin.add(t, src, dst)
+	}
+	sc.last = t
+}
+
+// Observe folds one packet — the offline path, where a trace.Reader
+// decodes packets from a file one at a time. Packets must arrive in
+// capture (time) order.
+func (sc *StreamCharacterizer) Observe(p trace.Packet) {
+	sc.addPacket(p.Time, p.Size, p.Src, p.Dst, p.Proto, p.Flags)
+}
+
+// N reports the number of packets folded.
+func (sc *StreamCharacterizer) N() int64 { return sc.n }
+
+// TotalBytes reports the bytes folded.
+func (sc *StreamCharacterizer) TotalBytes() int64 { return sc.totalBytes }
+
+// kbps converts a byte total over a first..last span into the paper's
+// KB/s figure, mirroring AverageBandwidthKBps (0 when the span carries
+// fewer than two packets).
+func kbps(bytes int64, n int64, first, last sim.Time) float64 {
+	if n < 2 {
+		return 0
+	}
+	d := last.Sub(first).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d / 1000
+}
+
+// Report finalizes the characterization. Call it once, after the
+// collector has been flushed.
+func (sc *StreamCharacterizer) Report() *Report {
+	rep := &Report{
+		Program:         sc.program,
+		AggSize:         sc.aggSize.summary(),
+		AggInterarrival: sc.aggInter.summary(),
+		AggKBps:         kbps(sc.totalBytes, sc.n, sc.first, sc.last),
+		SizeModes:       len(sc.hist.histogram().Modes(0.005)),
+	}
+	rep.AggSeries, rep.SeriesDT = sc.aggAcc.Series()
+
+	rep.AggSpectrum = SpectrumOfSeries(rep.AggSeries, rep.SeriesDT)
+
+	if sc.repConn[0] >= 0 {
+		rep.ConnSize = sc.connSize.summary()
+		rep.ConnInterarrival = sc.connInter.summary()
+		rep.ConnKBps = kbps(sc.connBytes, sc.connN, sc.connFirst, sc.connLast)
+		rep.ConnSeries, _ = sc.connAcc.Series()
+		rep.ConnSpectrum = SpectrumOfSeries(rep.ConnSeries, PaperWindow.Seconds())
+	}
+
+	if corr, pairs := sc.corr.correlation(sc.first, sc.last); pairs > 1 {
+		rep.Correlation = corr
+	}
+	rep.Coincidence = sc.coin.coincidence()
+	return rep
+}

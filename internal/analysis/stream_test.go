@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"fxnet/internal/sim"
+	"fxnet/internal/trace"
+)
+
+// feed folds a materialized trace through a characterizer/accumulator
+// chunk by chunk, the way a collector would deliver it.
+func feed(s trace.Sink, tr *trace.Trace, chunkLen int) {
+	for lo := 0; lo < len(tr.Packets); lo += chunkLen {
+		hi := min(lo+chunkLen, len(tr.Packets))
+		ch := trace.NewChunk(hi - lo)
+		for _, p := range tr.Packets[lo:hi] {
+			ch.Time = append(ch.Time, p.Time)
+			ch.Size = append(ch.Size, p.Size)
+			ch.Src = append(ch.Src, p.Src)
+			ch.Dst = append(ch.Dst, p.Dst)
+			ch.Proto = append(ch.Proto, p.Proto)
+			ch.Flags = append(ch.Flags, p.Flags)
+			ch.SrcPort = append(ch.SrcPort, p.SrcPort)
+			ch.DstPort = append(ch.DstPort, p.DstPort)
+		}
+		s.Fold(ch)
+	}
+}
+
+// TestAccumulatorMatchesBinnedBandwidth: the streaming series must be
+// bit-identical to the post-hoc windowing, across chunk boundaries.
+func TestAccumulatorMatchesBinnedBandwidth(t *testing.T) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	want, wantDT := BinnedBandwidth(tr, PaperWindow)
+	for _, chunkLen := range []int{1, 7, 1000, len(tr.Packets)} {
+		acc := NewAccumulator(PaperWindow)
+		feed(acc, tr, chunkLen)
+		got, dt := acc.Series()
+		if dt != wantDT {
+			t.Fatalf("chunk %d: dt %v want %v", chunkLen, dt, wantDT)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d bins, want %d", chunkLen, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("chunk %d: bin %d = %v, want %v", chunkLen, i, got[i], want[i])
+			}
+		}
+		if acc.N() != int64(len(tr.Packets)) {
+			t.Fatalf("chunk %d: folded %d packets, want %d", chunkLen, acc.N(), len(tr.Packets))
+		}
+	}
+}
+
+// TestAccumulatorEmpty: no packets → nil series with the bin width as
+// dt, matching BinnedBandwidth on an empty trace.
+func TestAccumulatorEmpty(t *testing.T) {
+	acc := NewAccumulator(PaperWindow)
+	series, dt := acc.Series()
+	if series != nil || dt != PaperWindow.Seconds() {
+		t.Fatalf("empty accumulator: series=%v dt=%v", series, dt)
+	}
+}
+
+// TestStreamCharacterizerMatchesTrace: the full streaming report against
+// the trace-derived one on a synthetic multi-connection trace (the
+// end-to-end simulator parity lives in internal/core).
+func TestStreamCharacterizerMatchesTrace(t *testing.T) {
+	tr := trace.New()
+	// Two data connections bursting in phase plus reverse ACK traffic,
+	// periodic at 150 ms over 30 s.
+	for start := sim.Time(0); start < sim.TimeOf(30); start = start.Add(150 * sim.Millisecond) {
+		for i := 0; i < 10; i++ {
+			at := start.Add(sim.Duration(i) * 400 * sim.Microsecond)
+			tr.Packets = append(tr.Packets,
+				trace.Packet{Time: at, Size: 1000, Src: 1, Dst: 0, Proto: 1, Flags: 1 | 2},
+				trace.Packet{Time: at.Add(90 * sim.Microsecond), Size: 1200, Src: 2, Dst: 0, Proto: 1, Flags: 1 | 2},
+				trace.Packet{Time: at.Add(150 * sim.Microsecond), Size: 64, Src: 0, Dst: 1, Proto: 1, Flags: 2},
+			)
+		}
+	}
+	repConn := [2]int{1, 0}
+	want := CharacterizeTrace(tr, "synthetic", repConn)
+
+	sc := NewStreamCharacterizer("synthetic", repConn)
+	feed(sc, tr, 97)
+	got := sc.Report()
+
+	if got.Program != want.Program {
+		t.Errorf("program %q want %q", got.Program, want.Program)
+	}
+	for i := range want.AggSeries {
+		if math.Float64bits(got.AggSeries[i]) != math.Float64bits(want.AggSeries[i]) {
+			t.Fatalf("AggSeries[%d] = %v want %v", i, got.AggSeries[i], want.AggSeries[i])
+		}
+	}
+	for i := range want.ConnSeries {
+		if math.Float64bits(got.ConnSeries[i]) != math.Float64bits(want.ConnSeries[i]) {
+			t.Fatalf("ConnSeries[%d] = %v want %v", i, got.ConnSeries[i], want.ConnSeries[i])
+		}
+	}
+	for _, f := range []struct {
+		what      string
+		got, want float64
+	}{
+		{"AggKBps", got.AggKBps, want.AggKBps},
+		{"ConnKBps", got.ConnKBps, want.ConnKBps},
+		{"Correlation", got.Correlation, want.Correlation},
+		{"Coincidence", got.Coincidence, want.Coincidence},
+		{"SeriesDT", got.SeriesDT, want.SeriesDT},
+		{"AggMean", got.AggSize.Mean, want.AggSize.Mean},
+		{"ConnMean", got.ConnSize.Mean, want.ConnSize.Mean},
+		{"AggInterMean", got.AggInterarrival.Mean, want.AggInterarrival.Mean},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Errorf("%s = %v want %v", f.what, f.got, f.want)
+		}
+	}
+	if got.SizeModes != want.SizeModes {
+		t.Errorf("SizeModes = %d want %d", got.SizeModes, want.SizeModes)
+	}
+	if got.AggSize.N != want.AggSize.N || got.ConnSize.N != want.ConnSize.N {
+		t.Errorf("counts: agg %d/%d conn %d/%d", got.AggSize.N, want.AggSize.N, got.ConnSize.N, want.ConnSize.N)
+	}
+	for i := range want.AggSpectrum.Power {
+		if math.Float64bits(got.AggSpectrum.Power[i]) != math.Float64bits(want.AggSpectrum.Power[i]) {
+			t.Fatalf("AggSpectrum.Power[%d] differs", i)
+		}
+	}
+}
+
+// BenchmarkAccumulatorAdd measures the per-packet hot path with the bin
+// array warm: it must not allocate.
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	acc := NewAccumulator(PaperWindow)
+	// Warm the bin array over the full span the loop will touch.
+	span := sim.TimeOf(100)
+	acc.Add(0, 1)
+	acc.Add(span, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sim.Time(int64(i%1000) * int64(span) / 1000)
+		acc.Add(t, uint16(64+i%1400))
+	}
+}
+
+// BenchmarkStreamCharacterizerFold measures the full streaming fold over
+// the standard bursty trace, chunked as a collector would deliver it.
+func BenchmarkStreamCharacterizerFold(b *testing.B) {
+	tr := burstyTrace(100, 200, 20, 1000, 500)
+	chunks := make([]*trace.Chunk, 0)
+	const chunkLen = 16384
+	for lo := 0; lo < len(tr.Packets); lo += chunkLen {
+		hi := min(lo+chunkLen, len(tr.Packets))
+		ch := trace.NewChunk(hi - lo)
+		for _, p := range tr.Packets[lo:hi] {
+			ch.Time = append(ch.Time, p.Time)
+			ch.Size = append(ch.Size, p.Size)
+			ch.Src = append(ch.Src, p.Src)
+			ch.Dst = append(ch.Dst, p.Dst)
+			ch.Proto = append(ch.Proto, p.Proto)
+			ch.Flags = append(ch.Flags, p.Flags)
+			ch.SrcPort = append(ch.SrcPort, p.SrcPort)
+			ch.DstPort = append(ch.DstPort, p.DstPort)
+		}
+		chunks = append(chunks, ch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := NewStreamCharacterizer("bench", [2]int{0, 1})
+		for _, ch := range chunks {
+			sc.Fold(ch)
+		}
+	}
+}

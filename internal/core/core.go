@@ -20,7 +20,6 @@ import (
 	"fxnet/internal/pvm"
 	"fxnet/internal/qos"
 	"fxnet/internal/sim"
-	"fxnet/internal/stats"
 	"fxnet/internal/trace"
 )
 
@@ -128,18 +127,35 @@ type Result struct {
 // Run executes one experiment to completion and returns the captured
 // trace and run metadata.
 func Run(cfg RunConfig) (*Result, error) {
+	res, _, err := run(cfg, false)
+	return res, err
+}
+
+// RunStream executes one experiment with streaming analysis: the
+// capture is not retained — packets fold into a StreamCharacterizer as
+// they cross the wire — and the characterization arrives with the run.
+// The Result's Trace carries only the session metadata (hosts,
+// experiment parameters, marks) with no packets, so a million-packet
+// run costs O(windows) analysis memory. See internal/analysis for the
+// exactness contract relative to Characterize.
+func RunStream(cfg RunConfig) (*Result, *Report, error) {
+	return run(cfg, true)
+}
+
+// run is the shared body of Run and RunStream.
+func run(cfg RunConfig, stream bool) (*Result, *Report, error) {
 	spec, isKernel := kernels.Lookup(cfg.Program)
 	if !isKernel && cfg.Program != Airshed {
-		return nil, fmt.Errorf("core: unknown program %q (have %v)", cfg.Program, ProgramNames())
+		return nil, nil, fmt.Errorf("core: unknown program %q (have %v)", cfg.Program, ProgramNames())
 	}
 	if cfg.ForceCopyLoop && cfg.ForceFragments {
-		return nil, fmt.Errorf("core: ForceCopyLoop and ForceFragments both set")
+		return nil, nil, fmt.Errorf("core: ForceCopyLoop and ForceFragments both set")
 	}
 	schedule := cfg.Faults
 	if schedule == nil && cfg.FaultScript != "" {
 		s, err := faults.Parse(cfg.FaultScript)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		schedule = s
 	}
@@ -166,7 +182,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		attach = func(name string) ethernet.Port { return sw.Attach(name) }
 		segStats = func() ethernet.Stats { return ethernet.Stats{Frames: sw.Delivered, Bytes: sw.DeliveredBytes} }
 		if cfg.FrameLossProb > 0 {
-			return nil, fmt.Errorf("core: frame loss injection is only modeled on the shared segment")
+			return nil, nil, fmt.Errorf("core: frame loss injection is only modeled on the shared segment")
 		}
 	} else {
 		seg := ethernet.NewSegment(k, cfg.BitRate)
@@ -209,7 +225,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.GuaranteeProgram {
 		sw, ok := medium.(*ethernet.Switch)
 		if !ok {
-			return nil, fmt.Errorf("core: GuaranteeProgram requires Switched")
+			return nil, nil, fmt.Errorf("core: GuaranteeProgram requires Switched")
 		}
 		for i := 0; i < p; i++ {
 			for j := 0; j < p; j++ {
@@ -340,12 +356,22 @@ func Run(cfg RunConfig) (*Result, error) {
 			hooks.Reorder = seg.SetReorderProb
 		}
 		if err := faults.Apply(k, schedule, hooks); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	if crossHost != nil {
 		startCrossTraffic(k, crossHost, hosts[0].Addr(), cfg.CrossTrafficKBps, team)
+	}
+
+	// Streaming analysis: fold packets into the characterization as they
+	// are captured, and keep none of them. Attached here — after the
+	// representative connection is known, before any packet flows.
+	var sc *analysis.StreamCharacterizer
+	if stream {
+		sc = analysis.NewStreamCharacterizer(cfg.Program, repConn)
+		col.SetRetain(false)
+		col.AddSink(sc)
 	}
 
 	elapsed := k.Run()
@@ -366,7 +392,13 @@ func Run(cfg RunConfig) (*Result, error) {
 			Err: fmt.Errorf("worker killed by host fault before completing"),
 		}
 	default:
-		return nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", cfg.Program, elapsed)
+		return nil, nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", cfg.Program, elapsed)
+	}
+
+	var rep *Report
+	if stream {
+		col.Flush()
+		rep = sc.Report()
 	}
 
 	tr := col.Trace()
@@ -388,7 +420,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		RepConn:  repConn,
 		Team:     final,
 		RunErr:   runErr,
-	}, nil
+	}, rep, nil
 }
 
 // CalibratedCost returns the calibrated cost model for a program, as a
@@ -445,92 +477,34 @@ func buildCost(cfg RunConfig, spec kernels.Spec, isKernel bool) fx.CostModel {
 }
 
 // Report is the per-program characterization of the paper's figures 3–7
-// (and 8–11 for AIRSHED).
-type Report struct {
-	Program string
-
-	// Figure 3 / 8: packet sizes (bytes).
-	AggSize  stats.Summary
-	ConnSize stats.Summary // zero Summary when no representative connection
-
-	// Figure 4 / 9: interarrival times (ms).
-	AggInterarrival  stats.Summary
-	ConnInterarrival stats.Summary
-
-	// Figure 5 / §6.2: average bandwidth (KB/s).
-	AggKBps  float64
-	ConnKBps float64
-
-	// Figure 6 / 10: instantaneous bandwidth (10 ms bins).
-	AggSeries  []float64
-	ConnSeries []float64
-	SeriesDT   float64
-
-	// Figure 7 / 11: power spectra.
-	AggSpectrum  *dsp.Spectrum
-	ConnSpectrum *dsp.Spectrum
-
-	// Packet-size modality (trimodal for SOR/2DFFT/HIST).
-	SizeModes int
-
-	// Mean pairwise correlation of per-connection bandwidth (burst-level
-	// bins).
-	Correlation float64
-
-	// Coincidence is the mean fraction of data-bearing connections active
-	// in each communication phase — the paper's "correlated traffic along
-	// many connections" at phase granularity.
-	Coincidence float64
-}
+// (and 8–11 for AIRSHED). It lives in internal/analysis so both the
+// trace-derived and streaming characterizers can produce it; the alias
+// keeps core the orchestration façade.
+type Report = analysis.Report
 
 // Characterize computes the full report for a run.
 func Characterize(res *Result) *Report {
-	tr := res.Trace
-	rep := &Report{
-		Program:         res.Config.Program,
-		AggSize:         analysis.SizeStats(tr),
-		AggInterarrival: analysis.InterarrivalStats(tr),
-		AggKBps:         analysis.AverageBandwidthKBps(tr),
-		SizeModes:       analysis.ModeCount(tr, 0.005),
-	}
-	rep.AggSeries, rep.SeriesDT = analysis.BinnedBandwidth(tr, analysis.PaperWindow)
-	rep.AggSpectrum = analysis.SpectrumOfSeries(rep.AggSeries, rep.SeriesDT)
+	return analysis.CharacterizeTrace(res.Trace, res.Config.Program, res.RepConn)
+}
 
-	if res.RepConn[0] >= 0 {
-		conn := tr.Connection(res.RepConn[0], res.RepConn[1])
-		rep.ConnSize = analysis.SizeStats(conn)
-		rep.ConnInterarrival = analysis.InterarrivalStats(conn)
-		rep.ConnKBps = analysis.AverageBandwidthKBps(conn)
-		rep.ConnSeries, _ = analysis.BinnedBandwidth(conn, analysis.PaperWindow)
-		rep.ConnSpectrum = analysis.SpectrumOfSeries(rep.ConnSeries, rep.SeriesDT)
-	}
+// CharacterizePool is Characterize with the report's independent
+// sections (and the per-connection correlation scans) fanned out over a
+// worker pool. The result is byte-identical to Characterize for any
+// pool size.
+func CharacterizePool(res *Result, pool *dsp.Pool) *Report {
+	return analysis.CharacterizeTracePool(res.Trace, res.Config.Program, res.RepConn, pool)
+}
 
-	// Correlation over the data-bearing host-to-host connections.
-	var pairs [][2]int
-	for _, pr := range tr.Pairs() {
-		if pr[1] != 0xFF { // skip broadcast pseudo-destination
-			pairs = append(pairs, pr)
-		}
+// RepConn returns the representative connection the paper plots for a
+// program, or (-1, -1) when the program is unknown — the offline
+// analyses' way to characterize a trace file the same way a live run
+// would be.
+func RepConn(program string) [2]int {
+	if spec, ok := kernels.Lookup(program); ok {
+		return spec.RepresentativeConn
 	}
-	if len(pairs) > 1 {
-		// Burst-level bins: at the 10 ms scale the shared medium
-		// serializes connections (mutual exclusion looks like
-		// anti-correlation); the paper's in-phase claim is about
-		// communication phases, so correlate at 250 ms.
-		rep.Correlation = analysis.ConnectionCorrelation(tr, pairs, 250*sim.Millisecond)
+	if program == Airshed {
+		return [2]int{1, 0}
 	}
-
-	// Phase coincidence over TCP-data connections only (daemon
-	// keepalives would dilute it).
-	data := tr.Filter(func(p trace.Packet) bool {
-		return p.Proto == ethernet.ProtoTCP && p.Flags&ethernet.FlagData != 0
-	})
-	var dataPairs [][2]int
-	for _, pr := range data.Pairs() {
-		dataPairs = append(dataPairs, pr)
-	}
-	if len(dataPairs) > 1 {
-		rep.Coincidence = analysis.PhaseCoincidence(data, dataPairs, 100*sim.Millisecond)
-	}
-	return rep
+	return [2]int{-1, -1}
 }

@@ -26,6 +26,11 @@ func (w Window) Apply(x []float64) []float64 {
 
 // applyTo multiplies x by the window in place.
 func (w Window) applyTo(x []float64) {
+	if len(x) < 2 {
+		// A one-sample window is identically 1 for every taper; the
+		// general formula would divide by len(x)-1 = 0.
+		return
+	}
 	n := float64(len(x) - 1)
 	for i, v := range x {
 		var g float64

@@ -1,0 +1,91 @@
+package dsp
+
+// WelchOptions configure Welch's averaged-periodogram estimate.
+type WelchOptions struct {
+	// SegmentLen is the samples per segment. <= 0 (or longer than the
+	// input) selects a single segment spanning the whole series, making
+	// Welch degenerate to the plain periodogram's power estimate.
+	SegmentLen int
+	// Overlap is the samples shared by successive segments (e.g.
+	// SegmentLen/2 for the usual 50%). Clamped to [0, SegmentLen-1].
+	Overlap int
+	// Window, RemoveMean, PadPow2 apply to each segment exactly as in
+	// PeriodogramOptions.
+	Window     Window
+	RemoveMean bool
+	PadPow2    bool
+}
+
+// Welch estimates the power spectrum by averaging the periodograms of
+// (possibly overlapping) segments — the variance-reduced estimate used
+// for long captures, where a single periodogram is noisy. Segments are
+// computed on the pool (nil runs them inline) into per-segment buffers
+// and merged by summing powers in segment-index order, so the result is
+// byte-identical for every worker count.
+//
+// The averaged estimate has no meaningful phase, so Coeff is zero-filled
+// (present, for Peaks' sake, but carrying no reconstruction
+// information). With a single segment, Power equals the plain
+// periodogram's bit for bit.
+func Welch(x []float64, dt float64, opt WelchOptions, pool *Pool) *Spectrum {
+	if len(x) == 0 || dt <= 0 {
+		return &Spectrum{DT: dt}
+	}
+	segLen := opt.SegmentLen
+	if segLen <= 0 || segLen > len(x) {
+		segLen = len(x)
+	}
+	overlap := opt.Overlap
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap >= segLen {
+		overlap = segLen - 1
+	}
+	step := segLen - overlap
+	var starts []int
+	for s := 0; s+segLen <= len(x); s += step {
+		starts = append(starts, s)
+	}
+	if len(starts) == 0 {
+		starts = []int{0}
+		segLen = len(x)
+	}
+
+	popt := PeriodogramOptions{Window: opt.Window, RemoveMean: opt.RemoveMean, PadPow2: opt.PadPow2}
+	m := segLen
+	if opt.PadPow2 {
+		m = NextPow2(segLen)
+	}
+	half := m/2 + 1
+
+	// Per-segment power buffers: the workspace's spectrum is overwritten
+	// by the next segment on the same worker, so each segment copies its
+	// powers out before releasing the workspace.
+	powers := make([][]float64, len(starts))
+	pool.Map(len(starts), func(ws *Workspace, i int) {
+		seg := x[starts[i] : starts[i]+segLen]
+		s := ws.Periodogram(seg, dt, popt)
+		p := make([]float64, half)
+		copy(p, s.Power)
+		powers[i] = p
+	})
+
+	out := &Spectrum{
+		Freq:  make([]float64, half),
+		Power: make([]float64, half),
+		Coeff: make([]complex128, half),
+		DF:    1 / (float64(m) * dt),
+		N:     len(x),
+		DT:    dt,
+	}
+	for k := 0; k < half; k++ {
+		out.Freq[k] = float64(k) * out.DF
+		var sum float64
+		for _, p := range powers {
+			sum += p[k]
+		}
+		out.Power[k] = sum / float64(len(powers))
+	}
+	return out
+}

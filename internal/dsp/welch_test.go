@@ -1,0 +1,198 @@
+package dsp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// synthSeries builds a deterministic pseudo-random test signal with a
+// buried periodicity, so spectra are non-trivial at every length.
+func synthSeries(n int, seed uint64) []float64 {
+	x := make([]float64, n)
+	s := seed | 1
+	for i := range x {
+		// xorshift64 noise plus two tones.
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		noise := float64(s%1000)/1000 - 0.5
+		x[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/16) +
+			1.5*math.Sin(2*math.Pi*float64(i)/7.3) + noise
+	}
+	return x
+}
+
+// sameSpectrumBits fails unless the two spectra are bit-identical in
+// every array and scalar — the determinism contract of the pool.
+func sameSpectrumBits(t *testing.T, what string, got, want *Spectrum) {
+	t.Helper()
+	if len(got.Freq) != len(want.Freq) || len(got.Power) != len(want.Power) || len(got.Coeff) != len(want.Coeff) {
+		t.Fatalf("%s: length mismatch: got (%d,%d,%d) want (%d,%d,%d)", what,
+			len(got.Freq), len(got.Power), len(got.Coeff),
+			len(want.Freq), len(want.Power), len(want.Coeff))
+	}
+	for i := range want.Power {
+		if math.Float64bits(got.Power[i]) != math.Float64bits(want.Power[i]) {
+			t.Fatalf("%s: Power[%d] = %v want %v", what, i, got.Power[i], want.Power[i])
+		}
+		if math.Float64bits(got.Freq[i]) != math.Float64bits(want.Freq[i]) {
+			t.Fatalf("%s: Freq[%d] = %v want %v", what, i, got.Freq[i], want.Freq[i])
+		}
+		if got.Coeff[i] != want.Coeff[i] {
+			t.Fatalf("%s: Coeff[%d] = %v want %v", what, i, got.Coeff[i], want.Coeff[i])
+		}
+	}
+	if math.Float64bits(got.DF) != math.Float64bits(want.DF) ||
+		math.Float64bits(got.DT) != math.Float64bits(want.DT) || got.N != want.N {
+		t.Fatalf("%s: DF/DT/N: got (%v,%v,%d) want (%v,%v,%d)", what,
+			got.DF, got.DT, got.N, want.DF, want.DT, want.N)
+	}
+}
+
+// TestWelchSerialParallelParity: Welch on a pool must be byte-identical
+// to the nil-pool (inline, index-order) run for every worker count,
+// across segment geometries including odd lengths and overlaps.
+func TestWelchSerialParallelParity(t *testing.T) {
+	cases := []struct {
+		n   int
+		opt WelchOptions
+	}{
+		{1024, WelchOptions{SegmentLen: 256, Overlap: 128}},
+		{1024, WelchOptions{SegmentLen: 256, Overlap: 128, Window: Hann, RemoveMean: true}},
+		{1000, WelchOptions{SegmentLen: 128, Overlap: 64, PadPow2: true}},
+		{777, WelchOptions{SegmentLen: 100, Overlap: 37, Window: Hamming}},
+		{777, WelchOptions{SegmentLen: 101, Overlap: 100, RemoveMean: true, PadPow2: true}},
+		{513, WelchOptions{SegmentLen: 33, Overlap: 13, Window: Hann}},
+		{97, WelchOptions{SegmentLen: 97}},
+		{97, WelchOptions{}}, // single whole-series segment
+		{64, WelchOptions{SegmentLen: 7, Overlap: 3}},
+		{3, WelchOptions{SegmentLen: 2, Overlap: 1}},
+		{1, WelchOptions{SegmentLen: 5}},
+	}
+	for ci, c := range cases {
+		x := synthSeries(c.n, uint64(ci)*2654435761+1)
+		want := Welch(x, 0.01, c.opt, nil)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := Welch(x, 0.01, c.opt, NewPool(workers))
+			sameSpectrumBits(t, "case", got, want)
+		}
+	}
+}
+
+// TestWelchSingleSegmentMatchesPeriodogram: with one whole-series
+// segment Welch must reproduce the plain periodogram's power bits.
+func TestWelchSingleSegmentMatchesPeriodogram(t *testing.T) {
+	for _, opt := range []WelchOptions{
+		{},
+		{Window: Hann, RemoveMean: true},
+		{PadPow2: true},
+	} {
+		x := synthSeries(300, 99)
+		w := Welch(x, 0.01, opt, NewPool(4))
+		p := Periodogram(x, 0.01, PeriodogramOptions{Window: opt.Window, RemoveMean: opt.RemoveMean, PadPow2: opt.PadPow2})
+		if len(w.Power) != len(p.Power) {
+			t.Fatalf("opt %+v: %d bins vs periodogram %d", opt, len(w.Power), len(p.Power))
+		}
+		for i := range p.Power {
+			if math.Float64bits(w.Power[i]) != math.Float64bits(p.Power[i]) {
+				t.Fatalf("opt %+v: Power[%d] = %v, periodogram %v", opt, i, w.Power[i], p.Power[i])
+			}
+		}
+	}
+}
+
+// TestWelchEmpty covers the degenerate inputs.
+func TestWelchEmpty(t *testing.T) {
+	if s := Welch(nil, 0.01, WelchOptions{}, nil); len(s.Power) != 0 {
+		t.Errorf("empty input: %d power bins", len(s.Power))
+	}
+	if s := Welch([]float64{1, 2, 3}, 0, WelchOptions{}, NewPool(2)); len(s.Power) != 0 {
+		t.Errorf("dt=0: %d power bins", len(s.Power))
+	}
+}
+
+// TestWelchPeaksSafe: the zero-filled Coeff must be long enough for
+// Peaks to read at any bin it selects.
+func TestWelchPeaksSafe(t *testing.T) {
+	x := synthSeries(512, 7)
+	s := Welch(x, 0.01, WelchOptions{SegmentLen: 128, Overlap: 64, RemoveMean: true}, NewPool(4))
+	for _, p := range s.Peaks(5, 0) {
+		if p.Coeff != 0 {
+			t.Errorf("bin %d: Welch Coeff = %v, want zero-filled", p.Bin, p.Coeff)
+		}
+	}
+}
+
+// TestPoolMapCoverage: Map must call fn exactly once per index at every
+// worker count, including the degenerate n values.
+func TestPoolMapCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			counts := make([]int32, n)
+			p.Map(n, func(ws *Workspace, i int) {
+				if ws == nil {
+					t.Errorf("nil workspace at index %d", i)
+				}
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+	// Nil pool runs inline.
+	var ran int
+	(*Pool)(nil).Map(3, func(ws *Workspace, i int) {
+		if i != ran {
+			t.Fatalf("nil pool out of order: got %d want %d", i, ran)
+		}
+		ran++
+	})
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d of 3", ran)
+	}
+}
+
+// FuzzWelch drives Welch over arbitrary (odd, tiny, misaligned)
+// series/segment/overlap geometries: it must never panic, and the
+// parallel result must stay bit-identical to the serial one.
+func FuzzWelch(f *testing.F) {
+	f.Add(100, 32, 16, 0, uint64(1))
+	f.Add(777, 101, 100, 1, uint64(2))
+	f.Add(33, 7, 3, 2, uint64(3))
+	f.Add(1, 0, -5, 0, uint64(4))
+	f.Add(513, 512, 511, 1, uint64(5))
+	f.Fuzz(func(t *testing.T, n, segLen, overlap, mode int, seed uint64) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%2048 + 1
+		opt := WelchOptions{
+			SegmentLen: segLen % 4096,
+			Overlap:    overlap % 4096,
+			Window:     Window(mode % 3),
+			RemoveMean: mode&4 != 0,
+			PadPow2:    mode&8 != 0,
+		}
+		x := synthSeries(n, seed)
+		want := Welch(x, 0.01, opt, nil)
+		got := Welch(x, 0.01, opt, NewPool(4))
+		if len(got.Power) != len(want.Power) {
+			t.Fatalf("parallel %d bins, serial %d", len(got.Power), len(want.Power))
+		}
+		for i := range want.Power {
+			if math.Float64bits(got.Power[i]) != math.Float64bits(want.Power[i]) {
+				t.Fatalf("Power[%d] = %v want %v", i, got.Power[i], want.Power[i])
+			}
+		}
+		for _, v := range want.Power {
+			if math.IsNaN(v) {
+				t.Fatal("NaN power")
+			}
+		}
+	})
+}

@@ -20,9 +20,14 @@ import (
 	"fxnet/internal/trace"
 )
 
-// cacheMagic heads every cache entry; the trailing digit is the format
-// version.
-const cacheMagic = "FXFARM01"
+// cacheMagic heads every full-run cache entry; the trailing digit is the
+// format version. Stream (spectrum-level) entries use streamMagic and the
+// .fxspec extension, so an analysis-only result can never masquerade as a
+// full run with an empty trace.
+const (
+	cacheMagic  = "FXFARM01"
+	streamMagic = "FXSPEC01"
+)
 
 // Cache is an on-disk, content-addressed store of completed runs: one
 // file per key holding the run metadata, the characterization JSON, and
@@ -51,6 +56,10 @@ func (c *Cache) Dir() string { return c.dir }
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".fxrun")
+}
+
+func (c *Cache) streamPath(key string) string {
+	return filepath.Join(c.dir, key+".fxspec")
 }
 
 // entryMeta is the JSON header of a cache entry: everything a
@@ -84,7 +93,7 @@ func (c *Cache) Load(key string, cfg core.RunConfig) (res *core.Result, rep *cor
 	if err != nil {
 		return nil, nil, false
 	}
-	res, rep, err = decodeEntry(body, cfg)
+	res, rep, err = decodeEntry(body, cfg, cacheMagic)
 	if err != nil {
 		return nil, nil, false
 	}
@@ -94,11 +103,46 @@ func (c *Cache) Load(key string, cfg core.RunConfig) (res *core.Result, rep *cor
 	return res, rep, true
 }
 
+// LoadStream retrieves a spectrum-level entry for a streaming-analysis
+// job: first the .fxspec entry written by StoreStream (whose trace is
+// metadata-only, so the load touches no packet data at all), then —
+// because a full run subsumes an analysis-only one — a .fxrun entry for
+// the same key, with its packets dropped so a stream job's result never
+// carries a trace. A stream entry without a decodable report is a miss:
+// there are no packets to recompute one from.
+func (c *Cache) LoadStream(key string, cfg core.RunConfig) (res *core.Result, rep *core.Report, ok bool) {
+	if body, err := os.ReadFile(c.streamPath(key)); err == nil {
+		res, rep, err = decodeEntry(body, cfg, streamMagic)
+		if err == nil && rep != nil {
+			return res, rep, true
+		}
+	}
+	res, rep, ok = c.Load(key, cfg)
+	if !ok {
+		return nil, nil, false
+	}
+	slim := trace.New()
+	slim.Meta = res.Trace.Meta
+	res.Trace = slim
+	return res, rep, true
+}
+
 // Store writes a completed run under key, atomically (temp file +
 // rename), so a crashed or interrupted writer can only ever leave behind
 // an entry that Load rejects.
 func (c *Cache) Store(key string, res *core.Result, rep *core.Report) error {
-	body, err := encodeEntry(res, rep)
+	return c.store(c.path(key), key, res, rep, cacheMagic)
+}
+
+// StoreStream writes a spectrum-level entry under key. The result of a
+// streaming run carries a metadata-only trace, so the entry is a few
+// kilobytes of report JSON rather than a packet capture.
+func (c *Cache) StoreStream(key string, res *core.Result, rep *core.Report) error {
+	return c.store(c.streamPath(key), key, res, rep, streamMagic)
+}
+
+func (c *Cache) store(path, key string, res *core.Result, rep *core.Report, magic string) error {
+	body, err := encodeEntry(res, rep, magic)
 	if err != nil {
 		return err
 	}
@@ -114,7 +158,7 @@ func (c *Cache) Store(key string, res *core.Result, rep *core.Report) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
 	}
 	return nil
@@ -127,7 +171,7 @@ func (c *Cache) Store(key string, res *core.Result, rep *core.Report) error {
 // The digest covers every byte after itself. The report section may be
 // empty (length 0) when the characterization cannot be marshaled (NaNs
 // from degenerate series); Load then recomputes it from the trace.
-func encodeEntry(res *core.Result, rep *core.Report) ([]byte, error) {
+func encodeEntry(res *core.Result, rep *core.Report, magic string) ([]byte, error) {
 	var payload bytes.Buffer
 	meta := entryMeta{
 		Elapsed:  int64(res.Elapsed),
@@ -163,7 +207,7 @@ func encodeEntry(res *core.Result, rep *core.Report) ([]byte, error) {
 	}
 
 	var out bytes.Buffer
-	out.WriteString(cacheMagic)
+	out.WriteString(magic)
 	digest := sha256.Sum256(payload.Bytes())
 	out.Write(digest[:])
 	out.Write(payload.Bytes())
@@ -171,12 +215,12 @@ func encodeEntry(res *core.Result, rep *core.Report) ([]byte, error) {
 }
 
 // decodeEntry parses and verifies a cache entry body.
-func decodeEntry(body []byte, cfg core.RunConfig) (*core.Result, *core.Report, error) {
-	headLen := len(cacheMagic) + sha256.Size
-	if len(body) < headLen || string(body[:len(cacheMagic)]) != cacheMagic {
+func decodeEntry(body []byte, cfg core.RunConfig, magic string) (*core.Result, *core.Report, error) {
+	headLen := len(magic) + sha256.Size
+	if len(body) < headLen || string(body[:len(magic)]) != magic {
 		return nil, nil, errors.New("farm: bad cache magic")
 	}
-	digest := body[len(cacheMagic):headLen]
+	digest := body[len(magic):headLen]
 	payload := body[headLen:]
 	if sum := sha256.Sum256(payload); !bytes.Equal(digest, sum[:]) {
 		return nil, nil, errors.New("farm: cache digest mismatch")

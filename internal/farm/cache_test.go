@@ -155,7 +155,7 @@ func TestCacheEntryWithoutReport(t *testing.T) {
 	cfg := tinyConfig(3)
 	res, rep := tinyRun(t, 3)
 	key := Key(cfg)
-	body, err := encodeEntry(res, nil)
+	body, err := encodeEntry(res, nil, cacheMagic)
 	if err != nil {
 		t.Fatal(err)
 	}

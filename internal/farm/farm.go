@@ -44,6 +44,16 @@ type Job struct {
 	Label string
 	// Config is the experiment to run.
 	Config core.RunConfig
+	// Stream selects the analysis-only pipeline: the run folds packets
+	// into the characterization as they are captured and never
+	// materializes a trace, so the JobResult carries a metadata-only
+	// Trace and a Report that is bit-identical to the trace-derived one
+	// (series, spectra, bandwidths; SD within the documented streaming
+	// tolerance). Stream jobs deduplicate against each other but not
+	// against trace jobs of the same configuration — the results differ
+	// in what they retain — and cache as spectrum-level entries that skip
+	// both the simulation and the FFT on a hit.
+	Stream bool
 }
 
 // JobResult is a completed job.
@@ -121,14 +131,17 @@ type Farm struct {
 	// runFn executes one configuration; tests stub it to model slow or
 	// blocking simulations. Defaults to core.Run.
 	runFn func(core.RunConfig) (*core.Result, error)
+	// runStreamFn executes one configuration in streaming-analysis mode,
+	// returning the report directly. Defaults to core.RunStream.
+	runStreamFn func(core.RunConfig) (*core.Result, *core.Report, error)
 
 	mu         sync.Mutex
 	progressMu sync.Mutex
 	calls      map[string]*call
-	memo    map[string]*call
-	stats   Stats
-	wallSum time.Duration // total wall of executed runs, for ETA
-	wallN   int64
+	memo       map[string]*call
+	stats      Stats
+	wallSum    time.Duration // total wall of executed runs, for ETA
+	wallN      int64
 }
 
 // New creates a Farm.
@@ -138,13 +151,14 @@ func New(opts Options) *Farm {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Farm{
-		sem:        make(chan struct{}, w),
-		cache:      opts.Cache,
-		memoize:    opts.Memoize,
-		onProgress: opts.OnProgress,
-		runFn:      core.Run,
-		calls:      make(map[string]*call),
-		memo:       make(map[string]*call),
+		sem:         make(chan struct{}, w),
+		cache:       opts.Cache,
+		memoize:     opts.Memoize,
+		onProgress:  opts.OnProgress,
+		runFn:       core.Run,
+		runStreamFn: core.RunStream,
+		calls:       make(map[string]*call),
+		memo:        make(map[string]*call),
 	}
 }
 
@@ -172,6 +186,19 @@ func (f *Farm) Run(cfg core.RunConfig) (*core.Result, *core.Report, error) {
 // not wasted.
 func (f *Farm) RunCtx(ctx context.Context, cfg core.RunConfig) (*core.Result, *core.Report, error) {
 	jr := f.do(ctx, Job{Label: cfg.Program, Config: cfg})
+	return jr.Result, jr.Report, jr.Err
+}
+
+// RunStream is Run for the streaming-analysis pipeline: the simulation
+// folds packets into the characterization as they happen, no trace is
+// materialized, and a cache hit needs only the spectrum-level entry.
+func (f *Farm) RunStream(cfg core.RunConfig) (*core.Result, *core.Report, error) {
+	return f.RunStreamCtx(context.Background(), cfg)
+}
+
+// RunStreamCtx is RunStream under a context, with RunCtx's semantics.
+func (f *Farm) RunStreamCtx(ctx context.Context, cfg core.RunConfig) (*core.Result, *core.Report, error) {
+	jr := f.do(ctx, Job{Label: cfg.Program, Config: cfg, Stream: true})
 	return jr.Result, jr.Report, jr.Err
 }
 
@@ -227,11 +254,17 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 	start := time.Now()
 	key := Key(job.Config)
 	jr := JobResult{Job: job, Key: key}
+	// Stream jobs single-flight in their own namespace: a stream result
+	// (no packets) must never be handed to a trace job, and vice versa.
+	slot := key
+	if job.Stream {
+		slot = "stream/" + key
+	}
 
 	f.mu.Lock()
 	f.stats.Submitted++
 	for {
-		if c, ok := f.memo[key]; ok {
+		if c, ok := f.memo[slot]; ok {
 			f.stats.Deduped++
 			f.mu.Unlock()
 			jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
@@ -239,7 +272,7 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 			f.finish(&jr, start)
 			return jr
 		}
-		if c, ok := f.calls[key]; ok {
+		if c, ok := f.calls[slot]; ok {
 			f.mu.Unlock()
 			select {
 			case <-c.done:
@@ -268,15 +301,15 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 		break
 	}
 	c := &call{done: make(chan struct{})}
-	f.calls[key] = c
+	f.calls[slot] = c
 	f.mu.Unlock()
 
-	f.lead(ctx, key, job.Config, c)
+	f.lead(ctx, key, job, c)
 
 	f.mu.Lock()
-	delete(f.calls, key)
+	delete(f.calls, slot)
 	if f.memoize && c.err == nil {
-		f.memo[key] = c
+		f.memo[slot] = c
 	}
 	switch {
 	case c.err == nil:
@@ -297,9 +330,18 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 // lead performs the actual work for a key: disk-cache probe, then a
 // worker-pool slot and the simulation. A context cancelled before the
 // slot is acquired frees the job without consuming a worker.
-func (f *Farm) lead(ctx context.Context, key string, cfg core.RunConfig, c *call) {
+func (f *Farm) lead(ctx context.Context, key string, job Job, c *call) {
+	cfg := job.Config
 	if f.cache != nil {
-		if res, rep, ok := f.cache.Load(key, cfg); ok {
+		var res *core.Result
+		var rep *core.Report
+		var ok bool
+		if job.Stream {
+			res, rep, ok = f.cache.LoadStream(key, cfg)
+		} else {
+			res, rep, ok = f.cache.Load(key, cfg)
+		}
+		if ok {
 			c.res, c.rep, c.cached = res, rep, true
 			f.mu.Lock()
 			f.stats.CacheHits++
@@ -323,7 +365,14 @@ func (f *Farm) lead(ctx context.Context, key string, cfg core.RunConfig, c *call
 	f.stats.Running++
 	f.mu.Unlock()
 	runStart := time.Now()
-	res, err := f.runFn(cfg)
+	var res *core.Result
+	var rep *core.Report
+	var err error
+	if job.Stream {
+		res, rep, err = f.runStreamFn(cfg)
+	} else {
+		res, err = f.runFn(cfg)
+	}
 	f.mu.Lock()
 	f.stats.Running--
 	f.mu.Unlock()
@@ -332,7 +381,9 @@ func (f *Farm) lead(ctx context.Context, key string, cfg core.RunConfig, c *call
 		c.err = err
 		return
 	}
-	rep := core.Characterize(res)
+	if rep == nil {
+		rep = core.Characterize(res)
+	}
 	c.res, c.rep = res, rep
 	f.mu.Lock()
 	f.stats.Executed++
@@ -342,7 +393,11 @@ func (f *Farm) lead(ctx context.Context, key string, cfg core.RunConfig, c *call
 	if f.cache != nil {
 		// A store failure (full disk, read-only dir) costs future time,
 		// not this result's correctness; surface nothing.
-		_ = f.cache.Store(key, res, rep)
+		if job.Stream {
+			_ = f.cache.StoreStream(key, res, rep)
+		} else {
+			_ = f.cache.Store(key, res, rep)
+		}
 	}
 }
 

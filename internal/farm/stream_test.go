@@ -1,0 +1,175 @@
+package farm
+
+import (
+	"math"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"fxnet/internal/core"
+)
+
+// streamBitsMatch compares the fields of a stream report that must be
+// bit-identical to the trace-derived one (the full contract is tested in
+// internal/core; here we spot-check through the farm plumbing).
+func streamBitsMatch(t *testing.T, got, want *core.Report) {
+	t.Helper()
+	if len(got.AggSeries) != len(want.AggSeries) {
+		t.Fatalf("AggSeries length %d want %d", len(got.AggSeries), len(want.AggSeries))
+	}
+	for i := range want.AggSeries {
+		if math.Float64bits(got.AggSeries[i]) != math.Float64bits(want.AggSeries[i]) {
+			t.Fatalf("AggSeries[%d] = %v want %v", i, got.AggSeries[i], want.AggSeries[i])
+		}
+	}
+	if math.Float64bits(got.AggKBps) != math.Float64bits(want.AggKBps) {
+		t.Errorf("AggKBps = %v want %v", got.AggKBps, want.AggKBps)
+	}
+	if got.AggSize.N != want.AggSize.N {
+		t.Errorf("AggSize.N = %d want %d", got.AggSize.N, want.AggSize.N)
+	}
+}
+
+// TestStreamJobMatchesTraceJob: a stream job's report agrees with the
+// trace job's, its result carries no packets, and the two do not
+// deduplicate against each other.
+func TestStreamJobMatchesTraceJob(t *testing.T) {
+	f := New(Options{Workers: 2})
+	cfg := tinyConfig(7)
+	_, traceRep, err := f.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := f.RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Trace.Len(); n != 0 {
+		t.Errorf("stream result retained %d packets", n)
+	}
+	streamBitsMatch(t, rep, traceRep)
+	if s := f.Stats(); s.Executed != 2 || s.Deduped != 0 {
+		t.Errorf("stats %+v: stream and trace jobs must not share an execution", s)
+	}
+}
+
+// TestStreamDedupNamespace: identical stream jobs single-flight with
+// each other, in a namespace separate from trace jobs of the same key.
+func TestStreamDedupNamespace(t *testing.T) {
+	f := New(Options{Workers: 4})
+	var streams, traces atomic.Int32
+	f.runStreamFn = func(cfg core.RunConfig) (*core.Result, *core.Report, error) {
+		streams.Add(1)
+		return core.RunStream(cfg)
+	}
+	f.runFn = func(cfg core.RunConfig) (*core.Result, error) {
+		traces.Add(1)
+		return core.Run(cfg)
+	}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Label: "dup", Config: tinyConfig(9), Stream: i%2 == 0}
+	}
+	out := f.RunBatch(jobs)
+	for i, jr := range out {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if wantStream := i%2 == 0; (jr.Result.Trace.Len() == 0) != wantStream {
+			t.Errorf("job %d: stream=%v but trace has %d packets", i, wantStream, jr.Result.Trace.Len())
+		}
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("%d stream executions, want 1 (single-flight)", got)
+	}
+	if got := traces.Load(); got != 1 {
+		t.Errorf("%d trace executions, want 1 (single-flight)", got)
+	}
+}
+
+// TestStreamCacheRoundTrip: a stream job stores a .fxspec entry that a
+// fresh farm loads without re-simulating, and the revived report carries
+// the original bits.
+func TestStreamCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(11)
+	f1 := New(Options{Workers: 1, Cache: c})
+	_, rep1, err := f1.RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg)
+	if _, err := os.Stat(c.streamPath(key)); err != nil {
+		t.Fatalf("no .fxspec entry after stream run: %v", err)
+	}
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("stream run wrote a full .fxrun entry (err=%v)", err)
+	}
+
+	f2 := New(Options{Workers: 1, Cache: c})
+	res2, rep2, err := f2.RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f2.Stats(); s.CacheHits != 1 || s.Executed != 0 {
+		t.Errorf("stats %+v: want pure cache hit", s)
+	}
+	if n := res2.Trace.Len(); n != 0 {
+		t.Errorf("cached stream result has %d packets", n)
+	}
+	streamBitsMatch(t, rep2, rep1)
+	if res2.Trace.Meta["program"] == "" {
+		t.Error("cached stream result lost trace metadata")
+	}
+
+	// A corrupted .fxspec entry is a miss and forces a re-run.
+	body, err := os.ReadFile(c.streamPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)/2] ^= 0x40
+	if err := os.WriteFile(c.streamPath(key), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f3 := New(Options{Workers: 1, Cache: c})
+	_, rep3, err := f3.RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f3.Stats(); s.Executed != 1 {
+		t.Errorf("stats %+v after corruption: want recompute", s)
+	}
+	streamBitsMatch(t, rep3, rep1)
+}
+
+// TestStreamFallsBackToFullEntry: with only a .fxrun entry on disk, a
+// stream job is served from it — packets dropped — without simulating.
+func TestStreamFallsBackToFullEntry(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(13)
+	f1 := New(Options{Workers: 1, Cache: c})
+	_, traceRep, err := f1.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := New(Options{Workers: 1, Cache: c})
+	res, rep, err := f2.RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f2.Stats(); s.CacheHits != 1 || s.Executed != 0 {
+		t.Errorf("stats %+v: want fallback cache hit", s)
+	}
+	if n := res.Trace.Len(); n != 0 {
+		t.Errorf("fallback stream result has %d packets", n)
+	}
+	streamBitsMatch(t, rep, traceRep)
+}

@@ -26,6 +26,7 @@ type job struct {
 	ID        string
 	Key       string
 	Cfg       core.RunConfig
+	Stream    bool
 	Submitted time.Time
 
 	cancel context.CancelFunc
@@ -39,6 +40,14 @@ type job struct {
 	cached  bool
 	deduped bool
 	wall    time.Duration
+}
+
+// analysis names the job's pipeline for wire payloads.
+func (j *job) analysis() string {
+	if j.Stream {
+		return "stream"
+	}
+	return "trace"
 }
 
 // snapshot returns the job's fields under its lock.
@@ -65,7 +74,7 @@ func newJobRegistry(f *farm.Farm) *jobRegistry {
 // submit registers a job and starts its execution goroutine. The job's
 // context is cancelled by DELETE /v1/runs/{id}; until the farm grants a
 // worker slot, cancellation frees the job without simulating.
-func (r *jobRegistry) submit(cfg core.RunConfig) *job {
+func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	r.mu.Lock()
 	r.seq++
@@ -73,6 +82,7 @@ func (r *jobRegistry) submit(cfg core.RunConfig) *job {
 		ID:        fmt.Sprintf("r-%08d", r.seq),
 		Key:       farm.Key(cfg),
 		Cfg:       cfg,
+		Stream:    stream,
 		Submitted: time.Now(),
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -85,7 +95,7 @@ func (r *jobRegistry) submit(cfg core.RunConfig) *job {
 	go func() {
 		defer r.wg.Done()
 		defer cancel()
-		out := r.farm.RunBatchCtx(ctx, []farm.Job{{Label: j.ID, Config: cfg}})
+		out := r.farm.RunBatchCtx(ctx, []farm.Job{{Label: j.ID, Config: cfg, Stream: stream}})
 		jr := out[0]
 		j.mu.Lock()
 		j.res, j.rep, j.err = jr.Result, jr.Report, jr.Err

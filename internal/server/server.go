@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -162,7 +163,12 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 // RunRequest is the wire form of a run submission: the useful subset of
 // core.RunConfig, with kernel parameters flattened.
 type RunRequest struct {
-	Program        string  `json:"program"`
+	Program string `json:"program"`
+	// Analysis selects the result pipeline: "trace" (the default) keeps
+	// the full packet capture; "stream" folds the characterization during
+	// the simulation and never materializes a trace, so the job's memory
+	// stays O(bandwidth windows) and /trace answers 409.
+	Analysis       string  `json:"analysis,omitempty"`
 	P              int     `json:"p,omitempty"`
 	N              int     `json:"n,omitempty"`
 	Iters          int     `json:"iters,omitempty"`
@@ -177,6 +183,18 @@ type RunRequest struct {
 	Faults         string  `json:"faults,omitempty"`
 	Degrade        bool    `json:"degrade,omitempty"`
 	DisableDesched bool    `json:"disable_desched,omitempty"`
+}
+
+// stream validates the analysis selector.
+func (req *RunRequest) stream() (bool, error) {
+	switch req.Analysis {
+	case "", "trace":
+		return false, nil
+	case "stream":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown analysis %q (have trace, stream)", req.Analysis)
+	}
 }
 
 // config validates the request and builds the run configuration.
@@ -220,6 +238,7 @@ type statusJSON struct {
 	ID        string  `json:"id"`
 	State     string  `json:"state"`
 	Key       string  `json:"key"`
+	Analysis  string  `json:"analysis"`
 	Cached    bool    `json:"cached"`
 	Deduped   bool    `json:"deduped"`
 	WallMs    float64 `json:"wall_ms,omitempty"`
@@ -255,12 +274,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := s.jobs.submit(cfg)
+	stream, err := req.stream()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.jobs.submit(cfg, stream)
 	writeJSON(w, http.StatusAccepted, map[string]string{
-		"id":     j.ID,
-		"key":    j.Key,
-		"state":  stateQueued,
-		"status": "/v1/runs/" + j.ID,
+		"id":       j.ID,
+		"key":      j.Key,
+		"state":    stateQueued,
+		"analysis": j.analysis(),
+		"status":   "/v1/runs/" + j.ID,
 	})
 }
 
@@ -281,7 +306,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	state, res, rep, err, cached, deduped, wall := j.snapshot()
 	out := statusJSON{
 		ID: j.ID, State: state, Key: j.Key,
-		Cached: cached, Deduped: deduped,
+		Analysis: j.analysis(),
+		Cached:   cached, Deduped: deduped,
 		WallMs:    float64(wall.Microseconds()) / 1000,
 		Submitted: j.Submitted.UTC().Format(time.RFC3339Nano),
 	}
@@ -289,11 +315,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		out.Error = err.Error()
 	}
 	if state == stateDone && res != nil {
-		rj := &resultJSON{
-			Packets:  res.Trace.Len(),
-			Bytes:    res.Trace.TotalBytes(),
-			ElapsedS: res.Elapsed.Seconds(),
-			KBps:     nullableFloat(analysis.AverageBandwidthKBps(res.Trace)),
+		rj := &resultJSON{ElapsedS: res.Elapsed.Seconds()}
+		if j.Stream {
+			// Stream jobs keep no packets; the counts come from the
+			// characterization folded during the run.
+			if rep != nil {
+				rj.Packets = int(rep.AggSize.N)
+				rj.Bytes = int64(math.Round(rep.AggSize.Mean * float64(rep.AggSize.N)))
+				rj.KBps = nullableFloat(rep.AggKBps)
+			}
+		} else {
+			rj.Packets = res.Trace.Len()
+			rj.Bytes = res.Trace.TotalBytes()
+			rj.KBps = nullableFloat(analysis.AverageBandwidthKBps(res.Trace))
 		}
 		if rep != nil && rep.AggSpectrum != nil {
 			rj.FundamentalHz = nullableFloat(rep.AggSpectrum.DominantFreq())
@@ -334,6 +368,11 @@ func (s *Server) doneJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.doneJob(w, r)
 	if !ok {
+		return
+	}
+	if j.Stream {
+		writeErr(w, http.StatusConflict,
+			"run %s was submitted with analysis=stream and kept no trace; use /spectrum or resubmit with analysis=trace", j.ID)
 		return
 	}
 	_, res, _, _, _, _, _ := j.snapshot()

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestStreamAnalysisRun drives a run submitted with analysis=stream
+// through the full service surface: the status summary must come from
+// the folded characterization, /trace must refuse with 409 (there are no
+// packets to stream), and /spectrum must serve the streaming-computed
+// spectrum. The counts must agree with an identical analysis=trace run.
+func TestStreamAnalysisRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, Memoize: true})
+
+	req := cheapRun()
+	req.Analysis = "stream"
+	id := submit(t, ts.URL, req)
+	st := waitState(t, ts.URL, id)
+	if st.State != stateDone {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Analysis != "stream" {
+		t.Errorf("analysis = %q, want stream", st.Analysis)
+	}
+	if st.Result == nil || st.Result.Packets == 0 || st.Result.Bytes == 0 {
+		t.Fatalf("stream run has no result summary: %+v", st.Result)
+	}
+
+	// The trace endpoint must refuse: the run kept no packets.
+	var e map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/v1/runs/"+id+"/trace", nil, &e); code != http.StatusConflict {
+		t.Errorf("trace of stream run: HTTP %d, want 409", code)
+	} else if e["error"] == "" {
+		t.Error("trace refusal carried no error message")
+	}
+
+	// The spectrum endpoint streams the characterization computed during
+	// the run.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/spectrum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spectrum of stream run: HTTP %d", resp.StatusCode)
+	}
+	var bins int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		bins++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if bins < 2 {
+		t.Errorf("spectrum stream produced %d lines", bins)
+	}
+
+	// A trace-mode run of the same configuration agrees on the counts.
+	tid := submit(t, ts.URL, cheapRun())
+	tst := waitState(t, ts.URL, tid)
+	if tst.State != stateDone {
+		t.Fatalf("trace twin state = %s", tst.State)
+	}
+	if tst.Analysis != "trace" {
+		t.Errorf("twin analysis = %q, want trace", tst.Analysis)
+	}
+	if tst.Key != st.Key {
+		t.Errorf("same config, different keys: %s vs %s", st.Key, tst.Key)
+	}
+	if tst.Result.Packets != st.Result.Packets || tst.Result.Bytes != st.Result.Bytes {
+		t.Errorf("stream summary (%d pkts, %d B) disagrees with trace (%d pkts, %d B)",
+			st.Result.Packets, st.Result.Bytes, tst.Result.Packets, tst.Result.Bytes)
+	}
+
+	// The two pipelines must not have shared an execution.
+	body := fetchMetrics(t, ts.URL)
+	if got := metricValue(t, body, "fxnetd_farm_executed_total"); got != 2 {
+		t.Errorf("fxnetd_farm_executed_total = %g, want 2", got)
+	}
+}
+
+// TestStreamAnalysisValidation rejects unknown analysis selectors.
+func TestStreamAnalysisValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := cheapRun()
+	req.Analysis = "psychic"
+	var e map[string]string
+	if code := doJSON(t, "POST", ts.URL+"/v1/runs", req, &e); code != http.StatusBadRequest {
+		t.Errorf("bad analysis: HTTP %d, want 400", code)
+	} else if e["error"] == "" {
+		t.Error("bad analysis: no error message")
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fxnet/internal/ethernet"
+	"fxnet/internal/sim"
+)
+
+// Chunk is a fixed-capacity columnar (structure-of-arrays) block of
+// captured packets: each field of the packet tuple lives in its own
+// parallel slice, so a streaming analysis that only needs timestamps and
+// sizes walks two dense arrays instead of striding through 18-byte
+// records. Row i of every column belongs to the same packet.
+type Chunk struct {
+	Time    []sim.Time
+	Size    []uint16
+	Src     []uint8
+	Dst     []uint8
+	Proto   []ethernet.Proto
+	Flags   []uint8
+	SrcPort []uint16
+	DstPort []uint16
+}
+
+// NewChunk returns an empty chunk with capacity for n packets in every
+// column.
+func NewChunk(n int) *Chunk {
+	return &Chunk{
+		Time:    make([]sim.Time, 0, n),
+		Size:    make([]uint16, 0, n),
+		Src:     make([]uint8, 0, n),
+		Dst:     make([]uint8, 0, n),
+		Proto:   make([]ethernet.Proto, 0, n),
+		Flags:   make([]uint8, 0, n),
+		SrcPort: make([]uint16, 0, n),
+		DstPort: make([]uint16, 0, n),
+	}
+}
+
+// Len reports the number of packets in the chunk.
+func (c *Chunk) Len() int { return len(c.Time) }
+
+// Packet reconstructs row i as an AoS Packet.
+func (c *Chunk) Packet(i int) Packet {
+	return Packet{
+		Time:    c.Time[i],
+		Size:    c.Size[i],
+		Src:     c.Src[i],
+		Dst:     c.Dst[i],
+		Proto:   c.Proto[i],
+		Flags:   c.Flags[i],
+		SrcPort: c.SrcPort[i],
+		DstPort: c.DstPort[i],
+	}
+}
+
+// appendTo linearizes the chunk's rows onto dst in capture order.
+func (c *Chunk) appendTo(dst []Packet) []Packet {
+	for i := range c.Time {
+		dst = append(dst, c.Packet(i))
+	}
+	return dst
+}
+
+// reset empties the chunk, keeping the column capacity for reuse.
+func (c *Chunk) reset() {
+	c.Time = c.Time[:0]
+	c.Size = c.Size[:0]
+	c.Src = c.Src[:0]
+	c.Dst = c.Dst[:0]
+	c.Proto = c.Proto[:0]
+	c.Flags = c.Flags[:0]
+	c.SrcPort = c.SrcPort[:0]
+	c.DstPort = c.DstPort[:0]
+}
+
+// Sink consumes columnar chunks as they fill during capture. Fold is
+// called in capture order with non-overlapping chunks; together the
+// chunks of one capture session cover every recorded packet exactly
+// once. When the collector is not retaining (SetRetain(false)), the
+// chunk's backing arrays are reused for the next chunk, so the sink must
+// finish reading before returning and must not hold references to the
+// columns.
+type Sink interface {
+	Fold(*Chunk)
+}

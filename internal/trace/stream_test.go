@@ -28,7 +28,7 @@ func synthPacket(i int) Packet {
 // chunked record path, so the resulting trace has crossed the columnar
 // chunk boundary the same way a live capture does.
 func captureThroughCollector(n int) *Trace {
-	c := &Collector{tr: New(), enabled: true}
+	c := NewCollector()
 	for i := 0; i < n; i++ {
 		p := synthPacket(i)
 		c.record(ethernet.Capture{

@@ -139,19 +139,33 @@ func New() *Trace {
 }
 
 // collectorChunk is the capture granularity: packets are recorded into
-// fixed-size chunks so a million-packet capture never memmoves its whole
-// history through append's doubling, and the tap's append is in-place
-// (allocation only once per chunk).
+// fixed-size columnar chunks so a million-packet capture never memmoves
+// its whole history through append's doubling, and the tap's appends are
+// in-place (allocation only once per chunk — or never, in streaming
+// mode, where one chunk's backing arrays are recycled forever).
 const collectorChunk = 16384
 
 // Collector is a promiscuous capture session on a segment. Packets are
-// accumulated in fixed-size chunks and linearized on demand by Trace.
+// accumulated in fixed-size columnar chunks; full chunks are folded into
+// any attached Sinks and, when the collector retains (the default),
+// linearized on demand by Trace. With SetRetain(false) the collector is
+// a pure streaming tap: every packet flows through the sinks but the
+// capture holds at most one chunk of memory, whatever the run length.
 type Collector struct {
 	tr      *Trace
-	chunks  [][]Packet // filled chunks, in capture order
-	cur     []Packet   // chunk currently being filled
-	dirty   bool       // packets captured since the last materialization
+	chunks  []*Chunk // filled chunks, in capture order (retain mode)
+	cur     *Chunk   // chunk currently being filled
+	sinks   []Sink
+	retain  bool // keep chunks for Trace(); off = streaming only
+	dirty   bool // packets captured since the last materialization
 	enabled bool
+	flushed bool
+}
+
+// NewCollector returns a detached collector (retaining, enabled); tests
+// and offline replays drive record directly.
+func NewCollector() *Collector {
+	return &Collector{tr: New(), retain: true, enabled: true}
 }
 
 // Capture attaches a collector to a medium (shared segment or switch
@@ -159,37 +173,91 @@ type Collector struct {
 // measured region (the paper starts tcpdump before launching each
 // program).
 func Capture(seg ethernet.TrafficSource) *Collector {
-	c := &Collector{tr: New(), enabled: true}
+	c := NewCollector()
 	seg.Tap(c.record)
 	return c
 }
 
-// record is the tap callback: one branch, one bounds-checked append.
+// AddSink attaches a streaming consumer. Sinks must be attached before
+// packets flow; a sink added mid-capture misses the chunks already
+// rotated out.
+func (c *Collector) AddSink(s Sink) { c.sinks = append(c.sinks, s) }
+
+// SetRetain controls whether the collector keeps the captured packets
+// for Trace. With retain off the collector recycles a single chunk and
+// Trace returns only the session metadata (hosts, meta, marks) — the
+// streaming-analysis mode, where the sinks are the only consumers. Must
+// be set before packets flow.
+func (c *Collector) SetRetain(on bool) { c.retain = on }
+
+// Retained reports whether the collector keeps packets for Trace.
+func (c *Collector) Retained() bool { return c.retain }
+
+// record is the tap callback: a full-chunk rotation branch, then one
+// bounds-checked append per column.
 func (c *Collector) record(cp ethernet.Capture) {
 	if !c.enabled {
 		return
 	}
-	if len(c.cur) == cap(c.cur) {
-		if c.cur != nil {
-			c.chunks = append(c.chunks, c.cur)
-		}
-		c.cur = make([]Packet, 0, collectorChunk)
+	cur := c.cur
+	if cur == nil || len(cur.Time) == cap(cur.Time) {
+		cur = c.rotate()
 	}
 	dst := uint8(max(cp.Dst, 0))
 	if cp.Dst == ethernet.Broadcast {
 		dst = 0xFF
 	}
-	c.cur = append(c.cur, Packet{
-		Time:    cp.Time,
-		Size:    uint16(cp.Size),
-		Src:     uint8(cp.Src),
-		Dst:     dst,
-		Proto:   cp.Proto,
-		Flags:   cp.Flags,
-		SrcPort: cp.SrcPort,
-		DstPort: cp.DstPort,
-	})
+	cur.Time = append(cur.Time, cp.Time)
+	cur.Size = append(cur.Size, uint16(cp.Size))
+	cur.Src = append(cur.Src, uint8(cp.Src))
+	cur.Dst = append(cur.Dst, dst)
+	cur.Proto = append(cur.Proto, cp.Proto)
+	cur.Flags = append(cur.Flags, cp.Flags)
+	cur.SrcPort = append(cur.SrcPort, cp.SrcPort)
+	cur.DstPort = append(cur.DstPort, cp.DstPort)
 	c.dirty = true
+}
+
+// rotate folds the full current chunk into the sinks and produces an
+// empty chunk to fill: a fresh allocation when retaining (the old chunk
+// joins the history), the same backing arrays otherwise.
+func (c *Collector) rotate() *Chunk {
+	if c.cur != nil {
+		c.emit(c.cur)
+		if c.retain {
+			c.chunks = append(c.chunks, c.cur)
+			c.cur = nil
+		}
+	}
+	if c.cur == nil {
+		c.cur = NewChunk(collectorChunk)
+	} else {
+		c.cur.reset()
+	}
+	return c.cur
+}
+
+// emit folds one chunk into every sink.
+func (c *Collector) emit(ch *Chunk) {
+	for _, s := range c.sinks {
+		s.Fold(ch)
+	}
+}
+
+// Flush folds the partially filled current chunk into the sinks and
+// stops capture: it is the end-of-capture barrier for streaming
+// analyses. Each chunk reaches the sinks exactly once (full chunks at
+// rotation, the tail here), so Flush must be called once, after the
+// simulation has stopped. Trace remains callable afterwards.
+func (c *Collector) Flush() {
+	if c.flushed {
+		return
+	}
+	c.flushed = true
+	c.enabled = false
+	if c.cur != nil && c.cur.Len() > 0 {
+		c.emit(c.cur)
+	}
 }
 
 // Pause stops recording.
@@ -200,21 +268,28 @@ func (c *Collector) Resume() { c.enabled = true }
 
 // Trace returns the collected trace, linearizing any chunks captured
 // since the last call into Packets with a single exact-size allocation
-// (live; callers should stop the simulation before analyzing).
+// (live; callers should stop the simulation before analyzing). A
+// non-retaining collector returns the session metadata only — hosts,
+// experiment parameters, marks — with no packets.
 func (c *Collector) Trace() *Trace {
-	if c.dirty {
-		total := len(c.cur)
+	if c.retain && c.dirty {
+		total := 0
 		for _, ch := range c.chunks {
-			total += len(ch)
+			total += ch.Len()
+		}
+		if c.cur != nil {
+			total += c.cur.Len()
 		}
 		if cap(c.tr.Packets) < total {
 			c.tr.Packets = make([]Packet, 0, total)
 		}
 		c.tr.Packets = c.tr.Packets[:0]
 		for _, ch := range c.chunks {
-			c.tr.Packets = append(c.tr.Packets, ch...)
+			c.tr.Packets = ch.appendTo(c.tr.Packets)
 		}
-		c.tr.Packets = append(c.tr.Packets, c.cur...)
+		if c.cur != nil {
+			c.tr.Packets = c.cur.appendTo(c.tr.Packets)
+		}
 		c.dirty = false
 	}
 	return c.tr

@@ -182,3 +182,8 @@ if ! awk "BEGIN{exit !($ACHIEVED >= 500)}"; then
 fi
 
 cat "$SERVE_OUT"
+
+# --- analysis suite → BENCH_analysis.json ----------------------------
+# Serial vs parallel spectral characterization of a long capture, plus
+# the streaming single-pass pipeline and the zero-alloc hot-loop gate.
+sh scripts/bench_analysis.sh

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Analysis benchmark: offline characterization of one long capture,
+# serial vs parallel spectral stages, plus the streaming single-pass
+# pipeline. Writes BENCH_analysis.json.
+#
+# The parallel numbers depend on the host: on a single-core container
+# -j N cannot beat -j 1, so the JSON records "cores" and the >= 2x
+# speedup floor is only enforced when the host actually has >= 4 cores
+# to hand to -j 4. Two invariants are machine-independent and always
+# enforced: the serial and parallel reports must be byte-identical, and
+# the per-window hot loop (Accumulator.Add) must allocate nothing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-4}"
+OUT="${ANALYSIS_OUT:-BENCH_analysis.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/fxrun" ./cmd/fxrun
+go build -o "$TMP/fxanalyze" ./cmd/fxanalyze
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# The paper's 100-hour AIRSHED run is the longest capture in the study:
+# ~7000 s of simulated traffic is ~700k bandwidth windows, so the
+# report's spectral stage transforms million-point series for the
+# aggregate and for every per-connection breakdown.
+"$TMP/fxrun" -program airshed -hours 100 -o "$TMP/long.trace" 2>"$TMP/run.err"
+PACKETS=$(sed -n 's/.* \([0-9]*\) packets captured$/\1/p' "$TMP/run.err" | tail -1)
+
+# time_report <tag> <fxanalyze flags...>: one -mode report pass over the
+# capture, leaving WALL_MS set and the report at $TMP/rep.<tag>.json.
+time_report() {
+	tag=$1
+	shift
+	start=$(now_ms)
+	"$TMP/fxanalyze" -in "$TMP/long.trace" -mode report "$@" >"$TMP/rep.$tag.json"
+	WALL_MS=$(( $(now_ms) - start ))
+}
+
+echo "bench: analysis serial (-j 1)" >&2
+time_report serial -j 1
+SERIAL_MS=$WALL_MS
+
+echo "bench: analysis parallel (-j $JOBS)" >&2
+time_report parallel -j "$JOBS"
+PARALLEL_MS=$WALL_MS
+
+echo "bench: analysis streaming single-pass" >&2
+time_report stream -analysis stream
+STREAM_MS=$WALL_MS
+
+if ! cmp -s "$TMP/rep.serial.json" "$TMP/rep.parallel.json"; then
+	echo "bench: FAIL: -j 1 and -j $JOBS reports differ; the parallel merge is not deterministic" >&2
+	exit 1
+fi
+
+echo "bench: hot-loop microbenchmark (Accumulator.Add)" >&2
+go test -run '^$' -bench 'BenchmarkAccumulatorAdd' -benchmem ./internal/analysis >"$TMP/hot.out"
+HOT_NS=$(awk '/^BenchmarkAccumulatorAdd/ {print $3}' "$TMP/hot.out")
+HOT_ALLOCS=$(awk '/^BenchmarkAccumulatorAdd/ {print $(NF - 1)}' "$TMP/hot.out")
+
+if [ "$HOT_ALLOCS" != "0" ]; then
+	echo "bench: FAIL: Accumulator.Add allocates $HOT_ALLOCS/op, want 0" >&2
+	exit 1
+fi
+
+CORES=$(nproc 2>/dev/null || echo 1)
+SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $SERIAL_MS/$PARALLEL_MS}")
+
+if [ "$CORES" -ge 4 ] && ! awk "BEGIN{exit !($SPEEDUP >= 2)}"; then
+	echo "bench: FAIL: analysis speedup $SPEEDUP at -j $JOBS on $CORES cores, want >= 2" >&2
+	exit 1
+fi
+
+printf '{
+  "bench": "fxanalyze -mode report over the 100-hour AIRSHED capture",
+  "cores": %s,
+  "jobs": %s,
+  "trace_packets": %s,
+  "serial_ms": %s,
+  "parallel_ms": %s,
+  "parallel_speedup": %s,
+  "speedup_floor_enforced": %s,
+  "stream_ms": %s,
+  "reports_identical": true,
+  "hot_loop": {"name": "AccumulatorAdd", "ns_op": %s, "allocs_op": %s}
+}\n' "$CORES" "$JOBS" "${PACKETS:-0}" "$SERIAL_MS" "$PARALLEL_MS" "$SPEEDUP" \
+	"$([ "$CORES" -ge 4 ] && echo true || echo false)" \
+	"$STREAM_MS" "$HOT_NS" "$HOT_ALLOCS" >"$OUT"
+
+cat "$OUT"

@@ -9,4 +9,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
+
+# The streaming-analysis pipeline shares pooled FFT scratch across
+# workers and merges parallel spectral stages back in index order; run
+# those packages under the race detector first so a synchronization
+# regression fails fast, then sweep the whole tree.
+go test -race ./internal/dsp/... ./internal/analysis/...
 go test -race ./...
