@@ -5,9 +5,13 @@
 // which is the honest way to measure a service's saturation behavior.
 //
 // The traffic is a weighted mix of the service's surfaces: run
-// submissions (deduplicated by the farm after the first execution),
-// status polls, dry-run QoS negotiations, commitment listings, and
-// health checks.
+// submissions (content-addressed Idempotency-Key, so retries and
+// duplicates land on the originally accepted job), status polls, dry-run
+// QoS negotiations, commitment listings, and health checks. All requests
+// go through the shared internal/client retry layer; -retries controls
+// how many attempts each idempotent request gets before its outcome is
+// recorded, so the tool keeps measuring through shedding, breaker
+// trips, and restarts of a crash-safe server.
 //
 // Usage:
 //
@@ -15,7 +19,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fxnet/internal/client"
 	"fxnet/internal/version"
 )
 
@@ -36,7 +41,7 @@ import (
 type opGen struct {
 	name   string
 	weight float64
-	do     func(c *http.Client, base string, rng *rand.Rand) (int, error)
+	do     func(c *client.Client, rng *rand.Rand) (int, error)
 }
 
 // sample is one completed request.
@@ -47,9 +52,10 @@ type sample struct {
 	err     bool
 }
 
-// runRequest is the cheap submission the load mix uses; identical
-// configurations after the first are answered from the farm's memo, so
-// the measured path is the service, not the simulator.
+// runBody is the cheap submission the load mix uses; identical
+// configurations after the first are answered from the farm's memo (or
+// the idempotency map), so the measured path is the service, not the
+// simulator.
 func runBody(seed int64) []byte {
 	b, _ := json.Marshal(map[string]any{
 		"program": "sor", "p": 4, "n": 32, "iters": 4, "seed": seed,
@@ -65,6 +71,7 @@ func main() {
 		rps      = flag.Float64("rps", 800, "offered request rate (open loop)")
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		clients  = flag.Int("clients", 8, "distinct client identities (X-Client-ID values)")
+		retries  = flag.Int("retries", 3, "attempts per idempotent request before recording the outcome")
 		seed     = flag.Int64("seed", 1, "mix-selection seed")
 		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
 		ver      = version.Register()
@@ -72,7 +79,7 @@ func main() {
 	flag.Parse()
 	version.ExitIfRequested(ver)
 
-	rep, err := drive(*base, *rps, *duration, *clients, *seed)
+	rep, err := drive(*base, *rps, *duration, *clients, *retries, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -151,19 +158,46 @@ func quantilesOf(durs []time.Duration) quantiles {
 	}
 }
 
-func drive(base string, rps float64, duration time.Duration, clients int, seed int64) (*report, error) {
+func drive(base string, rps float64, duration time.Duration, clients, retries int, seed int64) (*report, error) {
 	if rps <= 0 {
 		return nil, fmt.Errorf("rps must be positive")
 	}
 	if clients < 1 {
 		clients = 1
 	}
-	client := &http.Client{
-		Timeout: 30 * time.Second,
+	if retries < 1 {
+		retries = 1
+	}
+	httpc := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        4 * clients * 16,
 			MaxIdleConnsPerHost: 4 * clients * 16,
 		},
+	}
+	// One shared retrying client; per-request identities rotate via an
+	// explicit X-Client-ID header so ClientID stays unset.
+	fx := &client.Client{
+		Base: base,
+		HTTP: httpc,
+		Retry: client.Policy{
+			MaxAttempts: retries,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+			Deadline:    30 * time.Second,
+		},
+	}
+	var reqSeq atomic.Int64
+	hdr := func() http.Header {
+		h := http.Header{}
+		h.Set("X-Client-ID", fmt.Sprintf("fxload-%d", reqSeq.Add(1)%int64(clients)))
+		return h
+	}
+	get := func(path string) (int, []byte, error) {
+		resp, err := fx.Do(context.Background(), http.MethodGet, path, nil, hdr())
+		if err != nil {
+			return 0, nil, err
+		}
+		return resp.Status, resp.Body, nil
 	}
 
 	// Submitted run IDs feed the status-poll op; seed one run up front so
@@ -186,104 +220,74 @@ func drive(base string, rps float64, duration time.Duration, clients int, seed i
 		return runIDs[rng.Intn(len(runIDs))]
 	}
 
-	var reqSeq atomic.Int64
-	doReq := func(c *http.Client, method, url string, body []byte) (int, []byte, error) {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequest(method, url, rd)
-		if err != nil {
-			return 0, nil, err
-		}
-		req.Header.Set("X-Client-ID", fmt.Sprintf("fxload-%d", reqSeq.Add(1)%int64(clients)))
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := c.Do(req)
-		if err != nil {
-			return 0, nil, err
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		return resp.StatusCode, b, err
-	}
-
 	ops := []opGen{
-		{"submit", 0.10, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
-			code, body, err := doReq(c, "POST", base+"/v1/runs", runBody(1+rng.Int63n(4)))
-			if err == nil && code == http.StatusAccepted {
-				var acc struct {
-					ID string `json:"id"`
-				}
-				if json.Unmarshal(body, &acc) == nil && acc.ID != "" {
+		{"submit", 0.10, func(c *client.Client, rng *rand.Rand) (int, error) {
+			body := runBody(1 + rng.Int63n(4))
+			h := hdr()
+			h.Set(client.IdempotencyKeyHeader, client.IdempotencyKey(body))
+			resp, err := c.Do(context.Background(), http.MethodPost, "/v1/runs", body, h)
+			if err != nil {
+				return 0, err
+			}
+			if resp.Status == http.StatusAccepted {
+				var acc client.Accepted
+				if json.Unmarshal(resp.Body, &acc) == nil && acc.ID != "" {
 					addID(acc.ID)
 				}
 			}
-			return code, err
+			return resp.Status, nil
 		}},
-		{"status", 0.30, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+		{"status", 0.30, func(c *client.Client, rng *rand.Rand) (int, error) {
 			id := pickID(rng)
 			if id == "" {
-				code, _, err := doReq(c, "GET", base+"/healthz", nil)
+				code, _, err := get("/healthz")
 				return code, err
 			}
-			code, _, err := doReq(c, "GET", base+"/v1/runs/"+id, nil)
+			code, _, err := get("/v1/runs/" + id)
 			return code, err
 		}},
-		{"negotiate", 0.20, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
+		{"negotiate", 0.20, func(c *client.Client, rng *rand.Rand) (int, error) {
 			progs := []string{"sor", "2dfft", "seq", "hist"}
 			body, _ := json.Marshal(map[string]any{
 				"program": progs[rng.Intn(len(progs))], "dry_run": true,
 			})
-			code, _, err := doReq(c, "POST", base+"/v1/qos/negotiate", body)
+			// Dry-run negotiations commit nothing, so a content key makes
+			// them retry-safe too.
+			h := hdr()
+			h.Set(client.IdempotencyKeyHeader, client.IdempotencyKey(body))
+			resp, err := c.Do(context.Background(), http.MethodPost, "/v1/qos/negotiate", body, h)
+			if err != nil {
+				return 0, err
+			}
+			return resp.Status, nil
+		}},
+		{"commitments", 0.10, func(c *client.Client, rng *rand.Rand) (int, error) {
+			code, _, err := get("/v1/qos/commitments")
 			return code, err
 		}},
-		{"commitments", 0.10, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
-			code, _, err := doReq(c, "GET", base+"/v1/qos/commitments", nil)
-			return code, err
-		}},
-		{"healthz", 0.30, func(c *http.Client, base string, rng *rand.Rand) (int, error) {
-			code, _, err := doReq(c, "GET", base+"/healthz", nil)
+		{"healthz", 0.30, func(c *client.Client, rng *rand.Rand) (int, error) {
+			code, _, err := get("/healthz")
 			return code, err
 		}},
 	}
 
-	// Warm up: one run submitted and executed so status polls and the
-	// submit op's duplicates hit a memoized result.
-	code, body, err := doReq(client, "POST", base+"/v1/runs", runBody(1))
-	if err != nil || code != http.StatusAccepted {
-		return nil, fmt.Errorf("warm-up submit: code %d err %v", code, err)
-	}
-	var acc struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal(body, &acc); err != nil || acc.ID == "" {
-		return nil, fmt.Errorf("warm-up submit: bad accept payload %s", body)
+	// Warm up through the retrying client: one run submitted and executed
+	// so status polls and the submit op's duplicates hit a memoized
+	// result. Submit is keyed, so this survives a server that is still
+	// replaying its journal.
+	warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	acc, err := fx.Submit(warmCtx, runBody(1))
+	if err != nil {
+		return nil, fmt.Errorf("warm-up submit: %w", err)
 	}
 	addID(acc.ID)
-	warmDeadline := time.Now().Add(30 * time.Second)
-	for {
-		code, body, err := doReq(client, "GET", base+"/v1/runs/"+acc.ID, nil)
-		if err != nil || code != http.StatusOK {
-			return nil, fmt.Errorf("warm-up poll: code %d err %v", code, err)
-		}
-		var st struct {
-			State string `json:"state"`
-		}
-		if err := json.Unmarshal(body, &st); err != nil {
-			return nil, err
-		}
-		if st.State == "done" {
-			break
-		}
-		if st.State != "queued" {
-			return nil, fmt.Errorf("warm-up run ended %s", st.State)
-		}
-		if time.Now().After(warmDeadline) {
-			return nil, fmt.Errorf("warm-up run never finished")
-		}
-		time.Sleep(10 * time.Millisecond)
+	st, err := fx.WaitDone(warmCtx, acc.ID, 10*time.Millisecond)
+	if err != nil {
+		return nil, fmt.Errorf("warm-up poll: %w", err)
+	}
+	if st.State != "done" {
+		return nil, fmt.Errorf("warm-up run ended %s (%s)", st.State, st.RunError)
 	}
 
 	// Open loop: a fixed-rate clock launches each request in its own
@@ -322,7 +326,7 @@ func drive(base string, rps float64, duration time.Duration, clients int, seed i
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			t0 := time.Now()
-			code, err := op.do(client, base, rng)
+			code, err := op.do(fx, rng)
 			s := sample{op: op.name, code: code, latency: time.Since(t0), err: err != nil}
 			mu.Lock()
 			samples = append(samples, s)
@@ -364,7 +368,7 @@ func drive(base string, rps float64, duration time.Duration, clients int, seed i
 		rep.ByOp[op] = sum
 	}
 
-	if code, body, err := doReq(client, "GET", base+"/healthz", nil); err == nil && code == http.StatusOK {
+	if code, body, err := get("/healthz"); err == nil && code == http.StatusOK {
 		rep.Server = json.RawMessage(body)
 	}
 	return rep, nil

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Deadline: 5 * time.Second}
+}
+
+// A GET that fails transiently is retried until it succeeds.
+func TestRetryGetUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastPolicy()
+	resp, err := c.Do(context.Background(), http.MethodGet, "/x", nil, http.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || resp.Attempts != 3 {
+		t.Fatalf("status %d attempts %d, want 200 after 3", resp.Status, resp.Attempts)
+	}
+}
+
+// An unkeyed POST must not be retried: the caller cannot know whether a
+// failed submit was accepted.
+func TestUnkeyedPostSingleAttempt(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastPolicy()
+	resp, err := c.Do(context.Background(), http.MethodPost, "/x", []byte(`{}`), http.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 passed through", resp.Status)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("unkeyed POST sent %d times, want 1", n)
+	}
+}
+
+// A keyed submit retries and every attempt carries the same
+// content-addressed key, so the server dedups the replays.
+func TestSubmitRetriesWithStableKey(t *testing.T) {
+	var calls atomic.Int64
+	keys := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys <- r.Header.Get(IdempotencyKeyHeader)
+		if calls.Add(1) < 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "r-1", "state": "queued"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastPolicy()
+	body := []byte(`{"program":"sor","p":4}`)
+	acc, err := c.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID != "r-1" {
+		t.Fatalf("id %q", acc.ID)
+	}
+	close(keys)
+	want := IdempotencyKey(body)
+	n := 0
+	for k := range keys {
+		n++
+		if k != want || k == "" {
+			t.Fatalf("attempt %d sent key %q, want %q", n, k, want)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// Different bodies get different keys; the same body always the same.
+func TestIdempotencyKeyContentAddressed(t *testing.T) {
+	a := IdempotencyKey([]byte(`{"program":"sor"}`))
+	b := IdempotencyKey([]byte(`{"program":"sor"}`))
+	d := IdempotencyKey([]byte(`{"program":"2dfft"}`))
+	if a != b {
+		t.Fatalf("same body, different keys: %q vs %q", a, b)
+	}
+	if a == d {
+		t.Fatalf("different bodies, same key %q", a)
+	}
+}
+
+// The per-call deadline cuts off an endless retry loop.
+func TestDeadlineBoundsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = Policy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: time.Second, Deadline: 50 * time.Millisecond}
+	t0 := time.Now()
+	_, err := c.Do(context.Background(), http.MethodGet, "/x", nil, http.Header{})
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("deadline did not bound the loop: took %v", el)
+	}
+}
+
+// Exhausting attempts on a retryable status returns the response, not a
+// bare error, so callers can inspect the status.
+func TestExhaustedAttemptsReturnResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = fastPolicy()
+	resp, err := c.Do(context.Background(), http.MethodGet, "/x", nil, http.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusTooManyRequests || resp.Attempts != 4 {
+		t.Fatalf("status %d attempts %d, want 429 after 4", resp.Status, resp.Attempts)
+	}
+}
+
+func TestBackoffClampsRetryAfter(t *testing.T) {
+	c := New("http://x")
+	p := fastPolicy()
+	if d := c.backoff(p, 0, "60"); d != p.MaxDelay {
+		t.Fatalf("Retry-After 60s gave %v, want clamp to %v", d, p.MaxDelay)
+	}
+	for n := 0; n < 20; n++ {
+		if d := c.backoff(p, n, ""); d < 0 || d > p.MaxDelay {
+			t.Fatalf("backoff(%d) = %v outside [0, %v]", n, d, p.MaxDelay)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
@@ -36,8 +37,19 @@ const (
 // The cache is corruption-tolerant by construction: a missing, truncated,
 // bit-flipped, or otherwise unreadable entry is reported as a miss and
 // the run is recomputed — a bad cache can cost time, never correctness.
+// A structurally present but undecodable entry is additionally moved to
+// the corrupt/ subdirectory (quarantined): the evidence survives for
+// inspection, the key stops hitting the same bad bytes on every probe,
+// and the quarantine counter makes silent disk rot visible in /metrics.
+//
+// Writes are crash-safe: entries land in a temp file that is fsync'd,
+// renamed into place, and sealed with a directory fsync, so a power cut
+// can only lose the entry, never publish a torn one under its final
+// name.
 type Cache struct {
 	dir string
+
+	quarantined atomic.Int64
 }
 
 // OpenCache opens (creating if needed) a cache directory.
@@ -95,12 +107,31 @@ func (c *Cache) Load(key string, cfg core.RunConfig) (res *core.Result, rep *cor
 	}
 	res, rep, err = decodeEntry(body, cfg, cacheMagic)
 	if err != nil {
+		c.quarantine(c.path(key))
 		return nil, nil, false
 	}
 	if rep == nil {
 		rep = core.Characterize(res)
 	}
 	return res, rep, true
+}
+
+// Quarantined reports how many corrupt entries this cache has moved to
+// its corrupt/ subdirectory.
+func (c *Cache) Quarantined() int64 { return c.quarantined.Load() }
+
+// quarantine moves an undecodable entry into corrupt/ so the evidence
+// survives while the key goes back to missing. Failures (the entry
+// vanished, the disk is read-only) degrade to the old leave-it behavior.
+func (c *Cache) quarantine(path string) {
+	dir := filepath.Join(c.dir, "corrupt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(path, filepath.Join(dir, filepath.Base(path))); err != nil {
+		return
+	}
+	c.quarantined.Add(1)
 }
 
 // LoadStream retrieves a spectrum-level entry for a streaming-analysis
@@ -116,6 +147,9 @@ func (c *Cache) LoadStream(key string, cfg core.RunConfig) (res *core.Result, re
 		if err == nil && rep != nil {
 			return res, rep, true
 		}
+		if err != nil {
+			c.quarantine(c.streamPath(key))
+		}
 	}
 	res, rep, ok = c.Load(key, cfg)
 	if !ok {
@@ -127,9 +161,10 @@ func (c *Cache) LoadStream(key string, cfg core.RunConfig) (res *core.Result, re
 	return res, rep, true
 }
 
-// Store writes a completed run under key, atomically (temp file +
-// rename), so a crashed or interrupted writer can only ever leave behind
-// an entry that Load rejects.
+// Store writes a completed run under key, atomically and durably (temp
+// file + fsync + rename + directory fsync), so a crashed or interrupted
+// writer can only ever leave behind a temp file, never a torn entry
+// under the final name.
 func (c *Cache) Store(key string, res *core.Result, rep *core.Report) error {
 	return c.store(c.path(key), key, res, rep, cacheMagic)
 }
@@ -155,11 +190,36 @@ func (c *Cache) store(path, key string, res *core.Result, rep *core.Report, magi
 		tmp.Close()
 		return fmt.Errorf("farm: store: %w", err)
 	}
+	// Sync file bytes before the rename publishes the name: rename is
+	// atomic, but without the fsync a crash can publish a name whose
+	// bytes never reached the platter.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("farm: store: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
+	}
+	if err := syncDir(c.dir); err != nil {
+		return fmt.Errorf("farm: store: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Platforms that refuse directory fsync degrade silently — same policy
+// as the journal's FS seam.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
 	}
 	return nil
 }

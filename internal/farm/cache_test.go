@@ -170,3 +170,94 @@ func TestCacheEntryWithoutReport(t *testing.T) {
 		t.Errorf("recomputed report wrong: %+v", gotRep)
 	}
 }
+
+// A corrupt entry is quarantined on load — moved to corrupt/ so the
+// evidence survives, the key goes back to missing, and the counter
+// ticks — then a re-store and reload work normally.
+func TestCacheQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(3)
+	res, rep := tinyRun(t, 3)
+	key := Key(cfg)
+	if err := c.Store(key, res, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the stored entry: flip one byte in the middle.
+	p := filepath.Join(dir, key+".fxrun")
+	body, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)/2] ^= 0x01
+	if err := os.WriteFile(p, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := c.Load(key, cfg); ok {
+		t.Fatal("corrupt entry loaded as a hit")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", key+".fxrun")); err != nil {
+		t.Fatalf("corrupt entry not preserved in corrupt/: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at original path (err %v)", err)
+	}
+
+	// A second probe of the now-missing key is a plain miss, not a
+	// second quarantine.
+	if _, _, ok := c.Load(key, cfg); ok {
+		t.Fatal("missing key reported a hit")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() after plain miss = %d, want 1", got)
+	}
+
+	// Re-store heals the key.
+	if err := c.Store(key, res, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Load(key, cfg); !ok {
+		t.Fatal("re-stored entry missed")
+	}
+}
+
+// Stream entries quarantine through the same path.
+func TestCacheQuarantinesCorruptStreamEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(4)
+	res, rep := tinyRun(t, 4)
+	key := Key(cfg)
+	if err := c.StoreStream(key, res, rep); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key+".fxspec")
+	body, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)/2] ^= 0x01
+	if err := os.WriteFile(p, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.LoadStream(key, cfg); ok {
+		t.Fatal("corrupt stream entry loaded as a hit")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", key+".fxspec")); err != nil {
+		t.Fatalf("corrupt stream entry not preserved: %v", err)
+	}
+}

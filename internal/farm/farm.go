@@ -165,6 +165,9 @@ func New(opts Options) *Farm {
 // Workers reports the worker-pool bound.
 func (f *Farm) Workers() int { return cap(f.sem) }
 
+// Cache reports the disk cache, nil when disabled.
+func (f *Farm) Cache() *Cache { return f.cache }
+
 // Stats returns a snapshot of the farm's counters.
 func (f *Farm) Stats() Stats {
 	f.mu.Lock()

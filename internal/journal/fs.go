@@ -1,0 +1,130 @@
+package journal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// FS is the journal's filesystem seam. Production code uses OSFS; the
+// chaos tests substitute implementations that run slow, fill up, or fail
+// to sync, so crash-safety behavior under degraded disks is testable
+// in-process without privileged fault injection.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// SyncDir fsyncs a directory so a freshly created or renamed file's
+	// directory entry is durable.
+	SyncDir(dir string) error
+}
+
+// File is the subset of *os.File the journal needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms refuse fsync on directories; that is a degraded
+	// environment, not a programming error, so tolerate it.
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// FaultFS wraps an FS with injectable failures: a write-byte budget
+// models a disk filling up mid-record, a per-write delay models a
+// saturated device, and SyncErr makes every fsync fail. The zero value
+// (beyond Base) injects nothing.
+type FaultFS struct {
+	Base FS
+	// WriteBudget is the number of bytes writable before ErrDiskFull;
+	// negative means unlimited.
+	WriteBudget int64
+	// WriteDelay stalls every write, modeling a slow disk.
+	WriteDelay time.Duration
+	// SyncErr, when non-nil, is returned by every Sync and SyncDir.
+	SyncErr error
+
+	mu      sync.Mutex
+	written int64
+}
+
+// ErrDiskFull is the injected out-of-space error.
+var ErrDiskFull = errors.New("journal: injected disk full")
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	base, err := f.Base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: base, fs: f}, nil
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.SyncErr != nil {
+		return f.SyncErr
+	}
+	return f.Base.SyncDir(dir)
+}
+
+// faultFile applies the parent FaultFS's failure policy to one file.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+// Write honors the delay and byte budget. A short write past the budget
+// is exactly what a full disk produces: part of the record lands, the
+// rest does not, and recovery must treat the tail as torn.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.WriteDelay > 0 {
+		time.Sleep(f.fs.WriteDelay)
+	}
+	f.fs.mu.Lock()
+	budget := f.fs.WriteBudget
+	if budget >= 0 {
+		remaining := budget - f.fs.written
+		if remaining <= 0 {
+			f.fs.mu.Unlock()
+			return 0, ErrDiskFull
+		}
+		if int64(len(p)) > remaining {
+			f.fs.written = budget
+			f.fs.mu.Unlock()
+			n, err := f.File.Write(p[:remaining])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrDiskFull
+		}
+	}
+	f.fs.written += int64(len(p))
+	f.fs.mu.Unlock()
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.SyncErr != nil {
+		return f.fs.SyncErr
+	}
+	return f.File.Sync()
+}

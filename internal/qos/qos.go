@@ -179,6 +179,28 @@ func (n *Network) Admit(prog Program, maxP int) (Offer, error) {
 	return off, nil
 }
 
+// Restore re-installs a previously admitted offer under its original
+// admission ID — the crash-recovery path, where a journal replay
+// rebuilds the ledger. It refuses IDs that are unset or already
+// present, and advances the ID sequence past the restored one so new
+// admissions never collide with recovered ones.
+func (n *Network) Restore(off Offer) bool {
+	if off.ID <= 0 {
+		return false
+	}
+	for _, o := range n.offers {
+		if o.ID == off.ID {
+			return false
+		}
+	}
+	n.offers = append(n.offers, off)
+	n.committedMean += off.MeanBandwidth
+	if off.ID > n.nextID {
+		n.nextID = off.ID
+	}
+	return true
+}
+
 // Release returns a previously admitted program's bandwidth to the pool.
 func (n *Network) Release(name string) bool {
 	for i, off := range n.offers {

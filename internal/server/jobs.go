@@ -60,6 +60,11 @@ func (j *job) snapshot() (state string, res *core.Result, rep *core.Report, err 
 // jobRegistry owns the job table and the background execution goroutines.
 type jobRegistry struct {
 	farm *farm.Farm
+	// onTerminal, when non-nil, observes every job reaching a terminal
+	// state — the server's journal write-through. It runs on the job's
+	// execution goroutine before done is closed, so a crash after the
+	// callback returns is recoverable from the journal alone.
+	onTerminal func(j *job, state, errMsg string)
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -71,15 +76,43 @@ func newJobRegistry(f *farm.Farm) *jobRegistry {
 	return &jobRegistry{farm: f, jobs: make(map[string]*job)}
 }
 
-// submit registers a job and starts its execution goroutine. The job's
-// context is cancelled by DELETE /v1/runs/{id}; until the farm grants a
-// worker slot, cancellation frees the job without simulating.
-func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
-	ctx, cancel := context.WithCancel(context.Background())
+// allocID reserves the next job ID. IDs are allocated before the
+// journal's submitted record is written, so the record and the job
+// agree on identity.
+func (r *jobRegistry) allocID() string {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.seq++
+	return fmt.Sprintf("r-%08d", r.seq)
+}
+
+// restoreSeq advances the ID sequence past a replayed job's ID so new
+// submissions never collide with recovered ones.
+func (r *jobRegistry) restoreSeq(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "r-%d", &n); err != nil {
+		return
+	}
+	r.mu.Lock()
+	if n > r.seq {
+		r.seq = n
+	}
+	r.mu.Unlock()
+}
+
+// submit registers a job under a fresh ID and starts it.
+func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
+	return r.start(r.allocID(), cfg, stream)
+}
+
+// start registers a job under a preassigned ID and launches its
+// execution goroutine. The job's context is cancelled by
+// DELETE /v1/runs/{id}; until the farm grants a worker slot,
+// cancellation frees the job without simulating.
+func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool) *job {
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		ID:        fmt.Sprintf("r-%08d", r.seq),
+		ID:        id,
 		Key:       farm.Key(cfg),
 		Cfg:       cfg,
 		Stream:    stream,
@@ -88,6 +121,7 @@ func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
 		done:      make(chan struct{}),
 		state:     stateQueued,
 	}
+	r.mu.Lock()
 	r.jobs[j.ID] = j
 	r.wg.Add(1)
 	r.mu.Unlock()
@@ -108,9 +142,42 @@ func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
 		default:
 			j.state = stateFailed
 		}
+		state := j.state
+		errMsg := ""
+		if j.err != nil {
+			errMsg = j.err.Error()
+		}
 		j.mu.Unlock()
+		if r.onTerminal != nil {
+			r.onTerminal(j, state, errMsg)
+		}
 		close(j.done)
 	}()
+	return j
+}
+
+// restoreTerminal registers a tombstone for a job the journal says
+// already finished in a state (cancelled/failed) that re-running cannot
+// reproduce. The job is immediately terminal and never touches the
+// farm; onTerminal is not invoked, so recovery does not re-journal it.
+func (r *jobRegistry) restoreTerminal(id string, cfg core.RunConfig, stream bool, state, errMsg string) *job {
+	j := &job{
+		ID:        id,
+		Key:       farm.Key(cfg),
+		Cfg:       cfg,
+		Stream:    stream,
+		Submitted: time.Now(),
+		cancel:    func() {},
+		done:      make(chan struct{}),
+		state:     state,
+	}
+	if errMsg != "" {
+		j.err = fmt.Errorf("%s", errMsg)
+	}
+	close(j.done)
+	r.mu.Lock()
+	r.jobs[j.ID] = j
+	r.mu.Unlock()
 	return j
 }
 

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"fxnet/internal/core"
+	"fxnet/internal/journal"
+)
+
+// The journal's record bodies. The journal itself stores opaque bytes;
+// these are the server's wire forms, versioned implicitly by the
+// journal file magic.
+//
+// submittedRec is written before a submission is acknowledged: once a
+// client holds a 202, the job is durable. terminalRec is written when a
+// job reaches done/failed/cancelled. grantRec/releaseRec mirror the QoS
+// ledger. Replay folds these into the recovered state (see recover.go
+// for the state machine).
+type submittedRec struct {
+	ID       string     `json:"id"`
+	Key      string     `json:"key"`
+	Analysis string     `json:"analysis"`
+	IdemKey  string     `json:"idem,omitempty"`
+	Request  RunRequest `json:"request"`
+}
+
+type terminalRec struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type grantRec struct {
+	Offer  OfferJSON `json:"offer"`
+	Client string    `json:"client,omitempty"`
+}
+
+type releaseRec struct {
+	ID int `json:"id"`
+}
+
+// journalStats counts journal activity for /metrics.
+type journalStats struct {
+	appends     [5]atomic.Int64 // indexed by journal.Op
+	appendFails atomic.Int64
+	replayed    atomic.Int64
+	truncated   atomic.Int64 // bytes dropped from a torn tail
+}
+
+// appendJournal marshals and appends one record; a nil journal is a
+// no-op (journaling disabled). The error is the caller's signal that
+// durability cannot be promised.
+func (s *Server) appendJournal(op journal.Op, body any) error {
+	if s.journal == nil {
+		return nil
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("journal body: %w", err)
+	}
+	if err := s.journal.Append(op, b); err != nil {
+		s.jstats.appendFails.Add(1)
+		return err
+	}
+	s.jstats.appends[op].Add(1)
+	return nil
+}
+
+// recoveredJob is one job's folded journal history.
+type recoveredJob struct {
+	sub   submittedRec
+	state string // "" while pending
+	err   string
+}
+
+// recoveredState is the journal replay folded into the latest-wins view
+// the recovery state machine consumes.
+type recoveredState struct {
+	jobs   map[string]*recoveredJob
+	order  []string          // submission order
+	grants map[int]grantRec  // admission ID → grant, minus releases
+	idem   map[string]string // idempotency key → job ID
+}
+
+func newRecoveredState() *recoveredState {
+	return &recoveredState{
+		jobs:   make(map[string]*recoveredJob),
+		grants: make(map[int]grantRec),
+		idem:   make(map[string]string),
+	}
+}
+
+// fold applies one replayed record. Unknown ops and records referencing
+// unknown jobs are skipped, not fatal: a journal written by a newer
+// build must degrade to partial recovery, never to a crash loop.
+func (rs *recoveredState) fold(rec journal.Record) error {
+	switch rec.Op {
+	case journal.OpSubmitted:
+		var sr submittedRec
+		if err := json.Unmarshal(rec.Body, &sr); err != nil || sr.ID == "" {
+			return nil
+		}
+		if _, ok := rs.jobs[sr.ID]; !ok {
+			rs.order = append(rs.order, sr.ID)
+		}
+		rs.jobs[sr.ID] = &recoveredJob{sub: sr}
+		if sr.IdemKey != "" {
+			rs.idem[sr.IdemKey] = sr.ID
+		}
+	case journal.OpTerminal:
+		var tr terminalRec
+		if err := json.Unmarshal(rec.Body, &tr); err != nil {
+			return nil
+		}
+		if rj, ok := rs.jobs[tr.ID]; ok {
+			rj.state, rj.err = tr.State, tr.Error
+		}
+	case journal.OpGrant:
+		var gr grantRec
+		if err := json.Unmarshal(rec.Body, &gr); err != nil || gr.Offer.ID == 0 {
+			return nil
+		}
+		rs.grants[gr.Offer.ID] = gr
+	case journal.OpRelease:
+		var rr releaseRec
+		if err := json.Unmarshal(rec.Body, &rr); err != nil {
+			return nil
+		}
+		delete(rs.grants, rr.ID)
+	}
+	return nil
+}
+
+// Recover replays the journal's folded state into the live server:
+// pending jobs are re-enqueued (their acknowledgment is a promise that
+// survives the crash), done jobs are re-submitted so the farm cache
+// answers them instantly, cancelled and failed jobs become tombstones,
+// QoS grants restore the capacity ledger, and idempotency keys resume
+// deduplicating retried submits. The server reports not-ready until
+// Recover returns.
+//
+// ctx aborts a replay in progress (SIGTERM during recovery): jobs
+// re-enqueued so far keep running toward the drain path, the rest stay
+// in the journal for the next boot, and the server simply never turns
+// ready.
+func (s *Server) Recover(ctx context.Context) error {
+	defer func() {
+		s.recovered = nil
+	}()
+	rs := s.recovered
+	if rs == nil {
+		s.ready.Store(true)
+		return nil
+	}
+	for k, id := range rs.idem {
+		s.idemMu.Lock()
+		s.idem[k] = id
+		s.idemMu.Unlock()
+	}
+	// Restore grants in admission-ID order so recovery is deterministic.
+	ids := make([]int, 0, len(rs.grants))
+	for id := range rs.grants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		gr := rs.grants[id]
+		if !s.broker.restore(gr.Offer, gr.Client) {
+			s.logf("recover: admission %d not restorable (duplicate?)", id)
+		}
+	}
+
+	requeued, tombstones := 0, 0
+	for _, id := range rs.order {
+		if err := ctx.Err(); err != nil {
+			s.logf("recover: aborted after %d/%d jobs: %v", requeued+tombstones, len(rs.order), err)
+			return err
+		}
+		rj := rs.jobs[id]
+		s.jobs.restoreSeq(id)
+		cfg, err := rj.sub.Request.config()
+		if err != nil {
+			// A journal from a build with since-removed programs: the
+			// job cannot be re-run; surface it as failed, not lost.
+			s.jobs.restoreTerminal(id, core.RunConfig{}, rj.sub.Analysis == "stream", stateFailed,
+				fmt.Sprintf("unrecoverable submission: %v", err))
+			tombstones++
+			continue
+		}
+		stream := rj.sub.Analysis == "stream"
+		switch rj.state {
+		case stateCancelled, stateFailed:
+			s.jobs.restoreTerminal(id, cfg, stream, rj.state, rj.err)
+			tombstones++
+		default:
+			// Pending ("") and done both re-enqueue: done jobs answer
+			// from the farm cache (or deterministically re-execute when
+			// the cache was lost), pending jobs complete the promise
+			// their 202 made.
+			s.jobs.start(id, cfg, stream)
+			requeued++
+		}
+	}
+	s.logf("recover: %d jobs re-enqueued, %d tombstones, %d admissions, %d idempotency keys",
+		requeued, tombstones, len(ids), len(rs.idem))
+	s.ready.Store(true)
+	return nil
+}

@@ -41,10 +41,11 @@ func (h *histogram) observe(v float64) {
 // metrics aggregates the ops surface counters. All methods are safe for
 // concurrent use.
 type metrics struct {
-	mu        sync.Mutex
-	requests  map[[2]string]uint64 // {endpoint, code} → count
-	latency   map[string]*histogram
-	throttled uint64
+	mu             sync.Mutex
+	requests       map[[2]string]uint64 // {endpoint, code} → count
+	latency        map[string]*histogram
+	throttled      uint64
+	breakerRejects uint64
 }
 
 func newMetrics() *metrics {
@@ -69,6 +70,12 @@ func (m *metrics) record(endpoint, code string, seconds float64) {
 func (m *metrics) throttle() {
 	m.mu.Lock()
 	m.throttled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) breakerReject() {
+	m.mu.Lock()
+	m.breakerRejects++
 	m.mu.Unlock()
 }
 
@@ -98,6 +105,10 @@ func (m *metrics) writeProm(w io.Writer) {
 	fmt.Fprintln(w, "# HELP fxnetd_http_throttled_total Requests rejected with 429 by the per-client concurrency limiter.")
 	fmt.Fprintln(w, "# TYPE fxnetd_http_throttled_total counter")
 	fmt.Fprintf(w, "fxnetd_http_throttled_total %d\n", m.throttled)
+
+	fmt.Fprintln(w, "# HELP fxnetd_breaker_rejected_total Submissions refused because the execution circuit breaker was open.")
+	fmt.Fprintln(w, "# TYPE fxnetd_breaker_rejected_total counter")
+	fmt.Fprintf(w, "fxnetd_breaker_rejected_total %d\n", m.breakerRejects)
 
 	fmt.Fprintln(w, "# HELP fxnetd_http_request_duration_seconds Request latency by endpoint.")
 	fmt.Fprintln(w, "# TYPE fxnetd_http_request_duration_seconds histogram")

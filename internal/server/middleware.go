@@ -82,13 +82,22 @@ func (l *clientLimiter) release(key string) {
 }
 
 // instrument wraps an endpoint handler with the ops surface: request-ID
-// assignment and logging, latency/status metrics, and (for limited
-// endpoints) per-client concurrency backpressure with 429 + Retry-After.
-func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+// assignment and logging, latency/status metrics, load shedding by
+// endpoint class, and (for limited endpoints) per-client concurrency
+// backpressure with 429 + Retry-After.
+func (s *Server) instrument(endpoint string, limited bool, shedClass int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
 		w.Header().Set("X-Request-ID", reqID)
+
+		if !s.shedder.admit(shedClass) {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "overloaded: load shedding "+shedClassName(shedClass)+" traffic", http.StatusServiceUnavailable)
+			s.metrics.record(endpoint, strconv.Itoa(http.StatusServiceUnavailable), time.Since(start).Seconds())
+			s.logf("req=%s %s %s -> 503 shed (%s)", reqID, r.Method, r.URL.Path, shedClassName(shedClass))
+			return
+		}
 
 		if limited {
 			key := clientKey(r)

@@ -187,6 +187,26 @@ func (b *broker) negotiate(req *NegotiateRequest) (OfferJSON, error) {
 	}, nil
 }
 
+// restore re-installs a journaled admission under its original ID (the
+// crash-recovery path).
+func (b *broker) restore(off OfferJSON, client string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ok := b.net.Restore(qos.Offer{
+		Program:        off.Program,
+		ID:             off.ID,
+		P:              off.P,
+		BurstBandwidth: off.BurstBandwidth,
+		BurstInterval:  off.BurstInterval,
+		BurstSeconds:   off.BurstSeconds,
+		MeanBandwidth:  off.MeanBandwidth,
+	})
+	if ok && client != "" {
+		b.clients[off.ID] = client
+	}
+	return ok
+}
+
 // release frees the commitment with the given admission ID.
 func (b *broker) release(id int) bool {
 	b.mu.Lock()

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"fxnet/internal/dsp"
 	"fxnet/internal/farm"
 	"fxnet/internal/faults"
+	"fxnet/internal/journal"
 	"fxnet/internal/kernels"
 	"fxnet/internal/version"
 )
@@ -60,29 +62,69 @@ type Options struct {
 	// ClientLimit bounds in-flight API requests per client; <= 0
 	// disables the limiter.
 	ClientLimit int
+	// JournalPath enables the durable job journal: every acknowledged
+	// submission, terminal job state, and QoS grant/release is fsync'd
+	// to this append-only log before the response goes out, and
+	// Recover replays it on boot. Empty disables journaling (a purely
+	// in-memory node, the pre-crash-safety behavior).
+	JournalPath string
+	// JournalFS overrides the journal's filesystem (chaos tests inject
+	// slow or full disks); nil selects the real one.
+	JournalFS journal.FS
+	// JournalNoSync skips the per-append fsync; tests only.
+	JournalNoSync bool
+	// MaxQueue is the farm queue depth at which load shedding starts
+	// refusing submissions (and, at twice this depth, polls);
+	// <= 0 selects 256.
+	MaxQueue int
+	// BreakerThreshold is the consecutive farm failures that open the
+	// execution circuit breaker; <= 0 selects 5. BreakerCooldown is the
+	// open interval before a half-open probe; <= 0 selects 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Log receives request and lifecycle lines; nil discards them.
 	Log *log.Logger
 }
 
-// Server is the fxnetd engine. Create with New, mount via Handler.
+// Server is the fxnetd engine. Create with New, mount via Handler. A
+// server with a journal configured reports not-ready and refuses
+// submissions until Recover replays it; without a journal it is born
+// ready.
 type Server struct {
 	farm    *farm.Farm
 	jobs    *jobRegistry
 	broker  *broker
 	metrics *metrics
 	limiter *clientLimiter
+	breaker *breaker
+	shedder *shedder
 	logger  *log.Logger
 	started time.Time
 
+	journal   *journal.Journal
+	jstats    journalStats
+	recovered *recoveredState
+
+	idemMu sync.Mutex
+	idem   map[string]string // idempotency key → job ID
+
+	streamsMu sync.Mutex
+	streams   int
+	streamsCh chan struct{} // closed+replaced when streams hits 0
+
 	reqSeq   atomic.Uint64
 	draining atomic.Bool
+	ready    atomic.Bool
 }
 
 // defaultCapacityBps matches core's qosCapacityBps: 10 Mb/s derated by
 // framing and CSMA/CD overhead.
 const defaultCapacityBps = 1.1e6
 
-// New assembles a server.
+// New assembles a server. When a journal is configured its records are
+// replayed into a recovered-state snapshot here, but jobs are not
+// re-enqueued until Recover — the caller decides when the node starts
+// doing work (and can abort mid-replay on SIGTERM).
 func New(opts Options) (*Server, error) {
 	fo := farm.Options{Workers: opts.Workers, Memoize: opts.Memoize}
 	if opts.CacheDir != "" {
@@ -101,15 +143,56 @@ func New(opts Options) (*Server, error) {
 		logger = log.New(io.Discard, "", 0)
 	}
 	f := farm.New(fo)
-	return &Server{
+	s := &Server{
 		farm:    f,
 		jobs:    newJobRegistry(f),
 		broker:  newBroker(cap, opts.MaxP),
 		metrics: newMetrics(),
 		limiter: newClientLimiter(opts.ClientLimit),
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
 		logger:  logger,
+		idem:    make(map[string]string),
 		started: time.Now(),
-	}, nil
+	}
+	s.shedder = newShedder(opts.MaxQueue, func() int64 {
+		fs := f.Stats()
+		q := fs.Submitted - fs.Completed - fs.Running
+		if q < 0 {
+			q = 0
+		}
+		return q
+	})
+	s.jobs.onTerminal = func(j *job, state, errMsg string) {
+		switch state {
+		case stateDone:
+			s.breaker.success()
+		case stateFailed:
+			s.breaker.failure()
+		}
+		if err := s.appendJournal(journal.OpTerminal, terminalRec{ID: j.ID, State: state, Error: errMsg}); err != nil {
+			// The result is live in memory; at worst the next boot
+			// re-runs the job. Log, don't fail the job.
+			s.logf("journal: terminal record for %s: %v", j.ID, err)
+		}
+	}
+	if opts.JournalPath != "" {
+		rs := newRecoveredState()
+		jn, st, err := journal.Open(opts.JournalPath, journal.Options{FS: opts.JournalFS, NoSync: opts.JournalNoSync}, rs.fold)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		s.recovered = rs
+		s.jstats.replayed.Store(int64(st.Records))
+		s.jstats.truncated.Store(st.TruncatedBytes)
+		if st.TruncatedBytes > 0 {
+			logger.Printf("journal: dropped %d-byte torn tail (%s)", st.TruncatedBytes, st.TruncateReason)
+		}
+	} else {
+		// No journal, nothing to recover: born ready.
+		s.ready.Store(true)
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) { s.logger.Printf(format, args...) }
@@ -117,16 +200,17 @@ func (s *Server) logf(format string, args ...any) { s.logger.Printf(format, args
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.instrument("runs_submit", true, s.handleSubmit))
-	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_status", true, s.handleStatus))
-	mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("runs_cancel", true, s.handleCancel))
-	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", true, s.handleTrace))
-	mux.HandleFunc("GET /v1/runs/{id}/spectrum", s.instrument("runs_spectrum", true, s.handleSpectrum))
-	mux.HandleFunc("POST /v1/qos/negotiate", s.instrument("qos_negotiate", true, s.handleNegotiate))
-	mux.HandleFunc("GET /v1/qos/commitments", s.instrument("qos_list", true, s.handleCommitments))
-	mux.HandleFunc("DELETE /v1/qos/commitments/{id}", s.instrument("qos_release", true, s.handleRelease))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.HandleFunc("POST /v1/runs", s.instrument("runs_submit", true, classSubmit, s.handleSubmit))
+	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_status", true, classPoll, s.handleStatus))
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("runs_cancel", true, classPoll, s.handleCancel))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", true, classPoll, s.handleTrace))
+	mux.HandleFunc("GET /v1/runs/{id}/spectrum", s.instrument("runs_spectrum", true, classPoll, s.handleSpectrum))
+	mux.HandleFunc("POST /v1/qos/negotiate", s.instrument("qos_negotiate", true, classSubmit, s.handleNegotiate))
+	mux.HandleFunc("GET /v1/qos/commitments", s.instrument("qos_list", true, classPoll, s.handleCommitments))
+	mux.HandleFunc("DELETE /v1/qos/commitments/{id}", s.instrument("qos_release", true, classPoll, s.handleRelease))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, classOps, s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, classOps, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", false, classOps, s.handleReadyz))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -138,13 +222,72 @@ func (s *Server) Handler() http.Handler {
 // Workers reports the farm's concurrency bound.
 func (s *Server) Workers() int { return s.farm.Workers() }
 
-// BeginDrain stops accepting new run submissions; polling and QoS
-// release remain available so clients can collect results and free
-// commitments while the server empties.
+// Ready reports whether recovery has completed and the node is
+// accepting work (the /readyz signal).
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// BeginDrain flips readiness off and stops accepting new run
+// submissions; polling and QoS release remain available so clients can
+// collect results and free commitments while the server empties. Load
+// balancers watching /readyz stop routing here before requests start
+// being refused.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
-// Drain blocks until every submitted job has finished or ctx expires.
-func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+// Drain blocks until every submitted job has finished and every
+// in-flight streaming response has been written, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	if err := s.jobs.drain(ctx); err != nil {
+		return err
+	}
+	return s.drainStreams(ctx)
+}
+
+// Close releases the journal (if any). The server is not usable after.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// streamBegin registers an in-flight streaming response; the returned
+// func must be called when the stream ends.
+func (s *Server) streamBegin() func() {
+	s.streamsMu.Lock()
+	s.streams++
+	if s.streamsCh == nil {
+		s.streamsCh = make(chan struct{})
+	}
+	s.streamsMu.Unlock()
+	return func() {
+		s.streamsMu.Lock()
+		s.streams--
+		if s.streams == 0 && s.streamsCh != nil {
+			close(s.streamsCh)
+			s.streamsCh = nil
+		}
+		s.streamsMu.Unlock()
+	}
+}
+
+// drainStreams blocks until no streaming response is in flight. A
+// stream that starts during the drain window is still waited for: the
+// loop re-checks until it observes zero.
+func (s *Server) drainStreams(ctx context.Context) error {
+	for {
+		s.streamsMu.Lock()
+		n, ch := s.streams, s.streamsCh
+		s.streamsMu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // writeJSON renders v with a status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -258,10 +401,26 @@ type resultJSON struct {
 	RunError      string        `json:"run_error,omitempty"`
 }
 
+// IdempotencyKeyHeader carries a client-chosen token that makes a
+// retried submit return the originally accepted job instead of creating
+// a duplicate. The token survives crashes via the journal.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "5")
 		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		return
+	}
+	if !s.breaker.allow() {
+		s.metrics.breakerReject()
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "execution circuit breaker open")
 		return
 	}
 	var req RunRequest
@@ -279,14 +438,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := s.jobs.submit(cfg, stream)
-	writeJSON(w, http.StatusAccepted, map[string]string{
+
+	idemKey := r.Header.Get(IdempotencyKeyHeader)
+	if idemKey != "" {
+		s.idemMu.Lock()
+		id, seen := s.idem[idemKey]
+		s.idemMu.Unlock()
+		if seen {
+			if j, ok := s.jobs.get(id); ok {
+				s.accept(w, j, true)
+				return
+			}
+		}
+	}
+
+	// Allocate the ID, make the submission durable, then start the job:
+	// once the 202 leaves, a crash at any point must still honor it.
+	// From this point the submit is not abortable by client disconnect —
+	// a half-acknowledged journal record with no job would be a lie in
+	// the other direction.
+	id := s.jobs.allocID()
+	sub := submittedRec{ID: id, Key: farm.Key(cfg), IdemKey: idemKey, Request: req}
+	if stream {
+		sub.Analysis = "stream"
+	} else {
+		sub.Analysis = "trace"
+	}
+	if err := s.appendJournal(journal.OpSubmitted, sub); err != nil {
+		s.logf("journal: submit %s: %v", id, err)
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "journal unavailable: submission cannot be made durable")
+		return
+	}
+	j := s.jobs.start(id, cfg, stream)
+	if idemKey != "" {
+		s.idemMu.Lock()
+		s.idem[idemKey] = id
+		s.idemMu.Unlock()
+	}
+	s.accept(w, j, false)
+}
+
+// accept writes the 202 payload for a (possibly replayed) submission.
+func (s *Server) accept(w http.ResponseWriter, j *job, idempotentReplay bool) {
+	out := map[string]any{
 		"id":       j.ID,
 		"key":      j.Key,
 		"state":    stateQueued,
 		"analysis": j.analysis(),
 		"status":   "/v1/runs/" + j.ID,
-	})
+	}
+	if idempotentReplay {
+		state, _, _, _, _, _, _ := j.snapshot()
+		out["state"] = state
+		out["idempotent_replay"] = true
+	}
+	writeJSON(w, http.StatusAccepted, out)
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
@@ -375,6 +582,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			"run %s was submitted with analysis=stream and kept no trace; use /spectrum or resubmit with analysis=trace", j.ID)
 		return
 	}
+	endStream := s.streamBegin()
+	defer endStream()
 	_, res, _, _, _, _, _ := j.snapshot()
 	if r.URL.Query().Get("format") == "bin" {
 		// The binary codec streams through the same chunked writer the
@@ -395,6 +604,8 @@ func (s *Server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	endStream := s.streamBegin()
+	defer endStream()
 	_, res, rep, _, _, _, _ := j.snapshot()
 	kind := "aggregate"
 	var spec *dsp.Spectrum
@@ -430,6 +641,17 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, "%v", err)
 		return
 	}
+	if !req.DryRun && off.ID != 0 {
+		// Commit-then-journal: if the grant cannot be made durable, roll
+		// it back so a recovered node never under-reports commitments.
+		if err := s.appendJournal(journal.OpGrant, grantRec{Offer: off, Client: req.Client}); err != nil {
+			s.broker.release(off.ID)
+			s.logf("journal: grant %d: %v", off.ID, err)
+			w.Header().Set("Retry-After", "5")
+			writeErr(w, http.StatusServiceUnavailable, "journal unavailable: admission cannot be made durable")
+			return
+		}
+	}
 	_, _, available, _ := s.broker.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"offer":         off,
@@ -459,6 +681,12 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !s.broker.release(id) {
 		writeErr(w, http.StatusNotFound, "no commitment %d", id)
 		return
+	}
+	if err := s.appendJournal(journal.OpRelease, releaseRec{ID: id}); err != nil {
+		// The release already happened in memory; a journal failure here
+		// means the next boot restores a commitment the client gave
+		// back. Capacity leaks conservative, not over-committed.
+		s.logf("journal: release %d: %v", id, err)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"released": id})
 }
@@ -501,6 +729,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "fxnetd_jobs{state=%q} %d\n", st, jobCounts[st])
 	}
 
+	fmt.Fprintln(w, "# HELP fxnetd_ready Whether the node is ready for traffic (recovery done, not draining).\n# TYPE fxnetd_ready gauge")
+	ready := 0
+	if s.Ready() {
+		ready = 1
+	}
+	fmt.Fprintf(w, "fxnetd_ready %d\n", ready)
+
+	bstate, bopened := s.breaker.snapshot()
+	fmt.Fprintln(w, "# HELP fxnetd_breaker_state Execution circuit breaker state (0 closed, 1 half-open, 2 open).\n# TYPE fxnetd_breaker_state gauge")
+	fmt.Fprintf(w, "fxnetd_breaker_state{state=%q} %d\n", breakerStateName(bstate), bstate)
+	fmt.Fprintln(w, "# HELP fxnetd_breaker_opened_total Times the execution circuit breaker opened.\n# TYPE fxnetd_breaker_opened_total counter")
+	fmt.Fprintf(w, "fxnetd_breaker_opened_total %d\n", bopened)
+
+	fmt.Fprintln(w, "# HELP fxnetd_shed_tier Current load-shedding tier (0 none, 1 submits, 2 polls).\n# TYPE fxnetd_shed_tier gauge")
+	fmt.Fprintf(w, "fxnetd_shed_tier %d\n", s.shedder.tier())
+	fmt.Fprintln(w, "# HELP fxnetd_shed_total Requests refused by load shedding, by endpoint class.\n# TYPE fxnetd_shed_total counter")
+	for class := classOps; class <= classSubmit; class++ {
+		fmt.Fprintf(w, "fxnetd_shed_total{class=%q} %d\n", shedClassName(class), s.shedder.shed[class].Load())
+	}
+
+	fmt.Fprintln(w, "# HELP fxnetd_streams_in_flight Streaming responses being written right now.\n# TYPE fxnetd_streams_in_flight gauge")
+	s.streamsMu.Lock()
+	streams := s.streams
+	s.streamsMu.Unlock()
+	fmt.Fprintf(w, "fxnetd_streams_in_flight %d\n", streams)
+
+	jenabled := 0
+	if s.journal != nil {
+		jenabled = 1
+	}
+	fmt.Fprintln(w, "# HELP fxnetd_journal_enabled Whether the durable job journal is configured.\n# TYPE fxnetd_journal_enabled gauge")
+	fmt.Fprintf(w, "fxnetd_journal_enabled %d\n", jenabled)
+	fmt.Fprintln(w, "# HELP fxnetd_journal_appends_total Journal records appended, by op.\n# TYPE fxnetd_journal_appends_total counter")
+	for _, op := range []journal.Op{journal.OpSubmitted, journal.OpTerminal, journal.OpGrant, journal.OpRelease} {
+		fmt.Fprintf(w, "fxnetd_journal_appends_total{op=%q} %d\n", op.String(), s.jstats.appends[op].Load())
+	}
+	fmt.Fprintln(w, "# HELP fxnetd_journal_append_failures_total Journal appends that failed (durability refused).\n# TYPE fxnetd_journal_append_failures_total counter")
+	fmt.Fprintf(w, "fxnetd_journal_append_failures_total %d\n", s.jstats.appendFails.Load())
+	fmt.Fprintln(w, "# HELP fxnetd_journal_replayed_records Records replayed from the journal at boot.\n# TYPE fxnetd_journal_replayed_records gauge")
+	fmt.Fprintf(w, "fxnetd_journal_replayed_records %d\n", s.jstats.replayed.Load())
+	fmt.Fprintln(w, "# HELP fxnetd_journal_truncated_bytes Torn-tail bytes dropped from the journal at boot.\n# TYPE fxnetd_journal_truncated_bytes gauge")
+	fmt.Fprintf(w, "fxnetd_journal_truncated_bytes %d\n", s.jstats.truncated.Load())
+
+	if c := s.farm.Cache(); c != nil {
+		fmt.Fprintln(w, "# HELP fxnetd_cache_quarantined_total Corrupt cache entries quarantined instead of silently re-executed.\n# TYPE fxnetd_cache_quarantined_total counter")
+		fmt.Fprintf(w, "fxnetd_cache_quarantined_total %d\n", c.Quarantined())
+	}
+
 	fmt.Fprintln(w, "# HELP fxnetd_qos_commitments Outstanding QoS commitments.\n# TYPE fxnetd_qos_commitments gauge")
 	fmt.Fprintf(w, "fxnetd_qos_commitments %d\n", len(s.mustOffers()))
 	fmt.Fprintln(w, "# HELP fxnetd_qos_committed_bytes_per_second Mean bandwidth promised to admitted programs.\n# TYPE fxnetd_qos_committed_bytes_per_second gauge")
@@ -519,18 +795,36 @@ func (s *Server) mustOffers() []OfferJSON {
 	return offers
 }
 
+// handleHealthz is liveness: it answers 200 whenever the process can
+// serve HTTP at all, including during replay and drain — a node that is
+// starting up or emptying is alive, just not ready. Restart decisions
+// key off this; routing decisions key off /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fs := s.farm.Stats()
 	jobCounts := s.jobs.counts()
 	offers, committed, available, capacity := s.broker.snapshot()
 	status := "ok"
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
+	case !s.ready.Load():
+		status = "starting"
+	}
+	jhealth := map[string]any{"enabled": s.journal != nil}
+	if s.journal != nil {
+		jhealth["path"] = s.journal.Path()
+		jhealth["replayed_records"] = s.jstats.replayed.Load()
+		jhealth["truncated_bytes"] = s.jstats.truncated.Load()
+		jhealth["append_failures"] = s.jstats.appendFails.Load()
+		if err := s.journal.Err(); err != nil {
+			jhealth["error"] = err.Error()
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   status,
 		"version":  version.String(),
 		"uptime_s": time.Since(s.started).Seconds(),
+		"journal":  jhealth,
 		"farm": map[string]any{
 			"workers":    s.farm.Workers(),
 			"submitted":  fs.Submitted,
@@ -550,6 +844,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"capacity_bps":  capacity,
 		},
 	})
+}
+
+// handleReadyz is readiness: 200 only when journal replay has finished
+// and the node is not draining, so load balancers route traffic here
+// exactly while the node can accept it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "recovering"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	}
 }
 
 // isNoCapacity reports whether a negotiation error is a capacity

@@ -409,7 +409,7 @@ func TestClientThrottle(t *testing.T) {
 	// limiter's in-flight window is deterministic.
 	entered := make(chan struct{}, 4)
 	release := make(chan struct{})
-	h := s.instrument("test", true, func(w http.ResponseWriter, r *http.Request) {
+	h := s.instrument("test", true, classOps, func(w http.ResponseWriter, r *http.Request) {
 		entered <- struct{}{}
 		<-release
 	})

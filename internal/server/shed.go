@@ -1,0 +1,87 @@
+package server
+
+import "sync/atomic"
+
+// Load-shedding tiers. Overload degrades the service in a deliberate
+// order instead of letting everything time out together: new work is
+// refused first (a submit costs a simulation), then result traffic
+// (polls and streams cost CPU and bytes but no new work), and the ops
+// surface — health, readiness, metrics — is never shed, because an
+// overloaded node that stops answering its load balancer looks dead
+// rather than busy and gets its traffic rerouted to equally overloaded
+// peers.
+//
+// The tier is derived from farm queue depth relative to MaxQueue:
+//
+//	tier 0  queue < MaxQueue     everything admitted
+//	tier 1  queue ≥ MaxQueue     submits shed (503 + Retry-After)
+//	tier 2  queue ≥ 2×MaxQueue   polls, traces, QoS traffic shed too
+const (
+	shedNone = iota
+	shedSubmits
+	shedPolls
+)
+
+// Endpoint shed classes: at which tier an endpoint starts refusing.
+const (
+	classOps    = iota // never shed
+	classPoll          // shed at tier 2
+	classSubmit        // shed at tier 1
+)
+
+// shedder computes the current tier from queue depth. The queue
+// supplier is read per request; farm stats are a mutex-guarded struct
+// copy, which at fxnetd's measured request rates is noise.
+type shedder struct {
+	maxQueue int64
+	queue    func() int64
+	shed     [3]atomic.Int64 // refused requests by endpoint class
+}
+
+func newShedder(maxQueue int, queue func() int64) *shedder {
+	if maxQueue <= 0 {
+		maxQueue = 256
+	}
+	return &shedder{maxQueue: int64(maxQueue), queue: queue}
+}
+
+// tier reports the current shedding tier.
+func (sh *shedder) tier() int {
+	q := sh.queue()
+	switch {
+	case q >= 2*sh.maxQueue:
+		return shedPolls
+	case q >= sh.maxQueue:
+		return shedSubmits
+	default:
+		return shedNone
+	}
+}
+
+// admit reports whether an endpoint of the given class passes at the
+// current tier, counting refusals.
+func (sh *shedder) admit(class int) bool {
+	t := sh.tier()
+	ok := true
+	switch class {
+	case classSubmit:
+		ok = t < shedSubmits
+	case classPoll:
+		ok = t < shedPolls
+	}
+	if !ok {
+		sh.shed[class].Add(1)
+	}
+	return ok
+}
+
+func shedClassName(class int) string {
+	switch class {
+	case classSubmit:
+		return "submit"
+	case classPoll:
+		return "poll"
+	default:
+		return "ops"
+	}
+}

@@ -1,0 +1,194 @@
+#!/bin/sh
+# Chaos harness: prove fxnetd's crash-safety promises at the process
+# level, where the Go tests cannot follow.
+#
+#   1. Boot with a journal, run one job to completion, record its
+#      binary-trace digest.
+#   2. Build a backlog (1 running + 3 queued, verified via /metrics) and
+#      SIGKILL the daemon mid-queue.
+#   3. Restart over the same journal and cache: every job acknowledged
+#      with a 202 before the kill must reach "done", and the pre-crash
+#      job's trace must come back byte-identical.
+#   4. SIGKILL again, tear the journal tail (drop 3 bytes mid-record),
+#      restart: recovery drops exactly the torn record, reports the
+#      truncation in /healthz, and every job still converges to done
+#      with unchanged digests.
+#   5. Drain gracefully, then run the offline `fxnetd -replay`
+#      self-check against the surviving journal.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/fxnetd" ./cmd/fxnetd
+
+JOURNAL="$TMP/journal.wal"
+CACHE="$TMP/cache"
+BASE=
+
+# boot <logfile>: start fxnetd over the shared journal/cache and wait
+# until /readyz says recovery finished.
+boot() {
+	rm -f "$TMP/port"
+	"$TMP/fxnetd" -addr 127.0.0.1:0 -portfile "$TMP/port" -j 1 \
+		-cache "$CACHE" -journal "$JOURNAL" >"$1" 2>&1 &
+	PID=$!
+	i=0
+	while [ ! -s "$TMP/port" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "chaos: FAIL: fxnetd never wrote its port file" >&2
+			cat "$1" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	BASE="http://127.0.0.1:$(cat "$TMP/port")"
+	i=0
+	until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 300 ]; then
+			echo "chaos: FAIL: node never became ready" >&2
+			cat "$1" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+submit() {
+	curl -fsS -X POST "$BASE/v1/runs" -d "$1" |
+		sed -n 's/.*"id": "\([^"]*\)".*/\1/p'
+}
+
+# wait_done <id>: poll until the run leaves "queued"; fail unless done.
+wait_done() {
+	j=0
+	while :; do
+		STATE=$(curl -fsS "$BASE/v1/runs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+		[ "$STATE" = "queued" ] || break
+		j=$((j + 1))
+		if [ "$j" -gt 600 ]; then
+			echo "chaos: FAIL: run $1 stuck in queued" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ "$STATE" != "done" ]; then
+		echo "chaos: FAIL: run $1 ended $STATE" >&2
+		curl -fsS "$BASE/v1/runs/$1" >&2 || true
+		exit 1
+	fi
+}
+
+metric() {
+	curl -fsS "$BASE/metrics" | sed -n "s/^$1 //p"
+}
+
+# digest <id>: checksum of the run's binary trace (cksum is POSIX).
+digest() {
+	curl -fsS "$BASE/v1/runs/$1/trace?format=bin" | cksum
+}
+
+echo "chaos: phase 1: baseline job + digest" >&2
+boot "$TMP/log1"
+CFG1='{"program":"sor","p":4,"n":32,"iters":4,"seed":7}'
+ID1=$(submit "$CFG1")
+[ -n "$ID1" ] || { echo "chaos: FAIL: no run id" >&2; exit 1; }
+wait_done "$ID1"
+DIGEST1=$(digest "$ID1")
+
+echo "chaos: phase 2: build a backlog (1 running + 3 queued), SIGKILL" >&2
+BLOCKER=$(submit '{"program":"seq","p":4,"n":64,"iters":30,"seed":9}')
+k=0
+while [ "$(metric fxnetd_sims_in_flight)" != "1" ]; do
+	k=$((k + 1))
+	if [ "$k" -gt 100 ]; then
+		echo "chaos: FAIL: blocker never started" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+Q2=$(submit '{"program":"sor","p":4,"n":32,"iters":4,"seed":2}')
+Q3=$(submit '{"program":"sor","p":4,"n":32,"iters":4,"seed":3}')
+Q4=$(submit '{"program":"sor","p":4,"n":32,"iters":4,"seed":4}')
+for id in "$BLOCKER" "$Q2" "$Q3" "$Q4"; do
+	[ -n "$id" ] || { echo "chaos: FAIL: missing backlog run id" >&2; exit 1; }
+done
+DEPTH=$(metric fxnetd_queue_depth)
+if [ "$DEPTH" -lt 3 ]; then
+	echo "chaos: FAIL: queue depth $DEPTH at kill time, want >= 3" >&2
+	exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "chaos: phase 3: restart; every acknowledged job must complete" >&2
+boot "$TMP/log2"
+for id in "$ID1" "$BLOCKER" "$Q2" "$Q3" "$Q4"; do
+	wait_done "$id"
+done
+if [ "$(digest "$ID1")" != "$DIGEST1" ]; then
+	echo "chaos: FAIL: trace digest changed across SIGKILL + recovery" >&2
+	exit 1
+fi
+D_BLOCKER=$(digest "$BLOCKER")
+D_Q2=$(digest "$Q2")
+D_Q3=$(digest "$Q3")
+D_Q4=$(digest "$Q4")
+
+echo "chaos: phase 4: SIGKILL, tear the journal tail, restart" >&2
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+SIZE=$(wc -c <"$JOURNAL")
+dd if="$JOURNAL" of="$TMP/torn.wal" bs=1 count=$((SIZE - 3)) 2>/dev/null
+mv "$TMP/torn.wal" "$JOURNAL"
+boot "$TMP/log3"
+curl -fsS "$BASE/healthz" | grep -q '"truncated_bytes": [1-9]' || {
+	echo "chaos: FAIL: torn tail not reported in /healthz" >&2
+	curl -fsS "$BASE/healthz" >&2 || true
+	exit 1
+}
+for id in "$ID1" "$BLOCKER" "$Q2" "$Q3" "$Q4"; do
+	wait_done "$id"
+done
+if [ "$(digest "$ID1")" != "$DIGEST1" ] ||
+	[ "$(digest "$BLOCKER")" != "$D_BLOCKER" ] ||
+	[ "$(digest "$Q2")" != "$D_Q2" ] ||
+	[ "$(digest "$Q3")" != "$D_Q3" ] ||
+	[ "$(digest "$Q4")" != "$D_Q4" ]; then
+	echo "chaos: FAIL: digests changed across torn-tail recovery" >&2
+	exit 1
+fi
+
+echo "chaos: phase 5: graceful drain, then offline -replay self-check" >&2
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=
+if [ "$STATUS" != "0" ]; then
+	echo "chaos: FAIL: fxnetd exited $STATUS after SIGTERM" >&2
+	cat "$TMP/log3" >&2
+	exit 1
+fi
+"$TMP/fxnetd" -journal "$JOURNAL" -replay >"$TMP/replay.out" 2>&1 || {
+	echo "chaos: FAIL: -replay self-check failed" >&2
+	cat "$TMP/replay.out" >&2
+	exit 1
+}
+grep -q "records ok" "$TMP/replay.out" || {
+	echo "chaos: FAIL: -replay output missing summary" >&2
+	cat "$TMP/replay.out" >&2
+	exit 1
+}
+
+echo "chaos: OK" >&2

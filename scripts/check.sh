@@ -16,3 +16,8 @@ go test ./...
 # regression fails fast, then sweep the whole tree.
 go test -race ./internal/dsp/... ./internal/analysis/...
 go test -race ./...
+
+# Crash-safety smoke: SIGKILL fxnetd mid-queue, restart over the same
+# journal, and require every acknowledged job to complete with a
+# byte-identical trace — the promises the journal exists to keep.
+./scripts/chaos.sh
