@@ -25,7 +25,11 @@
 //	DELETE /v1/runs/{id}              cancel a queued run
 //	GET    /v1/runs/{id}/trace        stream the trace (NDJSON; ?format=bin)
 //	GET    /v1/runs/{id}/spectrum     stream the spectrum (?conn=1)
-//	POST   /v1/qos/negotiate          QoS admission broker
+//	POST   /v1/models/fit             fit a spectral model (async, 202 + id)
+//	GET    /v1/models                 list fitted models (?program=&p=)
+//	GET    /v1/models/{key}           fetch one fitted model
+//	POST   /v1/qos/negotiate          QoS admission broker (source=catalog
+//	                                  answers from fitted models)
 //	GET    /v1/qos/commitments        outstanding commitments
 //	DELETE /v1/qos/commitments/{id}   release a commitment
 //	GET    /metrics, /healthz (liveness), /readyz (readiness), /debug/pprof/
@@ -63,6 +67,7 @@ func main() {
 		portfile   = flag.String("portfile", "", "write the actual listen port to this file (for ephemeral ports)")
 		workers    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache      = flag.String("cache", "", "content-addressed run-cache directory (e.g. .fxcache)")
+		catDir     = flag.String("catalog", "", "spectral-model catalog directory (default <cache>/models; empty without -cache disables /v1/models)")
 		jpath      = flag.String("journal", "", "durable job journal path (empty = no crash safety)")
 		replayOnly = flag.Bool("replay", false, "self-check: replay and verify the journal, print a summary, exit")
 		capacity   = flag.Float64("capacity", 0, "QoS broker capacity in bytes/s (0 = calibrated shared-segment default)")
@@ -84,6 +89,7 @@ func main() {
 	opts := server.Options{
 		Workers:     *workers,
 		CacheDir:    *cache,
+		CatalogDir:  *catDir,
 		Memoize:     true,
 		CapacityBps: *capacity,
 		MaxP:        *maxP,

@@ -31,6 +31,7 @@ import (
 
 	"fxnet/internal/airshed"
 	"fxnet/internal/analysis"
+	"fxnet/internal/catalog"
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
 	"fxnet/internal/ethernet"
@@ -313,6 +314,39 @@ func NewFarm(o FarmOptions) (*Farm, error) {
 // configs share a key exactly when Run would produce byte-identical
 // traces for them.
 func RunKey(cfg RunConfig) string { return farm.Key(cfg) }
+
+// Spectral-model catalog types: fitted §7.2 models stored durably by run
+// key, so admission answers from a lookup instead of a simulation (see
+// DESIGN.md §12).
+type (
+	// ModelCatalog is the content-addressed store of fitted models.
+	ModelCatalog = catalog.Catalog
+	// CatalogEntry is one fitted model with its identity and error bounds.
+	CatalogEntry = catalog.Entry
+	// CatalogEntryJSON is the entry's wire form (NaN-safe floats).
+	CatalogEntryJSON = catalog.EntryJSON
+	// ModelFitter simulates-and-fits on catalog misses.
+	ModelFitter = catalog.Fitter
+	// FitOptions configure one catalog fit (spike budget, min separation).
+	FitOptions = catalog.Options
+	// FitProvenance reports how a fit was answered (catalog, run cache,
+	// dedup, or fresh simulation).
+	FitProvenance = catalog.Provenance
+	// FitResult is one ModelFitter.Sweep outcome.
+	FitResult = catalog.Result
+)
+
+// DefaultModelSpikes is the spike budget a zero FitOptions selects.
+const DefaultModelSpikes = catalog.DefaultSpikes
+
+// OpenCatalog opens (creating if absent) a model catalog directory.
+func OpenCatalog(dir string) (*ModelCatalog, error) { return catalog.Open(dir) }
+
+// NewModelFitter creates a fitter over the given farm and catalog.
+func NewModelFitter(f *Farm, c *ModelCatalog) *ModelFitter { return catalog.NewFitter(f, c) }
+
+// CatalogEntryJSONOf converts an entry to its wire form.
+func CatalogEntryJSONOf(e *CatalogEntry) CatalogEntryJSON { return catalog.ToJSON(e) }
 
 // MarshalReport renders a characterization as JSON (the farm cache's
 // report encoding; spectra carry re/im coefficient arrays).

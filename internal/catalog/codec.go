@@ -1,0 +1,223 @@
+package catalog
+
+// The .fxmodel codec: a deterministic binary rendering of one Entry,
+// framed with the same discipline as the journal —
+//
+//	magic(8) | crc32c(4) | payload
+//
+// where the CRC (Castagnoli, the journal's polynomial) covers every
+// payload byte. The payload is a fixed field sequence of little-endian
+// scalars and length-prefixed strings; there are no maps, no timestamps,
+// and no platform-dependent values, so encoding the same Entry always
+// produces the same bytes — the property the bench harness checks by
+// comparing digests across repeated fits.
+//
+// Floats are stored as IEEE-754 bit patterns, so NaN error bounds from
+// degenerate fits round-trip exactly.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fxnet/internal/model"
+)
+
+// Magic heads every .fxmodel file; the trailing digit is the format
+// version.
+const Magic = "FXMODEL1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode limits: a legitimate entry has a ~64-byte key, a short program
+// name, and at most a few dozen spectral components. Anything claiming
+// more is corrupt (or adversarial) input, rejected before allocation.
+const (
+	maxStringLen  = 1 << 12
+	maxComponents = 1 << 16
+)
+
+// Encode renders an entry. The output is a pure function of the entry's
+// fields.
+func Encode(e *Entry) []byte {
+	var p payload
+	p.str(e.Key)
+	p.str(e.Program)
+	p.str(e.FaultScript)
+	p.u32(uint32(e.P))
+	p.u64(uint64(e.Seed))
+	p.f64(e.BitRateBps)
+	p.bool(e.Switched)
+	p.u32(uint32(e.Spikes))
+	p.f64(e.MinSepHz)
+	p.f64(e.Model.DC)
+	p.u32(uint32(len(e.Model.Components)))
+	for _, c := range e.Model.Components {
+		p.f64(c.Freq)
+		p.f64(real(c.Coeff))
+		p.f64(imag(c.Coeff))
+	}
+	p.f64(e.SeriesDT)
+	p.u32(uint32(e.SeriesN))
+	p.f64(e.MeasuredMeanKBps)
+	p.f64(e.ModelMeanKBps)
+	p.f64(e.MeanRelErr)
+	p.f64(e.RMSErrKBps)
+	p.f64(e.NRMSE)
+	p.f64(e.Correlation)
+	p.f64(e.EnergyFraction)
+	p.f64(e.FundamentalHz)
+	p.f64(e.PeakKBps)
+
+	out := make([]byte, 0, len(Magic)+4+len(p.b))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(p.b, crcTable))
+	return append(out, p.b...)
+}
+
+// Decode parses an .fxmodel body, verifying magic, checksum, and exact
+// length. It never panics on arbitrary input (the codec fuzz test's
+// contract).
+func Decode(b []byte) (*Entry, error) {
+	head := len(Magic) + 4
+	if len(b) < head || string(b[:len(Magic)]) != Magic {
+		return nil, errors.New("catalog: bad model magic")
+	}
+	want := binary.LittleEndian.Uint32(b[len(Magic):head])
+	body := b[head:]
+	if crc32.Checksum(body, crcTable) != want {
+		return nil, errors.New("catalog: model checksum mismatch")
+	}
+	r := reader{b: body}
+	e := &Entry{}
+	e.Key = r.str()
+	e.Program = r.str()
+	e.FaultScript = r.str()
+	e.P = int(r.u32())
+	e.Seed = int64(r.u64())
+	e.BitRateBps = r.f64()
+	e.Switched = r.bool()
+	e.Spikes = int(r.u32())
+	e.MinSepHz = r.f64()
+	e.Model.DC = r.f64()
+	n := r.u32()
+	if n > maxComponents {
+		return nil, fmt.Errorf("catalog: model claims %d components", n)
+	}
+	if r.err == nil && n > 0 {
+		e.Model.Components = make([]model.Component, 0, n)
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			f := r.f64()
+			re := r.f64()
+			im := r.f64()
+			e.Model.Components = append(e.Model.Components, model.Component{Freq: f, Coeff: complex(re, im)})
+		}
+	}
+	e.SeriesDT = r.f64()
+	e.SeriesN = int(r.u32())
+	e.MeasuredMeanKBps = r.f64()
+	e.ModelMeanKBps = r.f64()
+	e.MeanRelErr = r.f64()
+	e.RMSErrKBps = r.f64()
+	e.NRMSE = r.f64()
+	e.Correlation = r.f64()
+	e.EnergyFraction = r.f64()
+	e.FundamentalHz = r.f64()
+	e.PeakKBps = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("catalog: %d trailing bytes after model entry", len(r.b))
+	}
+	return e, nil
+}
+
+// payload accumulates the little-endian field sequence.
+type payload struct{ b []byte }
+
+func (p *payload) u32(v uint32) { p.b = binary.LittleEndian.AppendUint32(p.b, v) }
+func (p *payload) u64(v uint64) { p.b = binary.LittleEndian.AppendUint64(p.b, v) }
+func (p *payload) f64(v float64) {
+	p.u64(math.Float64bits(v))
+}
+func (p *payload) bool(v bool) {
+	if v {
+		p.b = append(p.b, 1)
+	} else {
+		p.b = append(p.b, 0)
+	}
+}
+func (p *payload) str(s string) {
+	p.u32(uint32(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// reader consumes the field sequence, latching the first error; reads
+// after an error return zero values.
+type reader struct {
+	b   []byte
+	err error
+}
+
+var errShort = errors.New("catalog: truncated model entry")
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = errShort
+		return nil
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool {
+	b := r.take(1)
+	if b == nil {
+		return false
+	}
+	if b[0] > 1 {
+		r.err = errors.New("catalog: bad boolean encoding")
+		return false
+	}
+	return b[0] == 1
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > maxStringLen {
+		if r.err == nil {
+			r.err = fmt.Errorf("catalog: string field claims %d bytes", n)
+		}
+		return ""
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

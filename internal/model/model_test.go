@@ -182,3 +182,85 @@ func TestRoundTripThroughAnalysisSpectrum(t *testing.T) {
 	}
 	_ = stats.Mean(series)
 }
+
+func TestFitZeroSpikeBudget(t *testing.T) {
+	// k = 0 keeps only the DC term; the model is the series mean.
+	series := twoTone(4096, 0.01)
+	m, met := Fit(series, 0.01, 0, 1)
+	if len(m.Components) != 0 {
+		t.Fatalf("zero budget retained %d components", len(m.Components))
+	}
+	if math.Abs(m.DC-stats.Mean(series)) > 1e-6 {
+		t.Errorf("DC = %v, want series mean %v", m.DC, stats.Mean(series))
+	}
+	if met.EnergyFraction != 0 {
+		t.Errorf("energy fraction = %v, want 0", met.EnergyFraction)
+	}
+	for i, v := range m.Series(8, 0.01) {
+		if v != m.DC {
+			t.Fatalf("DC-only series varies at %d: %v", i, v)
+		}
+	}
+}
+
+func TestFitConstantSeries(t *testing.T) {
+	// A constant series has an empty (mean-removed) spectrum: no spikes
+	// to retain no matter the budget.
+	series := make([]float64, 512)
+	for i := range series {
+		series[i] = 321.5
+	}
+	m, _ := Fit(series, 0.01, 8, 0)
+	if len(m.Components) != 0 {
+		t.Fatalf("constant series produced components: %v", m.Components)
+	}
+	if math.Abs(m.DC-321.5) > 1e-9 {
+		t.Errorf("DC = %v, want 321.5", m.DC)
+	}
+}
+
+func TestMinSepCollapsesLeakageLobes(t *testing.T) {
+	// An off-bin tone in a zero-padded periodogram leaks into sinc side
+	// lobes, which appear as local maxima a fraction of a hertz from the
+	// true spike. 600 samples pad to 1024, so the lobe structure is
+	// well sampled; the tone at 3.37 Hz sits between bins.
+	n, dt := 600, 0.01
+	series := make([]float64, n)
+	for i := range series {
+		tt := float64(i) * dt
+		series[i] = 100 + 40*math.Cos(2*math.Pi*3.37*tt)
+	}
+
+	// Without separation the budget is wasted on the tone's own lobes.
+	loose, _ := Fit(series, dt, 4, 0)
+	nearTone := 0
+	for _, c := range loose.Components {
+		if math.Abs(c.Freq-3.37) < 0.5 {
+			nearTone++
+		}
+	}
+	if nearTone < 2 {
+		t.Fatalf("expected leakage lobes near the tone without minSep, got %d spikes", nearTone)
+	}
+
+	// minSep = 0.6 Hz collapses them: retained spikes are pairwise
+	// separated and exactly one sits near the tone, still the strongest.
+	tight, _ := Fit(series, dt, 4, 0.6)
+	nearTone = 0
+	for i, a := range tight.Components {
+		if math.Abs(a.Freq-3.37) < 0.5 {
+			nearTone++
+		}
+		for _, b := range tight.Components[i+1:] {
+			if math.Abs(a.Freq-b.Freq) < 0.6 {
+				t.Fatalf("spikes %v and %v closer than minSep", a.Freq, b.Freq)
+			}
+		}
+	}
+	if nearTone != 1 {
+		t.Fatalf("want exactly 1 spike near the tone with minSep, got %d", nearTone)
+	}
+	if math.Abs(tight.Components[0].Freq-3.37) > 0.1 {
+		t.Errorf("strongest spike at %v Hz, want ≈3.37", tight.Components[0].Freq)
+	}
+}

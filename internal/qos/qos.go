@@ -113,10 +113,16 @@ func BurstInterval(prog Program, P int, B float64) float64 {
 
 // Evaluate computes the offer the network would make for a fixed P: the
 // burst bandwidth is the network's free capacity split across the
-// pattern's concurrently active connections.
+// pattern's concurrently active connections. A program whose
+// characterization is not finite at P — a tabulated program queried at
+// an unmeasured processor count — is rejected rather than priced from
+// garbage.
 func (n *Network) Evaluate(prog Program, P int) (Offer, error) {
 	if P < 2 {
 		return Offer{}, fmt.Errorf("qos: need P ≥ 2, got %d", P)
+	}
+	if l, b := prog.Local(P), prog.Burst(P); !finite(l) || !finite(b) {
+		return Offer{}, fmt.Errorf("qos: %s has no characterization at P=%d", prog.Name, P)
 	}
 	senders := ConcurrentSenders(prog.Pattern, P)
 	if senders == 0 {
@@ -203,20 +209,22 @@ func (n *Network) Restore(off Offer) bool {
 
 // Release returns a previously admitted program's bandwidth to the pool.
 func (n *Network) Release(name string) bool {
-	for i, off := range n.offers {
-		if off.Program == name {
-			return n.release(i)
-		}
-	}
-	return false
+	return n.releaseWhere(func(off Offer) bool { return off.Program == name })
 }
 
 // ReleaseID releases the commitment with the given admission ID — the
 // unambiguous form when several admitted programs share a name (a
 // long-running broker admitting the same kernel for many clients).
 func (n *Network) ReleaseID(id int) bool {
+	return n.releaseWhere(func(off Offer) bool { return off.ID == id })
+}
+
+// releaseWhere releases the first offer matching the predicate; false
+// when nothing matches (including an offer already released through the
+// other lookup path).
+func (n *Network) releaseWhere(match func(Offer) bool) bool {
 	for i, off := range n.offers {
-		if off.ID == id {
+		if match(off) {
 			return n.release(i)
 		}
 	}
@@ -266,3 +274,44 @@ func BlockBurst(totalBytes float64) func(P int) float64 {
 		return totalBytes / float64(P*P)
 	}
 }
+
+// Point is one measured admission point of a tabulated characterization:
+// the local computation seconds and per-connection burst bytes observed
+// (or fitted) at one processor count.
+type Point struct {
+	P            int
+	LocalSeconds float64
+	BurstBytes   float64
+}
+
+// TabulatedProgram builds a [l(), b(), c] characterization from measured
+// points — the catalog-backed path, where l and b come from fitted
+// spectral models rather than analytic laws. The program answers only at
+// measured processor counts: elsewhere l and b are +Inf, which Evaluate
+// rejects and Negotiate skips, so the network picks the best measured P
+// and never extrapolates beyond the data.
+func TabulatedProgram(name string, pattern fx.Pattern, pts []Point) Program {
+	m := make(map[int]Point, len(pts))
+	for _, pt := range pts {
+		m[pt.P] = pt
+	}
+	return Program{
+		Name:    name,
+		Pattern: pattern,
+		Local: func(P int) float64 {
+			if pt, ok := m[P]; ok {
+				return pt.LocalSeconds
+			}
+			return math.Inf(1)
+		},
+		Burst: func(P int) float64 {
+			if pt, ok := m[P]; ok {
+				return pt.BurstBytes
+			}
+			return math.Inf(1)
+		},
+	}
+}
+
+// finite reports whether v is a usable characterization value.
+func finite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }

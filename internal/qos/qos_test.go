@@ -334,3 +334,80 @@ func TestReleaseByID(t *testing.T) {
 		t.Fatal("releasing an unknown ID succeeded")
 	}
 }
+
+// TestReleaseCrossPath: an offer released by name must not be releasable
+// again by ID (and vice versa) — both paths walk one shared ledger.
+func TestReleaseCrossPath(t *testing.T) {
+	n := NewNetwork(1.25e6)
+	prog := Program{
+		Name:    "sor",
+		Local:   AmdahlLocal(1e8, 1e7, 0),
+		Burst:   SurfaceBurst(2048),
+		Pattern: fx.Neighbor,
+	}
+	off, err := n.Admit(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Release("sor") {
+		t.Fatal("Release by name failed")
+	}
+	if n.ReleaseID(off.ID) {
+		t.Fatal("ReleaseID succeeded on an offer already released by name")
+	}
+
+	off2, err := n.Admit(prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.ReleaseID(off2.ID) {
+		t.Fatal("ReleaseID failed")
+	}
+	if n.Release("sor") {
+		t.Fatal("Release by name succeeded on an offer already released by ID")
+	}
+	if n.Available() != n.CapacityBps {
+		t.Fatalf("drained network offers %g, want %g", n.Available(), n.CapacityBps)
+	}
+}
+
+// TestTabulatedProgram: a catalog-style tabulated characterization
+// answers only at measured P; Evaluate rejects the gaps and Negotiate
+// picks the best measured point.
+func TestTabulatedProgram(t *testing.T) {
+	prog := TabulatedProgram("sor", fx.Neighbor, []Point{
+		{P: 4, LocalSeconds: 0.5, BurstBytes: 4096},
+		{P: 8, LocalSeconds: 0.2, BurstBytes: 4096},
+	})
+	n := NewNetwork(1.25e6)
+
+	if _, err := n.Evaluate(prog, 6); err == nil {
+		t.Fatal("Evaluate priced an unmeasured P")
+	}
+	off4, err := n.Evaluate(prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off8, err := n.Evaluate(prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	best, err := n.Negotiate(prog, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := off4
+	if off8.BurstInterval < off4.BurstInterval {
+		want = off8
+	}
+	if best.P != want.P {
+		t.Fatalf("negotiated P=%d, want measured optimum P=%d", best.P, want.P)
+	}
+
+	// No points at all → negotiation fails rather than inventing data.
+	empty := TabulatedProgram("idle", fx.Neighbor, nil)
+	if _, err := n.Negotiate(empty, 32); err == nil {
+		t.Fatal("negotiated a program with no measured points")
+	}
+}

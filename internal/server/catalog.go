@@ -1,0 +1,185 @@
+package server
+
+// The /v1/models surface: the fitted-model catalog exposed over HTTP.
+// Fit jobs ride the existing run queue — same journal, same idempotency,
+// same recovery — because a fit IS a run plus a few milliseconds of
+// spectral fitting; only the result differs (a catalog entry instead of
+// a trace). GET endpoints answer straight from the catalog.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"fxnet/internal/catalog"
+	"fxnet/internal/farm"
+	"fxnet/internal/journal"
+)
+
+var (
+	errCatalogDisabled     = errors.New("model catalog disabled: start fxnetd with -cache or -catalog")
+	errCatalogNeedsProgram = errors.New("source=catalog requires program")
+	errCatalogNoCustom     = errors.New("source=catalog and custom are mutually exclusive")
+)
+
+// FitRequest is the wire form of POST /v1/models/fit: a run
+// configuration plus the fit's spike budget.
+type FitRequest struct {
+	RunRequest
+	// Spikes is the spike budget k; <= 0 selects the default (8).
+	Spikes int `json:"spikes,omitempty"`
+}
+
+// catalogEnabled guards the /v1/models surface.
+func (s *Server) catalogEnabled(w http.ResponseWriter) bool {
+	if s.catalog == nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			"model catalog disabled: start fxnetd with -cache or -catalog")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !s.catalogEnabled(w) {
+		return
+	}
+	entries, err := s.catalog.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "catalog list: %v", err)
+		return
+	}
+	program := r.URL.Query().Get("program")
+	wantP := 0
+	if v := r.URL.Query().Get("p"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			writeErr(w, http.StatusBadRequest, "bad p %q", v)
+			return
+		}
+		wantP = p
+	}
+	models := []catalog.EntryJSON{}
+	for _, e := range entries {
+		if program != "" && e.Program != program {
+			continue
+		}
+		if wantP != 0 && e.P != wantP {
+			continue
+		}
+		models = append(models, catalog.ToJSON(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models": models,
+		"count":  len(models),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if !s.catalogEnabled(w) {
+		return
+	}
+	key := r.PathValue("key")
+	e, ok := s.catalog.Get(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no fitted model %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, catalog.ToJSON(e))
+}
+
+// handleFit submits an asynchronous fit job. The submit path mirrors
+// handleSubmit — drain/ready/breaker gates, idempotency, journal-before-
+// 202 — so a crash between the acknowledgment and the fit still lands
+// the model after recovery.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if !s.catalogEnabled(w) {
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		return
+	}
+	if !s.breaker.allow() {
+		s.metrics.breakerReject()
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "execution circuit breaker open")
+		return
+	}
+	var req FitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Analysis != "" && req.Analysis != "stream" {
+		writeErr(w, http.StatusBadRequest, "fit jobs always use the stream pipeline; omit analysis")
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spikes := req.Spikes
+	if spikes <= 0 {
+		spikes = catalog.DefaultSpikes
+	}
+
+	idemKey := r.Header.Get(IdempotencyKeyHeader)
+	if idemKey != "" {
+		s.idemMu.Lock()
+		id, seen := s.idem[idemKey]
+		s.idemMu.Unlock()
+		if seen {
+			if j, ok := s.jobs.get(id); ok {
+				s.accept(w, j, true)
+				return
+			}
+		}
+	}
+
+	id := s.jobs.allocID()
+	sub := submittedRec{
+		ID: id, Key: farm.Key(cfg), Analysis: "stream",
+		IdemKey: idemKey, Request: req.RunRequest, Fit: spikes,
+	}
+	if err := s.appendJournal(journal.OpSubmitted, sub); err != nil {
+		s.logf("journal: fit submit %s: %v", id, err)
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "journal unavailable: submission cannot be made durable")
+		return
+	}
+	j := s.jobs.start(id, cfg, true, spikes)
+	if idemKey != "" {
+		s.idemMu.Lock()
+		s.idem[idemKey] = id
+		s.idemMu.Unlock()
+	}
+	s.accept(w, j, false)
+}
+
+// catalogProgram resolves a catalog-backed negotiation request.
+func (s *Server) catalogProgram(req *NegotiateRequest) (OfferJSON, error) {
+	if s.catalog == nil {
+		return OfferJSON{}, errCatalogDisabled
+	}
+	if req.Program == "" {
+		return OfferJSON{}, errCatalogNeedsProgram
+	}
+	if req.Custom != nil {
+		return OfferJSON{}, errCatalogNoCustom
+	}
+	prog, err := s.catalog.Program(req.Program)
+	if err != nil {
+		return OfferJSON{}, err
+	}
+	return s.broker.negotiateWith(prog, req)
+}

@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"fxnet/internal/catalog"
 	"fxnet/internal/core"
 	"fxnet/internal/farm"
 )
@@ -27,6 +29,10 @@ type job struct {
 	Key       string
 	Cfg       core.RunConfig
 	Stream    bool
+	// FitSpikes > 0 marks a model-fit job: the run resolves through the
+	// catalog fitter (catalog hit → run cache → simulate) with this spike
+	// budget, and the result is a catalog entry rather than a trace.
+	FitSpikes int
 	Submitted time.Time
 
 	cancel context.CancelFunc
@@ -36,6 +42,7 @@ type job struct {
 	state   string
 	res     *core.Result
 	rep     *core.Report
+	entry   *catalog.Entry
 	err     error
 	cached  bool
 	deduped bool
@@ -44,10 +51,20 @@ type job struct {
 
 // analysis names the job's pipeline for wire payloads.
 func (j *job) analysis() string {
+	if j.FitSpikes > 0 {
+		return "fit"
+	}
 	if j.Stream {
 		return "stream"
 	}
 	return "trace"
+}
+
+// model returns the fitted catalog entry of a completed fit job.
+func (j *job) model() *catalog.Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entry
 }
 
 // snapshot returns the job's fields under its lock.
@@ -60,6 +77,9 @@ func (j *job) snapshot() (state string, res *core.Result, rep *core.Report, err 
 // jobRegistry owns the job table and the background execution goroutines.
 type jobRegistry struct {
 	farm *farm.Farm
+	// fitter resolves fit jobs; nil when the model catalog is disabled
+	// (fit jobs then fail rather than silently running as plain runs).
+	fitter *catalog.Fitter
 	// onTerminal, when non-nil, observes every job reaching a terminal
 	// state — the server's journal write-through. It runs on the job's
 	// execution goroutine before done is closed, so a crash after the
@@ -102,20 +122,23 @@ func (r *jobRegistry) restoreSeq(id string) {
 
 // submit registers a job under a fresh ID and starts it.
 func (r *jobRegistry) submit(cfg core.RunConfig, stream bool) *job {
-	return r.start(r.allocID(), cfg, stream)
+	return r.start(r.allocID(), cfg, stream, 0)
 }
 
 // start registers a job under a preassigned ID and launches its
 // execution goroutine. The job's context is cancelled by
 // DELETE /v1/runs/{id}; until the farm grants a worker slot,
-// cancellation frees the job without simulating.
-func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool) *job {
+// cancellation frees the job without simulating. fitSpikes > 0 selects
+// the fit pipeline: the job resolves through the catalog fitter and
+// lands a fitted model instead of run results.
+func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool, fitSpikes int) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		ID:        id,
 		Key:       farm.Key(cfg),
 		Cfg:       cfg,
 		Stream:    stream,
+		FitSpikes: fitSpikes,
 		Submitted: time.Now(),
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -129,13 +152,19 @@ func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool) *job {
 	go func() {
 		defer r.wg.Done()
 		defer cancel()
-		out := r.farm.RunBatchCtx(ctx, []farm.Job{{Label: j.ID, Config: cfg, Stream: stream}})
-		jr := out[0]
+		if fitSpikes > 0 {
+			r.runFit(ctx, j, cfg, fitSpikes)
+		} else {
+			out := r.farm.RunBatchCtx(ctx, []farm.Job{{Label: j.ID, Config: cfg, Stream: stream}})
+			jr := out[0]
+			j.mu.Lock()
+			j.res, j.rep, j.err = jr.Result, jr.Report, jr.Err
+			j.cached, j.deduped, j.wall = jr.Cached, jr.Deduped, jr.Wall
+			j.mu.Unlock()
+		}
 		j.mu.Lock()
-		j.res, j.rep, j.err = jr.Result, jr.Report, jr.Err
-		j.cached, j.deduped, j.wall = jr.Cached, jr.Deduped, jr.Wall
 		switch {
-		case jr.Err == nil:
+		case j.err == nil:
 			j.state = stateDone
 		case ctx.Err() != nil:
 			j.state = stateCancelled
@@ -156,16 +185,37 @@ func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool) *job {
 	return j
 }
 
+// runFit resolves a fit job through the catalog fitter: a catalog hit
+// answers in microseconds, a warm run cache fits without simulating,
+// and only a cold miss simulates (through the same farm the run queue
+// uses, so worker bounds and dedup hold across job kinds).
+func (r *jobRegistry) runFit(ctx context.Context, j *job, cfg core.RunConfig, spikes int) {
+	if r.fitter == nil {
+		j.mu.Lock()
+		j.err = errors.New("model catalog disabled: start fxnetd with -cache or -catalog")
+		j.mu.Unlock()
+		return
+	}
+	e, prov, err := r.fitter.Fit(ctx, cfg, catalog.Options{Spikes: spikes})
+	j.mu.Lock()
+	j.entry, j.err = e, err
+	j.cached = prov.CatalogHit || prov.RunCached
+	j.deduped = prov.RunDeduped
+	j.wall = prov.Wall
+	j.mu.Unlock()
+}
+
 // restoreTerminal registers a tombstone for a job the journal says
 // already finished in a state (cancelled/failed) that re-running cannot
 // reproduce. The job is immediately terminal and never touches the
 // farm; onTerminal is not invoked, so recovery does not re-journal it.
-func (r *jobRegistry) restoreTerminal(id string, cfg core.RunConfig, stream bool, state, errMsg string) *job {
+func (r *jobRegistry) restoreTerminal(id string, cfg core.RunConfig, stream bool, fitSpikes int, state, errMsg string) *job {
 	j := &job{
 		ID:        id,
 		Key:       farm.Key(cfg),
 		Cfg:       cfg,
 		Stream:    stream,
+		FitSpikes: fitSpikes,
 		Submitted: time.Now(),
 		cancel:    func() {},
 		done:      make(chan struct{}),

@@ -26,6 +26,10 @@ type submittedRec struct {
 	Analysis string     `json:"analysis"`
 	IdemKey  string     `json:"idem,omitempty"`
 	Request  RunRequest `json:"request"`
+	// Fit > 0 marks a model-fit job and carries its spike budget; the
+	// field rides on the existing submitted op, so journals written
+	// before the catalog existed replay unchanged (Fit = 0, plain run).
+	Fit int `json:"fit,omitempty"`
 }
 
 type terminalRec struct {
@@ -186,7 +190,7 @@ func (s *Server) Recover(ctx context.Context) error {
 		if err != nil {
 			// A journal from a build with since-removed programs: the
 			// job cannot be re-run; surface it as failed, not lost.
-			s.jobs.restoreTerminal(id, core.RunConfig{}, rj.sub.Analysis == "stream", stateFailed,
+			s.jobs.restoreTerminal(id, core.RunConfig{}, rj.sub.Analysis == "stream", rj.sub.Fit, stateFailed,
 				fmt.Sprintf("unrecoverable submission: %v", err))
 			tombstones++
 			continue
@@ -194,14 +198,15 @@ func (s *Server) Recover(ctx context.Context) error {
 		stream := rj.sub.Analysis == "stream"
 		switch rj.state {
 		case stateCancelled, stateFailed:
-			s.jobs.restoreTerminal(id, cfg, stream, rj.state, rj.err)
+			s.jobs.restoreTerminal(id, cfg, stream, rj.sub.Fit, rj.state, rj.err)
 			tombstones++
 		default:
 			// Pending ("") and done both re-enqueue: done jobs answer
 			// from the farm cache (or deterministically re-execute when
 			// the cache was lost), pending jobs complete the promise
-			// their 202 made.
-			s.jobs.start(id, cfg, stream)
+			// their 202 made — fit jobs from the catalog (or the run
+			// cache) rather than a fresh simulation.
+			s.jobs.start(id, cfg, stream, rj.sub.Fit)
 			requeued++
 		}
 	}

@@ -25,6 +25,11 @@ type NegotiateRequest struct {
 	// Program selects a kernel characterization ("sor", "2dfft",
 	// "t2dfft", "seq", "hist"); mutually exclusive with Custom.
 	Program string `json:"program,omitempty"`
+	// Source selects where the characterization comes from: "" or
+	// "analytic" uses the registry's calibrated laws; "catalog" answers
+	// from the fitted spectral models in the server's catalog — the
+	// measured path, restricted to processor counts that have been fit.
+	Source string `json:"source,omitempty"`
 	// N and Iters override the kernel problem size (0 = paper default).
 	N     int `json:"n,omitempty"`
 	Iters int `json:"iters,omitempty"`
@@ -151,12 +156,19 @@ func newBroker(capacityBps float64, maxP int) *broker {
 	return &broker{net: qos.NewNetwork(capacityBps), maxP: maxP, clients: make(map[int]string)}
 }
 
-// negotiate answers one request, committing the offer unless DryRun.
+// negotiate answers one request from the registry's analytic
+// characterizations, committing the offer unless DryRun.
 func (b *broker) negotiate(req *NegotiateRequest) (OfferJSON, error) {
 	prog, err := req.program()
 	if err != nil {
 		return OfferJSON{}, err
 	}
+	return b.negotiateWith(prog, req)
+}
+
+// negotiateWith answers one request for an already-resolved program —
+// the shared tail of the analytic and catalog-backed paths.
+func (b *broker) negotiateWith(prog qos.Program, req *NegotiateRequest) (OfferJSON, error) {
 	maxP := req.MaxP
 	if maxP <= 0 || maxP > b.maxP {
 		maxP = b.maxP
@@ -164,6 +176,7 @@ func (b *broker) negotiate(req *NegotiateRequest) (OfferJSON, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var off qos.Offer
+	var err error
 	if req.DryRun {
 		off, err = b.net.Negotiate(prog, maxP)
 	} else {

@@ -397,6 +397,13 @@ func TestClientDisconnectDuringJournalAppend(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	_ = tsB
+
+	// The crashed server's disconnected submit may still be simulating in
+	// the background; wait it out so its cache write cannot race the
+	// test's temp-dir cleanup.
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	_ = s.Drain(dctx)
 }
 
 // When the disk fills, submits fail closed: 503 "journal unavailable",

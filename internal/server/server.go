@@ -28,6 +28,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"fxnet/internal/airshed"
 	"fxnet/internal/analysis"
+	"fxnet/internal/catalog"
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
 	"fxnet/internal/farm"
@@ -50,6 +52,10 @@ type Options struct {
 	Workers int
 	// CacheDir enables the content-addressed disk cache; empty disables.
 	CacheDir string
+	// CatalogDir enables the fitted-model catalog (/v1/models and
+	// catalog-backed QoS admission); empty defaults to <CacheDir>/models
+	// when a cache is configured, else the catalog is disabled.
+	CatalogDir string
 	// Memoize keeps completed results in memory (on by default in
 	// fxnetd: a service that re-simulates identical submissions is
 	// wasting its own point).
@@ -93,6 +99,8 @@ type Options struct {
 type Server struct {
 	farm    *farm.Farm
 	jobs    *jobRegistry
+	catalog *catalog.Catalog
+	fitter  *catalog.Fitter
 	broker  *broker
 	metrics *metrics
 	limiter *clientLimiter
@@ -143,9 +151,25 @@ func New(opts Options) (*Server, error) {
 		logger = log.New(io.Discard, "", 0)
 	}
 	f := farm.New(fo)
+	catDir := opts.CatalogDir
+	if catDir == "" && opts.CacheDir != "" {
+		catDir = filepath.Join(opts.CacheDir, "models")
+	}
+	var cat *catalog.Catalog
+	var fitter *catalog.Fitter
+	if catDir != "" {
+		c, err := catalog.Open(catDir)
+		if err != nil {
+			return nil, err
+		}
+		cat = c
+		fitter = catalog.NewFitter(f, c)
+	}
 	s := &Server{
 		farm:    f,
 		jobs:    newJobRegistry(f),
+		catalog: cat,
+		fitter:  fitter,
 		broker:  newBroker(cap, opts.MaxP),
 		metrics: newMetrics(),
 		limiter: newClientLimiter(opts.ClientLimit),
@@ -154,6 +178,7 @@ func New(opts Options) (*Server, error) {
 		idem:    make(map[string]string),
 		started: time.Now(),
 	}
+	s.jobs.fitter = fitter
 	s.shedder = newShedder(opts.MaxQueue, func() int64 {
 		fs := f.Stats()
 		q := fs.Submitted - fs.Completed - fs.Running
@@ -205,6 +230,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("runs_cancel", true, classPoll, s.handleCancel))
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", true, classPoll, s.handleTrace))
 	mux.HandleFunc("GET /v1/runs/{id}/spectrum", s.instrument("runs_spectrum", true, classPoll, s.handleSpectrum))
+	mux.HandleFunc("GET /v1/models", s.instrument("models_list", true, classPoll, s.handleModels))
+	mux.HandleFunc("GET /v1/models/{key}", s.instrument("models_get", true, classPoll, s.handleModel))
+	mux.HandleFunc("POST /v1/models/fit", s.instrument("models_fit", true, classSubmit, s.handleFit))
 	mux.HandleFunc("POST /v1/qos/negotiate", s.instrument("qos_negotiate", true, classSubmit, s.handleNegotiate))
 	mux.HandleFunc("GET /v1/qos/commitments", s.instrument("qos_list", true, classPoll, s.handleCommitments))
 	mux.HandleFunc("DELETE /v1/qos/commitments/{id}", s.instrument("qos_release", true, classPoll, s.handleRelease))
@@ -389,6 +417,8 @@ type statusJSON struct {
 	Submitted string  `json:"submitted"`
 
 	Result *resultJSON `json:"result,omitempty"`
+	// Model is the fitted catalog entry of a completed fit job.
+	Model *catalog.EntryJSON `json:"model,omitempty"`
 }
 
 // resultJSON summarizes a completed run.
@@ -470,7 +500,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "journal unavailable: submission cannot be made durable")
 		return
 	}
-	j := s.jobs.start(id, cfg, stream)
+	j := s.jobs.start(id, cfg, stream, 0)
 	if idemKey != "" {
 		s.idemMu.Lock()
 		s.idem[idemKey] = id
@@ -520,6 +550,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		out.Error = err.Error()
+	}
+	if state == stateDone {
+		if e := j.model(); e != nil {
+			ej := catalog.ToJSON(e)
+			out.Model = &ej
+		}
 	}
 	if state == stateDone && res != nil {
 		rj := &resultJSON{ElapsedS: res.Elapsed.Seconds()}
@@ -632,7 +668,17 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	off, err := s.broker.negotiate(&req)
+	var off OfferJSON
+	var err error
+	switch req.Source {
+	case "", "analytic":
+		off, err = s.broker.negotiate(&req)
+	case "catalog":
+		off, err = s.catalogProgram(&req)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown source %q (have analytic, catalog)", req.Source)
+		return
+	}
 	if err != nil {
 		code := http.StatusBadRequest
 		if isNoCapacity(err) {
@@ -775,6 +821,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if c := s.farm.Cache(); c != nil {
 		fmt.Fprintln(w, "# HELP fxnetd_cache_quarantined_total Corrupt cache entries quarantined instead of silently re-executed.\n# TYPE fxnetd_cache_quarantined_total counter")
 		fmt.Fprintf(w, "fxnetd_cache_quarantined_total %d\n", c.Quarantined())
+	}
+
+	cenabled := 0
+	if s.catalog != nil {
+		cenabled = 1
+	}
+	fmt.Fprintln(w, "# HELP fxnetd_catalog_enabled Whether the fitted-model catalog is configured.\n# TYPE fxnetd_catalog_enabled gauge")
+	fmt.Fprintf(w, "fxnetd_catalog_enabled %d\n", cenabled)
+	if s.catalog != nil {
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_entries Fitted models in the catalog.\n# TYPE fxnetd_catalog_entries gauge")
+		fmt.Fprintf(w, "fxnetd_catalog_entries %d\n", s.catalog.Len())
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_hits_total Catalog lookups answered from a stored model.\n# TYPE fxnetd_catalog_hits_total counter")
+		fmt.Fprintf(w, "fxnetd_catalog_hits_total %d\n", s.catalog.Hits())
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_misses_total Catalog lookups that found no usable model.\n# TYPE fxnetd_catalog_misses_total counter")
+		fmt.Fprintf(w, "fxnetd_catalog_misses_total %d\n", s.catalog.Misses())
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_fits_total Spectral-model fits performed (catalog hits excluded).\n# TYPE fxnetd_catalog_fits_total counter")
+		fmt.Fprintf(w, "fxnetd_catalog_fits_total %d\n", s.fitter.Fits())
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_quarantined_total Corrupt catalog entries quarantined.\n# TYPE fxnetd_catalog_quarantined_total counter")
+		fmt.Fprintf(w, "fxnetd_catalog_quarantined_total %d\n", s.catalog.Quarantined())
+		fmt.Fprintln(w, "# HELP fxnetd_catalog_store_failures_total Catalog entries that could not be stored durably.\n# TYPE fxnetd_catalog_store_failures_total counter")
+		fmt.Fprintf(w, "fxnetd_catalog_store_failures_total %d\n", s.catalog.StoreFailures())
 	}
 
 	fmt.Fprintln(w, "# HELP fxnetd_qos_commitments Outstanding QoS commitments.\n# TYPE fxnetd_qos_commitments gauge")

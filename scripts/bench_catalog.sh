@@ -1,0 +1,108 @@
+#!/bin/sh
+# Catalog benchmark: fit once, admit in microseconds. Writes
+# BENCH_catalog.json.
+#
+# Three promises are measured and enforced:
+#
+#   1. Admission speed: for every -quick program, answering a QoS
+#      negotiation from the fitted-model catalog must be >= 100x faster
+#      than the simulate-then-admit path (fxqos -catalog reports both
+#      sides from one process).
+#   2. Fidelity: every stored entry's model mean bandwidth must be
+#      within 5% of the measured mean.
+#   3. Determinism: fitting the same runs into two separate catalogs
+#      (sharing one run cache) must produce byte-identical .fxmodel
+#      files — the digests are part of the JSON.
+#
+# Wall-clock numbers depend on the host (the JSON records "cores");
+# the three gates above are machine-independent.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-4}"
+OUT="${CATALOG_OUT:-BENCH_catalog.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/fxqos" ./cmd/fxqos
+go build -o "$TMP/fxmodel" ./cmd/fxmodel
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# --- 1. cold catalog: simulate-then-fit, then admit from the catalog --
+echo "bench: catalog cold fit + admission (all programs, P=2,4)" >&2
+start=$(now_ms)
+"$TMP/fxqos" -catalog "$TMP/models" -cache "$TMP/cache" -p 2,4 -j "$JOBS" -json \
+	>"$TMP/qos.json" 2>"$TMP/qos.err"
+COLD_MS=$(( $(now_ms) - start ))
+
+MIN_SPEEDUP=$(sed -n 's/.*"min_speedup": \([0-9.]*\).*/\1/p' "$TMP/qos.json")
+if ! awk "BEGIN{exit !($MIN_SPEEDUP >= 100)}"; then
+	echo "bench: FAIL: catalog admission only ${MIN_SPEEDUP}x faster than simulate-then-admit, want >= 100x" >&2
+	exit 1
+fi
+
+ADMIT_MIN_US=$(sed -n 's/.*"admit_us": \([0-9.]*\).*/\1/p' "$TMP/qos.json" | sort -n | head -1)
+ADMIT_MAX_US=$(sed -n 's/.*"admit_us": \([0-9.]*\).*/\1/p' "$TMP/qos.json" | sort -n | tail -1)
+
+# --- 2. fidelity: every entry within the 5% mean-bandwidth bound ------
+"$TMP/fxmodel" ls -catalog "$TMP/models" -json >"$TMP/ls.json"
+MAX_ERR=$(sed -n 's/.*"mean_rel_err": \([0-9.e+-]*\).*/\1/p' "$TMP/ls.json" | sort -g | tail -1)
+ENTRIES=$(sed -n 's/.*"count": \([0-9]*\).*/\1/p' "$TMP/ls.json" | tail -1)
+if [ "$ENTRIES" -lt 12 ]; then
+	echo "bench: FAIL: catalog holds $ENTRIES entries, want 12 (6 programs x P=2,4)" >&2
+	exit 1
+fi
+if ! awk "BEGIN{exit !($MAX_ERR <= 0.05)}"; then
+	echo "bench: FAIL: worst mean-bandwidth error $MAX_ERR, want <= 0.05" >&2
+	exit 1
+fi
+
+# --- 3. determinism + warm fit throughput -----------------------------
+# Two independent catalogs over the now-warm run cache: pure fitting,
+# no simulation, and the stored bytes must match file for file.
+echo "bench: refit into two fresh catalogs (warm run cache)" >&2
+start=$(now_ms)
+"$TMP/fxmodel" fit -catalog "$TMP/m1" -cache "$TMP/cache" -p 2,4 -j "$JOBS" -json >"$TMP/fit1.json"
+WARM_MS=$(( $(now_ms) - start ))
+"$TMP/fxmodel" fit -catalog "$TMP/m2" -cache "$TMP/cache" -p 2,4 -j "$JOBS" -json >"$TMP/fit2.json"
+
+FITS=$(sed -n 's/.*"fits": \([0-9]*\).*/\1/p' "$TMP/fit1.json")
+EXECUTED=$(sed -n 's/.*"executed": \([0-9]*\).*/\1/p' "$TMP/fit1.json")
+if [ "$EXECUTED" != "0" ]; then
+	echo "bench: FAIL: warm-run-cache refit executed $EXECUTED simulations, want 0" >&2
+	exit 1
+fi
+
+DIGEST1=$(cd "$TMP/m1" && sha256sum -- *.fxmodel | sort | sha256sum | cut -d' ' -f1)
+DIGEST2=$(cd "$TMP/m2" && sha256sum -- *.fxmodel | sort | sha256sum | cut -d' ' -f1)
+if [ "$DIGEST1" != "$DIGEST2" ]; then
+	echo "bench: FAIL: repeated fits produced different .fxmodel bytes" >&2
+	exit 1
+fi
+
+CORES=$(nproc 2>/dev/null || echo 1)
+FITS_PER_SEC=$(awk "BEGIN{printf \"%.1f\", $FITS * 1000 / $WARM_MS}")
+
+printf '{
+  "bench": "spectral-model catalog: fit once, admit in microseconds",
+  "cores": %s,
+  "programs": 6,
+  "entries": %s,
+  "cold_fit_and_admit_ms": %s,
+  "warm_refit_ms": %s,
+  "warm_refit_executed": %s,
+  "fits_per_sec": %s,
+  "admit_us_min": %s,
+  "admit_us_max": %s,
+  "min_speedup_vs_simulate": %s,
+  "speedup_floor": 100,
+  "max_mean_rel_err": %s,
+  "mean_rel_err_ceiling": 0.05,
+  "fxmodel_digest": "%s",
+  "deterministic_fxmodel_bytes": true
+}\n' "$CORES" "$ENTRIES" "$COLD_MS" "$WARM_MS" "$EXECUTED" "$FITS_PER_SEC" \
+	"$ADMIT_MIN_US" "$ADMIT_MAX_US" "$MIN_SPEEDUP" "$MAX_ERR" "$DIGEST1" >"$OUT"
+
+cat "$OUT"
