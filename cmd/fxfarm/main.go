@@ -60,6 +60,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault script applied to every run")
 		degrade  = flag.Bool("degrade", false, "re-form teams on survivors when a host dies")
 		switched = flag.Bool("switched", false, "switched full-duplex fabric instead of shared segment")
+		topology = flag.String("topology", "", `multi-segment topology spec or @file applied to every run (empty = single shared segment)`)
 		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
 		outDir   = flag.String("out", "", "write per-run trace + report artifacts to this directory")
@@ -88,6 +89,10 @@ func main() {
 	pList := parseInts(*ps)
 	seedList := parseSeeds(*seeds)
 	rateList := parseFloats(*bitrates)
+	topo, err := fxnet.LoadTopology(*topology)
+	if err != nil {
+		log.Fatalf("-topology: %v", err)
+	}
 
 	var farmJobs []fxnet.FarmJob
 	for _, prog := range progList {
@@ -101,6 +106,7 @@ func main() {
 						FaultScript: *faults,
 						Degrade:     *degrade,
 						Switched:    *switched,
+						Topology:    topo,
 					}
 					label := cfg.Program
 					if p != 0 {

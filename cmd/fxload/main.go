@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -98,7 +99,11 @@ func main() {
 
 // report is the JSON output shape (BENCH_serve.json).
 type report struct {
-	URL         string  `json:"url"`
+	URL string `json:"url"`
+	// Cores records the load generator's CPU count: achieved throughput
+	// and latency quantiles are only comparable between hosts with the
+	// same parallelism budget.
+	Cores       int     `json:"cores"`
 	TargetRPS   float64 `json:"target_rps"`
 	AchievedRPS float64 `json:"achieved_rps"`
 	DurationS   float64 `json:"duration_s"`
@@ -338,6 +343,7 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 
 	rep := &report{
 		URL:       base,
+		Cores:     runtime.NumCPU(),
 		TargetRPS: rps,
 		DurationS: elapsed.Seconds(),
 		Requests:  len(samples),

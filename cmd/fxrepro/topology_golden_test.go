@@ -1,0 +1,87 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"fxnet"
+)
+
+// Golden trace digests for the -quick programs on multi-segment
+// topologies: every program runs on a 2-segment and a 4-segment switched
+// network, and the pinned digest must come out of BOTH the serial and the
+// parallel execution of the partitioned engine — the byte-identical-trace
+// contract of the conservative PDES kernel (DESIGN.md §13).
+//
+// Like goldenQuickDigests, these are a determinism contract: a mismatch
+// means event ordering, trunk latency accounting, the barrier capture
+// merge, or the trace codec changed behaviour.
+var goldenTopologyDigests = map[string]map[string]string{
+	// Hosts 0-3 split pairwise across two segments.
+	"lan0:0-1,lan1:2-3": {
+		"sor":     "5d2c5685c4dc93890b091531b883d2d21026bd3c79b6cc5da1479f5749161012",
+		"2dfft":   "aa5fa0ba0393b9664bb769e9de47450c9c6cced0cc8ca1fee56cc2fdd6f2e476",
+		"t2dfft":  "79e61ee493f9a5d3e8fea16d3664e1fd3fee6c11929ebdf8544169cba06e7caf",
+		"seq":     "1e8276355609edfd6859705aa0e9f8ffb1d79910519f8664e2ebdd954e995825",
+		"hist":    "5febf9fb3fa1f36fcc8c5c2f5f71fb125f955a68e51493b6e078be21ccd436b4",
+		"airshed": "3727a27a41404889f3eb52c4872841866f10fd50797121365ea0e7622a2d3b2c",
+	},
+	// One host per segment — every frame crosses a trunk.
+	"lan0:0,lan1:1,lan2:2,lan3:3": {
+		"sor":     "b9162cfbbd3411d05b00dcd739888757782b202e29a46ab718846acd76fe78dc",
+		"2dfft":   "c190e2b72240608e63b2b286da588d9b65b0f9fc3130b50beed78ff4c11d798a",
+		"t2dfft":  "4d0ab6d21865d1dfed7d62cd05ff1535176924bfa22299df7dde63c78b5cb431",
+		"seq":     "1ac9d21e6454bc7ca21087a0abfee106834c8994622188783baae4c86c36536a",
+		"hist":    "58276e02f18482fe82dbcd05057ee05cff56135ed6184c470fe393b5b852646a",
+		"airshed": "598e7d56ea0cb32a7df163fab68d28a94ce5f6c0dd188bf10eb5ddc3e8e9c625",
+	},
+}
+
+// quickTopologyDigest runs one -quick program on the given topology with
+// the given execution mode and returns its binary trace digest.
+func quickTopologyDigest(t testing.TB, name, spec string, mode fxnet.PDESMode) string {
+	topo, err := fxnet.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reproConfig(name, reproOptions{Quick: true, Seed: 42})
+	cfg.Topology = topo
+	res, err := fxnet.RunWithOpts(cfg, fxnet.RunOpts{PDES: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	if err := res.Trace.WriteBinary(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenTopologyDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every -quick program twice per topology")
+	}
+	for spec, digests := range goldenTopologyDigests {
+		for _, name := range fxnet.Programs() {
+			spec, name := spec, name
+			t.Run(spec+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				want, ok := digests[name]
+				if !ok {
+					t.Fatalf("no golden digest recorded for %q on %q", name, spec)
+				}
+				serial := quickTopologyDigest(t, name, spec, fxnet.PDESSerial)
+				parallel := quickTopologyDigest(t, name, spec, fxnet.PDESParallel)
+				if serial != parallel {
+					t.Fatalf("serial/parallel divergence:\n serial   %s\n parallel %s\n"+
+						"the conservative engine broke the byte-identical-trace contract",
+						serial, parallel)
+				}
+				if serial != want {
+					t.Errorf("topology trace digest changed:\n got  %s\n want %s", serial, want)
+				}
+			})
+		}
+	}
+}

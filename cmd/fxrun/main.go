@@ -47,6 +47,8 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel analysis workers for -format report (0 = GOMAXPROCS)")
 		faults   = flag.String("faults", "", `fault script, e.g. "5s:linkdown host2,7s:linkup host2"`)
 		degrade  = flag.Bool("degrade", false, "re-form the team on survivors when a host dies (renegotiates P via QoS)")
+		topology = flag.String("topology", "", `multi-segment topology spec like "lan0:0-1,lan1:2-3" or @file (empty = single shared segment)`)
+		pdes     = flag.String("pdes", "auto", "partitioned-engine execution: auto, serial, or parallel (multi-segment runs only)")
 		prof     = profiling.Register()
 		ver      = version.Register()
 	)
@@ -77,14 +79,28 @@ func main() {
 		ap.Hours = *hours
 		cfg.AirshedParams = ap
 	}
+	if cfg.Topology, err = fxnet.LoadTopology(*topology); err != nil {
+		log.Fatalf("-topology: %v", err)
+	}
+	var opts fxnet.RunOpts
+	switch *pdes {
+	case "auto":
+		opts.PDES = fxnet.PDESAuto
+	case "serial":
+		opts.PDES = fxnet.PDESSerial
+	case "parallel":
+		opts.PDES = fxnet.PDESParallel
+	default:
+		log.Fatalf("unknown -pdes %q (want auto, serial, or parallel)", *pdes)
+	}
 
 	var res *fxnet.Result
 	var rep *fxnet.Report
 	switch *analysis {
 	case "trace":
-		res, err = fxnet.Run(cfg)
+		res, err = fxnet.RunWithOpts(cfg, opts)
 	case "stream":
-		res, rep, err = fxnet.RunStream(cfg)
+		res, rep, err = fxnet.RunStreamWithOpts(cfg, opts)
 	default:
 		log.Fatalf("unknown analysis %q (want trace or stream)", *analysis)
 	}

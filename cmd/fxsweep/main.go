@@ -101,6 +101,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "content-addressed run-cache directory")
 		analysis = flag.String("analysis", "trace", "pipeline: trace (full captures) or stream (fold analysis during each run; O(windows) memory)")
 		jsonOut  = flag.String("json", "", "write machine-readable sweep results to this file (\"-\" = stdout)")
+		topology = flag.String("topology", "", `multi-segment topology spec or @file applied to every run (empty = single shared segment)`)
 		ver      = version.Register()
 	)
 	flag.Parse()
@@ -121,6 +122,10 @@ func main() {
 		DisableDesched: true,
 		FaultScript:    *faults,
 		Degrade:        *degrade,
+	}
+	var err error
+	if base.Topology, err = fxnet.LoadTopology(*topology); err != nil {
+		log.Fatalf("-topology: %v", err)
 	}
 
 	type point struct {

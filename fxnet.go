@@ -28,6 +28,8 @@ package fxnet
 import (
 	"bufio"
 	"io"
+	"os"
+	"strings"
 
 	"fxnet/internal/airshed"
 	"fxnet/internal/analysis"
@@ -98,7 +100,72 @@ type (
 	RunError = fx.RunError
 	// TraceMark is a timestamped annotation (fault firing) in a trace.
 	TraceMark = trace.Mark
+	// Topology describes a multi-segment switched network: named
+	// segments with pinned hosts, bridged by trunk links.
+	Topology = core.Topology
+	// TopoSegment is one named segment of a Topology.
+	TopoSegment = core.TopoSegment
+	// RunOpts selects execution strategy (serial vs parallel DES) —
+	// never part of RunConfig or cache keys because it cannot change
+	// result bytes.
+	RunOpts = core.RunOpts
+	// PDESMode selects how a multi-segment run is executed.
+	PDESMode = core.PDESMode
 )
+
+// PDES execution modes for RunOpts.
+const (
+	// PDESAuto runs partitions in parallel when the topology has more
+	// than one segment and more than one CPU is available.
+	PDESAuto = core.PDESAuto
+	// PDESSerial forces the partitioned engine to run single-threaded.
+	PDESSerial = core.PDESSerial
+	// PDESParallel forces one worker goroutine per segment partition.
+	PDESParallel = core.PDESParallel
+)
+
+// DefaultTrunkLatency is the trunk-link latency a segment gets when its
+// spec omits one (1 ms).
+const DefaultTrunkLatency = core.DefaultTrunkLatency
+
+// ParseTopology parses a topology spec like
+// "lan0:0-15@100~2ms,lan1:16-31": comma-separated segments, each
+// name:hosts with an optional @rateMbps and ~trunk latency.
+func ParseTopology(spec string) (*Topology, error) { return core.ParseTopology(spec) }
+
+// ParseTopologyJSON parses the JSON form of a topology.
+func ParseTopologyJSON(data []byte) (*Topology, error) { return core.ParseTopologyJSON(data) }
+
+// LoadTopology resolves a CLI topology argument: "@file" loads the file
+// (JSON if it starts with '{' or '[', spec syntax otherwise), anything
+// else parses as an inline spec. Empty returns nil (shared segment).
+func LoadTopology(arg string) (*Topology, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		s := strings.TrimSpace(string(data))
+		if strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[") {
+			return core.ParseTopologyJSON([]byte(s))
+		}
+		return core.ParseTopology(s)
+	}
+	return core.ParseTopology(arg)
+}
+
+// RunWithOpts is Run with an explicit execution strategy.
+func RunWithOpts(cfg RunConfig, opts RunOpts) (*Result, error) {
+	return core.RunWithOpts(cfg, opts)
+}
+
+// RunStreamWithOpts is RunStream with an explicit execution strategy.
+func RunStreamWithOpts(cfg RunConfig, opts RunOpts) (*Result, *Report, error) {
+	return core.RunStreamWithOpts(cfg, opts)
+}
 
 // Fault kinds for hand-built schedules (scripts use faults.Parse names).
 const (

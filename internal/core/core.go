@@ -103,6 +103,14 @@ type RunConfig struct {
 	// 0 keeps the default (3 when a fault schedule is active, disabled
 	// otherwise, matching the measured-era daemons).
 	HeartbeatMisses int
+	// Topology, when non-nil, replaces the single shared segment with a
+	// multi-segment bridged LAN: named segments with per-segment bit
+	// rates, hosts pinned to segments, learning bridges relaying frames
+	// over latency-only trunks. Runs are then eligible for conservative
+	// parallel execution (see RunOpts.PDES); serial and parallel produce
+	// byte-identical traces. Nil keeps the paper's shared segment and
+	// leaves every existing run key and golden digest unchanged.
+	Topology *Topology
 }
 
 // Result is a completed measured run.
@@ -124,11 +132,45 @@ type Result struct {
 	RunErr *fx.RunError
 }
 
+// PDESMode selects how a multi-segment run's partitions advance.
+type PDESMode int
+
+const (
+	// PDESAuto runs partitions in parallel when the machine has more
+	// than one CPU and the topology has more than one segment.
+	PDESAuto PDESMode = iota
+	// PDESSerial runs the partitioned engine on one goroutine — the
+	// byte-identical baseline parallel mode is verified against.
+	PDESSerial
+	// PDESParallel forces one worker goroutine per segment partition.
+	PDESParallel
+)
+
+// RunOpts carries execution options that do not affect result bytes —
+// deliberately outside RunConfig so they never enter cache keys or
+// canonical encodings.
+type RunOpts struct {
+	// PDES selects serial or parallel partition execution for topology
+	// runs. Ignored (harmlessly) for single-segment runs.
+	PDES PDESMode
+}
+
 // Run executes one experiment to completion and returns the captured
 // trace and run metadata.
 func Run(cfg RunConfig) (*Result, error) {
-	res, _, err := run(cfg, false)
+	res, _, err := run(cfg, false, RunOpts{})
 	return res, err
+}
+
+// RunWithOpts is Run with explicit execution options.
+func RunWithOpts(cfg RunConfig, opts RunOpts) (*Result, error) {
+	res, _, err := run(cfg, false, opts)
+	return res, err
+}
+
+// RunStreamWithOpts is RunStream with explicit execution options.
+func RunStreamWithOpts(cfg RunConfig, opts RunOpts) (*Result, *Report, error) {
+	return run(cfg, true, opts)
 }
 
 // RunStream executes one experiment with streaming analysis: the
@@ -139,17 +181,20 @@ func Run(cfg RunConfig) (*Result, error) {
 // run costs O(windows) analysis memory. See internal/analysis for the
 // exactness contract relative to Characterize.
 func RunStream(cfg RunConfig) (*Result, *Report, error) {
-	return run(cfg, true)
+	return run(cfg, true, RunOpts{})
 }
 
 // run is the shared body of Run and RunStream.
-func run(cfg RunConfig, stream bool) (*Result, *Report, error) {
+func run(cfg RunConfig, stream bool, opts RunOpts) (*Result, *Report, error) {
 	spec, isKernel := kernels.Lookup(cfg.Program)
 	if !isKernel && cfg.Program != Airshed {
 		return nil, nil, fmt.Errorf("core: unknown program %q (have %v)", cfg.Program, ProgramNames())
 	}
 	if cfg.ForceCopyLoop && cfg.ForceFragments {
 		return nil, nil, fmt.Errorf("core: ForceCopyLoop and ForceFragments both set")
+	}
+	if cfg.Topology != nil {
+		return runTopology(cfg, stream, opts, spec, isKernel)
 	}
 	schedule := cfg.Faults
 	if schedule == nil && cfg.FaultScript != "" {
@@ -267,60 +312,7 @@ func run(cfg RunConfig, stream bool) (*Result, *Report, error) {
 	}
 	machine := pvm.NewMachine(k, hosts, pvmCfg)
 
-	cost := buildCost(cfg, spec, isKernel)
-
-	var team *fx.Team
-	repConn := [2]int{-1, -1}
-	opts := fx.Opts{P: p, Cost: cost, Degrade: cfg.Degrade}
-	if isKernel {
-		params := spec.Params
-		if cfg.Params.N != 0 {
-			params.N = cfg.Params.N
-		}
-		if cfg.Params.Iters != 0 {
-			params.Iters = cfg.Params.Iters
-		}
-		useFrags := spec.UseFragments
-		if cfg.ForceCopyLoop {
-			useFrags = false
-		}
-		if cfg.ForceFragments {
-			useFrags = true
-		}
-		repConn = spec.RepresentativeConn
-		run := spec.Run
-		coalesce := cfg.ForceCopyLoop
-		opts.Name = spec.Name
-		if cfg.Degrade && spec.QoS != nil {
-			// Degradation is the §7.3 negotiation run in reverse: hand
-			// the network the program's [l(), b(), c] and let it pick
-			// the post-fault processor count.
-			prog := spec.QoS(params)
-			net := qos.NewNetwork(qosCapacityBps)
-			opts.Renegotiate = func(maxP int) int {
-				off, err := net.Negotiate(prog, maxP)
-				if err != nil {
-					return maxP
-				}
-				return off.P
-			}
-		}
-		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
-			w.UseFragments = useFrags
-			w.CoalesceFragments = coalesce
-			run(w, params)
-		})
-	} else {
-		ap := cfg.AirshedParams
-		if ap.Layers == 0 {
-			ap = airshed.PaperParams()
-		}
-		repConn = [2]int{1, 0}
-		opts.Name = Airshed
-		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
-			airshed.Run(w, ap)
-		})
-	}
+	team, repConn, progName := launchTeam(cfg, machine, spec, isKernel, p)
 
 	if faulty {
 		hooks := faults.Hooks{
@@ -375,24 +367,9 @@ func run(cfg RunConfig, stream bool) (*Result, *Report, error) {
 	}
 
 	elapsed := k.Run()
-	final := team.Final()
-	var runErr *fx.RunError
-	switch {
-	case final.Done():
-	case final.Failed():
-		runErr = final.Err()
-	case final.Finished():
-		// A worker was killed without any survivor recording an abort:
-		// either the whole machine crashed, or (in a pipeline kernel)
-		// the survivors had already finished their part and never
-		// needed to talk to the dead rank again. Its output is lost
-		// either way, so the run still reports a fault.
-		runErr = &fx.RunError{
-			Program: opts.Name, Rank: -1, Phase: "killed",
-			Err: fmt.Errorf("worker killed by host fault before completing"),
-		}
-	default:
-		return nil, nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", cfg.Program, elapsed)
+	final, runErr, err := finishTeam(team, progName, cfg.Program, elapsed)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	var rep *Report
@@ -421,6 +398,92 @@ func run(cfg RunConfig, stream bool) (*Result, *Report, error) {
 		Team:     final,
 		RunErr:   runErr,
 	}, rep, nil
+}
+
+// launchTeam builds the cost model and launches the Fx program over the
+// machine, returning the team, the representative connection, and the
+// program's registry name. Shared by the single-segment and topology
+// runners.
+func launchTeam(cfg RunConfig, machine *pvm.Machine, spec kernels.Spec, isKernel bool, p int) (*fx.Team, [2]int, string) {
+	cost := buildCost(cfg, spec, isKernel)
+	repConn := [2]int{-1, -1}
+	opts := fx.Opts{P: p, Cost: cost, Degrade: cfg.Degrade}
+	var team *fx.Team
+	if isKernel {
+		params := spec.Params
+		if cfg.Params.N != 0 {
+			params.N = cfg.Params.N
+		}
+		if cfg.Params.Iters != 0 {
+			params.Iters = cfg.Params.Iters
+		}
+		useFrags := spec.UseFragments
+		if cfg.ForceCopyLoop {
+			useFrags = false
+		}
+		if cfg.ForceFragments {
+			useFrags = true
+		}
+		repConn = spec.RepresentativeConn
+		run := spec.Run
+		coalesce := cfg.ForceCopyLoop
+		opts.Name = spec.Name
+		if cfg.Degrade && spec.QoS != nil {
+			// Degradation is the §7.3 negotiation run in reverse: hand
+			// the network the program's [l(), b(), c] and let it pick
+			// the post-fault processor count.
+			prog := spec.QoS(params)
+			net := qos.NewNetwork(qosCapacityBps)
+			opts.Renegotiate = func(maxP int) int {
+				off, err := net.Negotiate(prog, maxP)
+				if err != nil {
+					return maxP
+				}
+				return off.P
+			}
+		}
+		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
+			w.UseFragments = useFrags
+			w.CoalesceFragments = coalesce
+			run(w, params)
+		})
+	} else {
+		ap := cfg.AirshedParams
+		if ap.Layers == 0 {
+			ap = airshed.PaperParams()
+		}
+		repConn = [2]int{1, 0}
+		opts.Name = Airshed
+		team = fx.LaunchOpts(machine, opts, func(w *fx.Worker) {
+			airshed.Run(w, ap)
+		})
+	}
+	return team, repConn, opts.Name
+}
+
+// finishTeam classifies the team's final state after the simulation
+// drained: done, aborted (a fault measurement), killed without an abort
+// record, or deadlocked (an error).
+func finishTeam(team *fx.Team, progName, program string, elapsed sim.Time) (*fx.Team, *fx.RunError, error) {
+	final := team.Final()
+	switch {
+	case final.Done():
+		return final, nil, nil
+	case final.Failed():
+		return final, final.Err(), nil
+	case final.Finished():
+		// A worker was killed without any survivor recording an abort:
+		// either the whole machine crashed, or (in a pipeline kernel)
+		// the survivors had already finished their part and never
+		// needed to talk to the dead rank again. Its output is lost
+		// either way, so the run still reports a fault.
+		return final, &fx.RunError{
+			Program: progName, Rank: -1, Phase: "killed",
+			Err: fmt.Errorf("worker killed by host fault before completing"),
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("core: %s did not complete (deadlock at %v)", program, elapsed)
+	}
 }
 
 // CalibratedCost returns the calibrated cost model for a program, as a

@@ -1,0 +1,94 @@
+package ethernet
+
+// bridgeIDBase is the station address of segment 0's bridge. Host
+// addresses are bounded far below it (the trace format caps them at
+// 254), so bridge stations never collide with — or match the Dst of —
+// any host frame.
+const bridgeIDBase = 1 << 20
+
+// Bridge is one port of a transparent learning switch: a station on a
+// segment that observes every delivered frame, learns which segment each
+// source address lives on, and relays frames addressed off-segment
+// through trunk conduits to its peer bridges. Unknown and broadcast
+// destinations flood to all other segments, exactly like a real
+// 802.1D bridge before its filtering database converges.
+//
+// The bridge itself is partition-local state: the learned table is only
+// read and written from its own segment's kernel, so no synchronization
+// is needed. Cross-segment hand-off happens through the send conduit,
+// which the topology runner implements as an engine Send honoring the
+// conservative lookahead contract.
+type Bridge struct {
+	seg     *Segment
+	station *Station
+	segIdx  int
+	nSeg    int
+	learned map[int]int // source address → segment index
+	send    func(dstSeg int, f *Frame)
+
+	// Relayed counts frames this bridge pushed into trunks (floods count
+	// once per destination segment).
+	Relayed int64
+}
+
+// NewBridge attaches a bridge station to seg (segment segIdx of nSeg)
+// and wires it to observe delivered frames. send conveys a frame into
+// another segment's bridge; the topology runner routes it across the
+// partition boundary with trunk latency applied.
+func NewBridge(seg *Segment, segIdx, nSeg int, send func(dstSeg int, f *Frame)) *Bridge {
+	b := &Bridge{
+		seg:     seg,
+		segIdx:  segIdx,
+		nSeg:    nSeg,
+		learned: make(map[int]int),
+		send:    send,
+	}
+	b.station = seg.AttachID("bridge", bridgeIDBase+segIdx)
+	seg.OnForward(b.sawFrame)
+	return b
+}
+
+// sawFrame is the promiscuous observation hook: runs at the end of every
+// successful delivery on the local segment.
+func (b *Bridge) sawFrame(tx *Station, f *Frame) {
+	if tx == b.station {
+		// A frame this bridge relayed onto the local wire: the source
+		// lives on another segment (already learned at trunk ingress),
+		// and relaying it again would loop.
+		return
+	}
+	b.learned[f.Src] = b.segIdx
+	if f.Dst == Broadcast {
+		b.flood(f)
+		return
+	}
+	seg, known := b.learned[f.Dst]
+	switch {
+	case !known:
+		b.flood(f)
+	case seg == b.segIdx:
+		// Local traffic: already delivered, nothing to relay.
+	default:
+		b.send(seg, f)
+		b.Relayed++
+	}
+}
+
+// flood relays f to every other segment.
+func (b *Bridge) flood(f *Frame) {
+	for s := 0; s < b.nSeg; s++ {
+		if s == b.segIdx {
+			continue
+		}
+		b.send(s, f)
+		b.Relayed++
+	}
+}
+
+// DeliverFromTrunk accepts a frame arriving over a trunk from srcSeg:
+// learn the source's segment, then transmit the frame locally with its
+// original source address preserved.
+func (b *Bridge) DeliverFromTrunk(srcSeg int, f *Frame) {
+	b.learned[f.Src] = srcSeg
+	b.station.Forward(f)
+}

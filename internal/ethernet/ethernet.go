@@ -174,6 +174,11 @@ type Segment struct {
 	faultRng    *rand.Rand
 	held        *Frame
 
+	// Multi-segment hooks: onForward lets a learning bridge observe
+	// delivered frames; tapFilter keeps transit copies out of captures.
+	onForward func(tx *Station, f *Frame)
+	tapFilter func(dst int) bool
+
 	stats Stats
 }
 
@@ -324,10 +329,35 @@ func (s *Segment) Stats() Stats { return s.stats }
 // every successfully delivered frame.
 func (s *Segment) Tap(fn func(Capture)) { s.taps = append(s.taps, fn) }
 
+// SetTapFilter restricts capture taps to frames whose destination
+// satisfies keep (broadcast frames always pass). Multi-segment
+// topologies use it so a monitor on each segment records only frames
+// addressed into that segment, not transit copies flooded by bridges.
+func (s *Segment) SetTapFilter(keep func(dst int) bool) { s.tapFilter = keep }
+
+// OnForward registers a callback invoked (in event context) after every
+// successful delivery with the transmitting station and the frame — the
+// promiscuous hook a learning bridge uses to pick up frames that need
+// relaying to other segments.
+func (s *Segment) OnForward(fn func(tx *Station, f *Frame)) { s.onForward = fn }
+
 // Attach creates a new station on the segment and returns it. The name is
 // used in diagnostics only; the returned station's ID is its address.
 func (s *Segment) Attach(name string) *Station {
-	st := &Station{seg: s, id: len(s.stations), name: name, retryName: "eth.retry:" + name}
+	return s.AttachID(name, len(s.stations))
+}
+
+// AttachID creates a station with an explicit address. Multi-segment
+// topologies attach each host with its global host index so frame
+// addresses stay meaningful across segments; bridge stations use
+// addresses far above any host. Duplicate addresses panic.
+func (s *Segment) AttachID(name string, id int) *Station {
+	for _, st := range s.stations {
+		if st.id == id {
+			panic(fmt.Sprintf("ethernet: duplicate station id %d (%q and %q)", id, st.name, name))
+		}
+	}
+	st := &Station{seg: s, id: id, name: name, retryName: "eth.retry:" + name}
 	st.contendFn = st.contend
 	s.stations = append(s.stations, st)
 	return st
@@ -398,10 +428,19 @@ func (st *Station) Send(f *Frame) {
 	if f.Dst == st.id {
 		panic(fmt.Sprintf("ethernet: station %q sending to itself", st.name))
 	}
+	f.Src = st.id
+	st.enqueue(f)
+}
+
+// Forward enqueues a frame preserving its original Src address — how a
+// transparent bridge relays a frame on behalf of a host on another
+// segment.
+func (st *Station) Forward(f *Frame) { st.enqueue(f) }
+
+func (st *Station) enqueue(f *Frame) {
 	if f.NetLen > MaxNetBytes {
 		panic(fmt.Sprintf("ethernet: frame NetLen %d exceeds MTU %d", f.NetLen, MaxNetBytes))
 	}
-	f.Src = st.id
 	st.queue = append(st.queue, f)
 	if !st.pending {
 		st.pending = true
@@ -507,15 +546,18 @@ func (s *Segment) deliver() {
 	}
 
 	if delivered {
-		s.emit(f)
+		s.emit(st, f)
 		if s.dupProb > 0 && s.faultRand().Float64() < s.dupProb {
 			s.stats.Duplicated++
-			s.emit(f)
+			s.emit(st, f)
 		}
 		if held := s.held; held != nil {
 			s.held = nil
 			if !s.gated(held.Src, held.Dst) {
-				s.emit(held)
+				// st is not the held frame's transmitter, but the hooks
+				// that care (onForward/tapFilter) are never combined
+				// with reorder injection — topology runs reject faults.
+				s.emit(st, held)
 			} else {
 				s.stats.Dropped++
 			}
@@ -534,22 +576,26 @@ func (s *Segment) deliver() {
 }
 
 // emit performs one delivery of a frame that survived the wire: capture
-// taps, then the destination upcalls. A station whose link is down, or on
-// the wrong side of a partition, misses broadcast deliveries.
-func (s *Segment) emit(f *Frame) {
+// taps, then the destination upcalls, then the bridge hook. tx is the
+// station that put the frame on this wire (the original sender, or a
+// bridge relaying it). A station whose link is down, or on the wrong
+// side of a partition, misses broadcast deliveries.
+func (s *Segment) emit(tx *Station, f *Frame) {
 	s.stats.Frames++
 	s.stats.Bytes += int64(f.CapturedSize())
 
-	cap := Capture{
-		Time: s.k.Now(), Size: f.CapturedSize(),
-		Src: f.Src, Dst: f.Dst, Proto: f.Proto,
-		SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
-	}
-	for _, tap := range s.taps {
-		tap(cap)
+	if s.tapFilter == nil || f.Dst == Broadcast || s.tapFilter(f.Dst) {
+		cap := Capture{
+			Time: s.k.Now(), Size: f.CapturedSize(),
+			Src: f.Src, Dst: f.Dst, Proto: f.Proto,
+			SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
+		}
+		for _, tap := range s.taps {
+			tap(cap)
+		}
 	}
 	for _, dst := range s.stations {
-		if dst.id == f.Src {
+		if dst.id == f.Src || dst == tx {
 			continue
 		}
 		if f.Dst == Broadcast || f.Dst == dst.id {
@@ -560,6 +606,9 @@ func (s *Segment) emit(f *Frame) {
 				dst.recv(f)
 			}
 		}
+	}
+	if s.onForward != nil {
+		s.onForward(tx, f)
 	}
 }
 

@@ -30,17 +30,37 @@ var (
 	_ TrafficSource = (*Switch)(nil)
 )
 
+// fwdEntry is one frame waiting out the store-and-forward latency.
+type fwdEntry struct {
+	at   sim.Time
+	from *SwitchPort
+	f    *Frame
+}
+
 // Switch is a store-and-forward Ethernet switch with full-duplex links:
 // each port has an independent ingress (host→switch) and egress
 // (switch→host) wire at the link rate, with output queuing and no
 // collisions — the "next generation LAN" the paper's introduction
 // anticipates. It exists for the shared-vs-switched ablation.
+//
+// The forwarding path allocates nothing in steady state: each port's
+// ingress and egress callbacks are allocated once with precomputed
+// names, queues pop from head indexes that rewind when drained, and the
+// latency delay runs through a single shared FIFO (constant latency
+// keeps it time-ordered) with one once-allocated timer callback.
 type Switch struct {
 	k       *sim.Kernel
 	bitRate float64
 	latency sim.Duration
 	ports   []*SwitchPort
 	taps    []func(Capture)
+
+	// Store-and-forward FIFO: frames that finished ingress and are
+	// waiting out the fabric latency.
+	fwdQ       []fwdEntry
+	fwdHead    int
+	fwdPending bool
+	fwdFn      func() // once-allocated latency-expiry callback
 
 	// guaranteed marks (src, dst) connections with a QoS commitment:
 	// their frames use the high-priority egress queue, modeling the
@@ -74,7 +94,9 @@ func NewSwitch(k *sim.Kernel, bitRate float64, latency sim.Duration) *Switch {
 	if latency < 0 {
 		panic("ethernet: negative switch latency")
 	}
-	return &Switch{k: k, bitRate: bitRate, latency: latency}
+	sw := &Switch{k: k, bitRate: bitRate, latency: latency}
+	sw.fwdFn = sw.releaseForward
+	return sw
 }
 
 // Tap registers a monitoring callback invoked at each egress completion,
@@ -83,7 +105,15 @@ func (sw *Switch) Tap(fn func(Capture)) { sw.taps = append(sw.taps, fn) }
 
 // Attach adds a port.
 func (sw *Switch) Attach(name string) *SwitchPort {
-	p := &SwitchPort{sw: sw, id: len(sw.ports), name: name}
+	p := &SwitchPort{
+		sw:          sw,
+		id:          len(sw.ports),
+		name:        name,
+		ingressName: "switch.ingress:" + name,
+		egressName:  "switch.egress:" + name,
+	}
+	p.ingressFn = p.ingressDone
+	p.egressFn = p.egressDone
 	sw.ports = append(sw.ports, p)
 	return p
 }
@@ -95,21 +125,30 @@ func (sw *Switch) txDuration(f *Frame) sim.Duration {
 	return sim.DurationOf(float64(f.WireBytes()*8) / sw.bitRate)
 }
 
-// SwitchPort is one full-duplex attachment.
+// SwitchPort is one full-duplex attachment. Its queues pop from head
+// indexes and rewind to the start of their backing arrays whenever they
+// drain, so steady-state traffic reuses one allocation per queue.
 type SwitchPort struct {
-	sw   *Switch
-	id   int
-	name string
-	recv func(*Frame)
+	sw          *Switch
+	id          int
+	name        string
+	ingressName string // precomputed "switch.ingress:"+name
+	egressName  string // precomputed "switch.egress:"+name
+	recv        func(*Frame)
 
 	// Ingress (host → switch).
-	inQ    []*Frame
-	inBusy bool
+	inQ       []*Frame
+	inHead    int
+	inFlight  *Frame // frame currently serializing up the link
+	ingressFn func() // once-allocated ingress-completion callback
 
 	// Egress (switch → host): a strict-priority pair of queues.
-	outHi   []*Frame
-	outQ    []*Frame
-	outBusy bool
+	outHi     []*Frame
+	outHiHead int
+	outQ      []*Frame
+	outHead   int
+	outFlight *Frame // frame currently serializing down the link
+	egressFn  func() // once-allocated egress-completion callback
 }
 
 // ID reports the port's address.
@@ -122,7 +161,9 @@ func (p *SwitchPort) Name() string { return p.name }
 func (p *SwitchPort) OnReceive(fn func(*Frame)) { p.recv = fn }
 
 // QueueLen reports queued frames (ingress + egress).
-func (p *SwitchPort) QueueLen() int { return len(p.inQ) + len(p.outQ) + len(p.outHi) }
+func (p *SwitchPort) QueueLen() int {
+	return (len(p.inQ) - p.inHead) + (len(p.outQ) - p.outHead) + (len(p.outHi) - p.outHiHead)
+}
 
 // Send transmits a frame toward the switch.
 func (p *SwitchPort) Send(f *Frame) {
@@ -134,25 +175,66 @@ func (p *SwitchPort) Send(f *Frame) {
 	}
 	f.Src = p.id
 	p.inQ = append(p.inQ, f)
-	if !p.inBusy {
+	if p.inFlight == nil {
 		p.pumpIngress()
 	}
 }
 
 // pumpIngress serializes the next queued frame up the link.
 func (p *SwitchPort) pumpIngress() {
-	if len(p.inQ) == 0 {
-		p.inBusy = false
+	if p.inHead == len(p.inQ) {
+		p.inQ = p.inQ[:0]
+		p.inHead = 0
 		return
 	}
-	p.inBusy = true
-	f := p.inQ[0]
-	p.inQ = p.inQ[1:]
+	f := p.inQ[p.inHead]
+	p.inQ[p.inHead] = nil
+	p.inHead++
+	p.inFlight = f
 	sw := p.sw
-	sw.k.After(sw.txDuration(f)+InterFrameGap, "switch.ingress:"+p.name, func() {
-		sw.k.After(sw.latency, "switch.forward", func() { sw.forward(p, f) })
-		p.pumpIngress()
-	})
+	sw.k.After(sw.txDuration(f)+InterFrameGap, p.ingressName, p.ingressFn)
+}
+
+// ingressDone fires when the in-flight frame has fully arrived at the
+// switch: it enters the store-and-forward FIFO and the next queued frame
+// starts up the link.
+func (p *SwitchPort) ingressDone() {
+	f := p.inFlight
+	p.inFlight = nil
+	p.sw.enqueueForward(p, f)
+	p.pumpIngress()
+}
+
+// enqueueForward places a fully received frame in the latency FIFO and
+// arms the release timer if it is not already running. Latency is
+// constant, so arrival order is release order and one timer (for the
+// head entry) suffices.
+func (sw *Switch) enqueueForward(from *SwitchPort, f *Frame) {
+	at := sw.k.Now().Add(sw.latency)
+	sw.fwdQ = append(sw.fwdQ, fwdEntry{at: at, from: from, f: f})
+	if !sw.fwdPending {
+		sw.fwdPending = true
+		sw.k.At(at, "switch.forward", sw.fwdFn)
+	}
+}
+
+// releaseForward pops every FIFO entry whose latency has expired,
+// forwards it, and re-arms the timer for the new head (if any).
+func (sw *Switch) releaseForward() {
+	now := sw.k.Now()
+	for sw.fwdHead < len(sw.fwdQ) && sw.fwdQ[sw.fwdHead].at <= now {
+		e := sw.fwdQ[sw.fwdHead]
+		sw.fwdQ[sw.fwdHead] = fwdEntry{}
+		sw.fwdHead++
+		sw.forward(e.from, e.f)
+	}
+	if sw.fwdHead == len(sw.fwdQ) {
+		sw.fwdQ = sw.fwdQ[:0]
+		sw.fwdHead = 0
+		sw.fwdPending = false
+		return
+	}
+	sw.k.At(sw.fwdQ[sw.fwdHead].at, "switch.forward", sw.fwdFn)
 }
 
 // forward places the frame on the destination port's egress queue (all
@@ -168,10 +250,10 @@ func (sw *Switch) forward(from *SwitchPort, f *Frame) {
 			} else {
 				dst.outQ = append(dst.outQ, f)
 			}
-			if n := len(dst.outQ) + len(dst.outHi); n > sw.MaxQueue {
+			if n := (len(dst.outQ) - dst.outHead) + (len(dst.outHi) - dst.outHiHead); n > sw.MaxQueue {
 				sw.MaxQueue = n
 			}
-			if !dst.outBusy {
+			if dst.outFlight == nil {
 				dst.pumpEgress()
 			}
 		}
@@ -183,32 +265,48 @@ func (sw *Switch) forward(from *SwitchPort, f *Frame) {
 func (p *SwitchPort) pumpEgress() {
 	var f *Frame
 	switch {
-	case len(p.outHi) > 0:
-		f = p.outHi[0]
-		p.outHi = p.outHi[1:]
-	case len(p.outQ) > 0:
-		f = p.outQ[0]
-		p.outQ = p.outQ[1:]
+	case p.outHiHead < len(p.outHi):
+		f = p.outHi[p.outHiHead]
+		p.outHi[p.outHiHead] = nil
+		p.outHiHead++
+	case p.outHead < len(p.outQ):
+		f = p.outQ[p.outHead]
+		p.outQ[p.outHead] = nil
+		p.outHead++
 	default:
-		p.outBusy = false
+		if p.outHiHead == len(p.outHi) {
+			p.outHi = p.outHi[:0]
+			p.outHiHead = 0
+		}
+		if p.outHead == len(p.outQ) {
+			p.outQ = p.outQ[:0]
+			p.outHead = 0
+		}
 		return
 	}
-	p.outBusy = true
+	p.outFlight = f
 	sw := p.sw
-	sw.k.After(sw.txDuration(f)+InterFrameGap, "switch.egress:"+p.name, func() {
-		sw.Delivered++
-		sw.DeliveredBytes += int64(f.CapturedSize())
-		cap := Capture{
-			Time: sw.k.Now(), Size: f.CapturedSize(),
-			Src: f.Src, Dst: f.Dst, Proto: f.Proto,
-			SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
-		}
-		for _, tap := range sw.taps {
-			tap(cap)
-		}
-		if p.recv != nil {
-			p.recv(f)
-		}
-		p.pumpEgress()
-	})
+	sw.k.After(sw.txDuration(f)+InterFrameGap, p.egressName, p.egressFn)
+}
+
+// egressDone completes one delivery: stats, SPAN taps, the host upcall,
+// then the next egress frame.
+func (p *SwitchPort) egressDone() {
+	f := p.outFlight
+	p.outFlight = nil
+	sw := p.sw
+	sw.Delivered++
+	sw.DeliveredBytes += int64(f.CapturedSize())
+	cap := Capture{
+		Time: sw.k.Now(), Size: f.CapturedSize(),
+		Src: f.Src, Dst: f.Dst, Proto: f.Proto,
+		SrcPort: f.SrcPort, DstPort: f.DstPort, Flags: f.Flags,
+	}
+	for _, tap := range sw.taps {
+		tap(cap)
+	}
+	if p.recv != nil {
+		p.recv(f)
+	}
+	p.pumpEgress()
 }

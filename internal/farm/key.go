@@ -56,6 +56,13 @@ func Key(cfg core.RunConfig) string {
 	}
 	writeField(h, "degrade", cfg.Degrade)
 	writeField(h, "heartbeat-misses", cfg.HeartbeatMisses)
+	// Versioned extension: the topology field is hashed only when set, so
+	// every pre-topology config — and every cache entry written for one —
+	// keeps its exact key. Spec() is canonical (sorted, collapsed host
+	// ranges; defaults omitted), so equivalent topologies hash equal.
+	if cfg.Topology != nil {
+		writeField(h, "topology", cfg.Topology.Spec())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -36,6 +36,15 @@ var keyMutators = map[string]func(*core.RunConfig){
 	"Faults":            func(c *core.RunConfig) { c.Faults = faults.MustParse("1s:segdown,2s:segup") },
 	"Degrade":           func(c *core.RunConfig) { c.Degrade = true },
 	"HeartbeatMisses":   func(c *core.RunConfig) { c.HeartbeatMisses = 5 },
+	"Topology":          func(c *core.RunConfig) { c.Topology = mustTopology("lan0:0-1,lan1:2-3") },
+}
+
+func mustTopology(spec string) *core.Topology {
+	t, err := core.ParseTopology(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 func TestKeyCoversAllFields(t *testing.T) {
@@ -76,6 +85,28 @@ func TestKeyDeterministic(t *testing.T) {
 	}
 	if len(k0) != 64 {
 		t.Fatalf("key %q is not a sha256 hex digest", k0)
+	}
+}
+
+// TestKeyTopologyVersioned pins the versioned-extension contract: a nil
+// topology contributes nothing to the hash (pre-topology keys and cache
+// entries stay valid), and equivalent specs hash identically through the
+// canonical form.
+func TestKeyTopologyVersioned(t *testing.T) {
+	base := core.RunConfig{Program: "2dfft", Seed: 1}
+	const pretopology = "f53c0ab5b72235a888b866d28e16f033e2f7e69aff95a9c7811b85a42db260d9"
+	if k := Key(base); k != pretopology {
+		t.Errorf("nil-topology key changed: %s", k)
+	}
+	a := base
+	a.Topology = mustTopology("lan0:0-1,lan1:2-3")
+	b := base
+	b.Topology = mustTopology("lan0:0+1,lan1:2+3")
+	if Key(a) != Key(b) {
+		t.Error("equivalent topologies hash differently")
+	}
+	if Key(a) == Key(base) {
+		t.Error("topology did not change the key")
 	}
 }
 

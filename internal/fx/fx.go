@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"fxnet/internal/pvm"
 	"fxnet/internal/sim"
@@ -178,14 +179,17 @@ type Team struct {
 	baseTID int
 	hosts   []int // rank → machine host index
 	gen     int   // 0 for the original team, +1 per degrade re-form
-	done    int
+	// done counts workers that returned successfully. Atomic because in
+	// partitioned runs workers on different segment kernels increment it
+	// concurrently; it is only read after the simulation completes.
+	done    atomic.Int32
 	aborted bool
 	errs    []*RunError
 	next    *Team
 }
 
 // Done reports whether every worker has returned successfully.
-func (t *Team) Done() bool { return t.done == len(t.Workers) }
+func (t *Team) Done() bool { return int(t.done.Load()) == len(t.Workers) }
 
 // Failed reports whether any worker has aborted.
 func (t *Team) Failed() bool { return t.aborted }
@@ -366,7 +370,7 @@ func spawnTeam(m *pvm.Machine, opts Opts, body func(w *Worker)) *Team {
 					_ = ap // already recorded by abort
 					return
 				}
-				team.done++
+				team.done.Add(1)
 			}()
 			w.task = task
 			w.rng = task.Host().Kernel().Rand(fmt.Sprintf("fx.%s.%d", name, rank))

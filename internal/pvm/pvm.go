@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"fxnet/internal/netstack"
 	"fxnet/internal/sim"
@@ -99,8 +100,38 @@ type Machine struct {
 	live    int
 	daemons []*daemon
 
+	// Deferred-exit accounting for partitioned (multi-segment) runs:
+	// task exits land in pendingExits and are folded into live only at
+	// engine barriers, so every partition — including the exiting
+	// task's own — observes the pre-window value all window long. That
+	// makes the liveTasks signal identical in serial and parallel mode.
+	deferExits   bool
+	pendingExits atomic.Int64
+
 	dead       []bool // per host index, set by MarkHostDead
 	onHostDead []func(hostIndex int)
+}
+
+// taskExited records one task-body return.
+func (m *Machine) taskExited() {
+	if m.deferExits {
+		m.pendingExits.Add(1)
+		return
+	}
+	m.live--
+}
+
+// liveTasks reports the number of tasks whose exit has been folded in.
+func (m *Machine) liveTasks() int { return m.live }
+
+// DeferTaskExits switches exit accounting to barrier-deferred mode and
+// returns the fold function the topology runner registers as an engine
+// barrier hook.
+func (m *Machine) DeferTaskExits() func() {
+	m.deferExits = true
+	return func() {
+		m.live -= int(m.pendingExits.Swap(0))
+	}
 }
 
 // NewMachine assembles a virtual machine over hosts and starts a daemon
@@ -228,6 +259,10 @@ func (d *daemon) start() {
 	d.epoch++
 	epoch := d.epoch
 	d.echoSeen = false
+	// All daemon timing uses the host's own kernel: in a multi-segment
+	// topology each host lives on its segment's partition kernel, and a
+	// daemon must never read another partition's clock.
+	dk := d.host.Kernel()
 	d.host.BindUDP(DaemonPort, func(src int, srcPort uint16, payload []byte) {
 		if d.index == 0 {
 			// Master echoes each slave keepalive, as pvmd does for its
@@ -236,12 +271,12 @@ func (d *daemon) start() {
 				if d.lastSeen == nil {
 					d.lastSeen = make(map[int]sim.Time)
 				}
-				d.lastSeen[src] = d.m.k.Now()
+				d.lastSeen[src] = dk.Now()
 				d.host.SendUDP(src, DaemonPort, DaemonPort, payload)
 			}
 			return
 		}
-		d.lastEcho = d.m.k.Now()
+		d.lastEcho = dk.Now()
 		d.echoSeen = true
 	})
 	if d.m.cfg.KeepaliveInterval <= 0 {
@@ -251,11 +286,11 @@ func (d *daemon) start() {
 		d.startFailureDetector(epoch)
 		return
 	}
-	started := d.m.k.Now()
+	started := dk.Now()
 	window := sim.Duration(d.m.cfg.HeartbeatMisses) * d.m.cfg.KeepaliveInterval
 	var tick func()
 	tick = func() {
-		if epoch != d.epoch || d.m.live == 0 || d.host.Down() {
+		if epoch != d.epoch || d.m.liveTasks() == 0 || d.host.Down() {
 			return // superseded, quiescent, or crashed: stop generating events
 		}
 		if window > 0 && !d.m.HostDead(0) {
@@ -263,15 +298,15 @@ func (d *daemon) start() {
 			if d.echoSeen {
 				last = d.lastEcho
 			}
-			if d.m.k.Now().Sub(last) > window {
+			if dk.Now().Sub(last) > window {
 				d.m.MarkHostDead(0)
 			}
 		}
 		d.host.SendUDP(d.m.hosts[0].Addr(), DaemonPort, DaemonPort,
 			make([]byte, d.m.cfg.KeepalivePayload))
-		d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
+		dk.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
 	}
-	d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
+	dk.After(d.m.cfg.KeepaliveInterval, "pvmd.keepalive", tick)
 }
 
 // startFailureDetector runs the master-side liveness check: every
@@ -283,13 +318,14 @@ func (d *daemon) startFailureDetector(epoch int) {
 		return
 	}
 	window := sim.Duration(d.m.cfg.HeartbeatMisses) * d.m.cfg.KeepaliveInterval
-	started := d.m.k.Now()
+	dk := d.host.Kernel()
+	started := dk.Now()
 	var check func()
 	check = func() {
-		if epoch != d.epoch || d.m.live == 0 || d.host.Down() {
+		if epoch != d.epoch || d.m.liveTasks() == 0 || d.host.Down() {
 			return
 		}
-		now := d.m.k.Now()
+		now := dk.Now()
 		for i := 1; i < len(d.m.hosts); i++ {
 			if d.m.dead[i] {
 				continue
@@ -302,9 +338,9 @@ func (d *daemon) startFailureDetector(epoch int) {
 				d.m.MarkHostDead(i)
 			}
 		}
-		d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
+		dk.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
 	}
-	d.m.k.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
+	dk.After(d.m.cfg.KeepaliveInterval, "pvmd.hbcheck", check)
 }
 
 // message is one queued inbound message.
@@ -349,21 +385,22 @@ func (m *Machine) Spawn(name string, hostIndex int, body func(t *Task)) *Task {
 	m.tasks = append(m.tasks, t)
 	m.live++
 
+	hk := t.host.Kernel()
 	l := t.host.Listen(uint16(DirectPortBase + t.tid))
-	t.accept = m.k.Go(fmt.Sprintf("pvm.accept:%s", name), func(p *sim.Proc) {
+	t.accept = hk.Go(fmt.Sprintf("pvm.accept:%s", name), func(p *sim.Proc) {
 		for {
 			conn := l.Accept(p)
 			c := conn
 			t.inConns = append(t.inConns, c)
-			rp := m.k.Go(fmt.Sprintf("pvm.reader:%s", name), func(rp *sim.Proc) {
+			rp := hk.Go(fmt.Sprintf("pvm.reader:%s", name), func(rp *sim.Proc) {
 				t.readLoop(rp, c)
 			})
 			t.readers = append(t.readers, rp)
 		}
 	})
-	t.proc = m.k.Go("pvm.task:"+name, func(p *sim.Proc) {
+	t.proc = hk.Go("pvm.task:"+name, func(p *sim.Proc) {
 		body(t)
-		m.live--
+		m.taskExited()
 	})
 	return t
 }

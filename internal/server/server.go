@@ -354,6 +354,9 @@ type RunRequest struct {
 	Faults         string  `json:"faults,omitempty"`
 	Degrade        bool    `json:"degrade,omitempty"`
 	DisableDesched bool    `json:"disable_desched,omitempty"`
+	// Topology is a multi-segment topology spec like "lan0:0-1,lan1:2-3";
+	// empty keeps the single shared segment.
+	Topology string `json:"topology,omitempty"`
 }
 
 // stream validates the analysis selector.
@@ -395,6 +398,13 @@ func (req *RunRequest) config() (core.RunConfig, error) {
 		FaultScript:      req.Faults,
 		Degrade:          req.Degrade,
 		DisableDesched:   req.DisableDesched,
+	}
+	if req.Topology != "" {
+		topo, err := core.ParseTopology(req.Topology)
+		if err != nil {
+			return core.RunConfig{}, fmt.Errorf("bad topology: %v", err)
+		}
+		cfg.Topology = topo
 	}
 	if req.Program == core.Airshed && req.Hours > 0 {
 		ap := airshed.PaperParams()

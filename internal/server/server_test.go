@@ -171,6 +171,7 @@ func TestSubmitValidation(t *testing.T) {
 		"unknown program": {Program: "nope"},
 		"bad loss":        {Program: "sor", Loss: 1.5},
 		"bad faults":      {Program: "sor", Faults: "gibberish"},
+		"bad topology":    {Program: "sor", Topology: "lan0:0-1,lan0:2-3"},
 	} {
 		var e map[string]string
 		if code := doJSON(t, "POST", ts.URL+"/v1/runs", req, &e); code != http.StatusBadRequest {
@@ -181,6 +182,27 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if code := doJSON(t, "GET", ts.URL+"/v1/runs/r-99999999", nil, nil); code != http.StatusNotFound {
 		t.Errorf("unknown run: HTTP %d, want 404", code)
+	}
+}
+
+func TestSubmitTopologyRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := cheapRun()
+	req.Topology = "lan0:0-1,lan1:2-3"
+	st := waitState(t, ts.URL, submit(t, ts.URL, req))
+	if st.State != stateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Packets == 0 {
+		t.Fatal("topology run produced no packets")
+	}
+	// The topology participates in the cache key: the same run without
+	// one must not collide.
+	var accPlain, accTopo map[string]string
+	doJSON(t, "POST", ts.URL+"/v1/runs", cheapRun(), &accPlain)
+	doJSON(t, "POST", ts.URL+"/v1/runs", req, &accTopo)
+	if accPlain["key"] == accTopo["key"] {
+		t.Error("topology did not change the run key")
 	}
 }
 

@@ -1,0 +1,237 @@
+package sim
+
+import "sort"
+
+// Engine runs several kernels — one per topology partition — as a single
+// conservative parallel discrete-event simulation. Each window it finds
+// the earliest pending event time T across partitions, advances every
+// partition with work before T+lookahead independently (in parallel or
+// sequentially — the result bytes are identical either way), then meets
+// at a barrier where cross-partition messages queued during the window
+// are merged in deterministic (time, source partition, source sequence)
+// order and injected into their destination kernels.
+//
+// Correctness relies on the conservative lookahead contract: a message
+// sent from partition i during window [T, T+L) must be timestamped at
+// least T+L, which holds whenever every cross-partition path imposes a
+// minimum latency and L is the smallest sum of two such latencies (the
+// sender's egress delay plus the receiver's ingress delay). The barrier
+// panics if a message violates the horizon rather than silently
+// reordering history.
+//
+// Determinism: within a window each kernel sees only its own events (no
+// shared mutable state), so its execution is a pure function of its
+// pre-window queue. The barrier sorts messages by (at, src, seq) — both
+// components of which are derived from deterministic per-partition
+// execution — and injects them in that order, so destination kernels
+// assign identical sequence numbers in serial and parallel mode. By
+// induction over windows, the two modes produce byte-identical traces.
+type Engine struct {
+	parts     []*Kernel
+	lookahead Duration
+	outbox    [][]xfer // per-source-partition cross-partition sends this window
+	seq       []uint64 // per-source-partition send counter
+	hooks     []func() // run at every barrier, after message injection
+	merged    []xfer   // scratch: reused merge buffer
+	sorter    sort.Interface
+	cmds      []chan Time
+	done      chan struct{}
+	started   bool
+}
+
+// xferSorter sorts the engine's merge buffer by (at, src, seq). It holds
+// the engine, not the slice, because barrier reassigns e.merged; a
+// once-allocated sorter keeps the barrier allocation-free in steady
+// state.
+type xferSorter struct{ e *Engine }
+
+func (s xferSorter) Len() int      { return len(s.e.merged) }
+func (s xferSorter) Swap(a, b int) { m := s.e.merged; m[a], m[b] = m[b], m[a] }
+func (s xferSorter) Less(a, b int) bool {
+	x, y := &s.e.merged[a], &s.e.merged[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.src != y.src {
+		return x.src < y.src
+	}
+	return x.seq < y.seq
+}
+
+// xfer is one cross-partition message: a callback to be scheduled on the
+// destination kernel at a future virtual time.
+type xfer struct {
+	at   Time
+	dst  int
+	src  int
+	seq  uint64
+	name string
+	fn   func()
+}
+
+// NewEngine builds an engine over the given partition kernels. lookahead
+// is the conservative horizon; it must be positive when there is more
+// than one partition.
+func NewEngine(parts []*Kernel, lookahead Duration) *Engine {
+	if len(parts) == 0 {
+		panic("sim: engine needs at least one partition")
+	}
+	if len(parts) > 1 && lookahead <= 0 {
+		panic("sim: multi-partition engine needs positive lookahead")
+	}
+	e := &Engine{
+		parts:     parts,
+		lookahead: lookahead,
+		outbox:    make([][]xfer, len(parts)),
+		seq:       make([]uint64, len(parts)),
+		cmds:      make([]chan Time, len(parts)),
+		done:      make(chan struct{}, len(parts)),
+	}
+	for i := range e.cmds {
+		e.cmds[i] = make(chan Time, 1)
+	}
+	e.sorter = xferSorter{e}
+	return e
+}
+
+// Send queues a cross-partition message from partition src to partition
+// dst: fn will be scheduled on the destination kernel at virtual time at
+// during the next barrier. Must be called from event context of the
+// source partition. The timestamp must respect the lookahead horizon —
+// at least the end of the current window — which any path with the
+// latency bounds used to derive the lookahead satisfies by construction.
+func (e *Engine) Send(src, dst int, at Time, name string, fn func()) {
+	e.outbox[src] = append(e.outbox[src], xfer{
+		at: at, dst: dst, src: src, seq: e.seq[src], name: name, fn: fn,
+	})
+	e.seq[src]++
+}
+
+// OnBarrier registers fn to run at every barrier, after cross-partition
+// messages have been injected. Hooks run on the coordinating goroutine
+// while all partitions are quiescent; they are where per-partition
+// capture buffers are merged into shared collectors.
+func (e *Engine) OnBarrier(fn func()) {
+	e.hooks = append(e.hooks, fn)
+}
+
+const maxTime = Time(1<<63 - 1)
+
+// Run drives all partitions to completion and returns the virtual time
+// of the last executed event across them. With parallel=false the same
+// window/barrier schedule runs on the calling goroutine, one partition
+// at a time in index order — the serial baseline that parallel mode must
+// reproduce byte-for-byte.
+func (e *Engine) Run(parallel bool) Time {
+	if parallel && !e.started {
+		e.started = true
+		for i := range e.parts {
+			go e.worker(i)
+		}
+		defer func() {
+			for _, c := range e.cmds {
+				close(c)
+			}
+			e.started = false
+		}()
+	}
+	for {
+		// T = earliest pending event anywhere; windows skip idle time.
+		t := maxTime
+		any := false
+		for _, k := range e.parts {
+			if pt, ok := k.PeekTime(); ok && pt < t {
+				t = pt
+				any = true
+			}
+		}
+		if !any {
+			// No partition has work. Outboxes are necessarily empty:
+			// every Send is immediately followed (at the next barrier)
+			// by an At on the destination, so a non-empty outbox
+			// implies a pending event after the barrier that queued it.
+			break
+		}
+		end := maxTime
+		limit := maxTime
+		if len(e.parts) > 1 {
+			end = t.Add(e.lookahead)
+			limit = end - 1 // RunUntil is ≤ limit; the window is [t, end)
+		}
+		if parallel {
+			nrun := 0
+			for i, k := range e.parts {
+				if pt, ok := k.PeekTime(); ok && pt < end {
+					e.cmds[i] <- limit
+					nrun++
+				}
+			}
+			for ; nrun > 0; nrun-- {
+				<-e.done
+			}
+		} else {
+			for _, k := range e.parts {
+				if pt, ok := k.PeekTime(); ok && pt < end {
+					k.RunUntil(limit)
+				}
+			}
+		}
+		e.barrier(end)
+	}
+	var last Time
+	for _, k := range e.parts {
+		if at := k.LastEventAt(); at > last {
+			last = at
+		}
+	}
+	return last
+}
+
+// worker is one partition's goroutine in parallel mode: it advances its
+// kernel to each commanded limit and signals completion. The channel
+// send/receive pairs give the barrier the happens-before edges that make
+// cross-partition frame hand-off race-free.
+func (e *Engine) worker(i int) {
+	k := e.parts[i]
+	for limit := range e.cmds[i] {
+		k.RunUntil(limit)
+		e.done <- struct{}{}
+	}
+}
+
+// barrier merges all outboxes in (at, src, seq) order and injects each
+// message into its destination kernel. horizon is the end of the window
+// just completed; any message timestamped before it would rewrite
+// already-executed history, so that is a panic, not a reorder.
+func (e *Engine) barrier(horizon Time) {
+	e.merged = e.merged[:0]
+	for i := range e.outbox {
+		e.merged = append(e.merged, e.outbox[i]...)
+	}
+	if len(e.merged) == 0 {
+		e.runHooks()
+		return
+	}
+	sort.Sort(e.sorter)
+	for i := range e.merged {
+		x := &e.merged[i]
+		if x.at < horizon {
+			panic("sim: lookahead violation: cross-partition message " + x.name + " inside the committed window")
+		}
+		e.parts[x.dst].At(x.at, x.name, x.fn)
+		x.fn = nil // do not retain closures through the scratch buffer
+	}
+	for i := range e.outbox {
+		for j := range e.outbox[i] {
+			e.outbox[i][j].fn = nil
+		}
+		e.outbox[i] = e.outbox[i][:0]
+	}
+	e.runHooks()
+}
+
+func (e *Engine) runHooks() {
+	for _, fn := range e.hooks {
+		fn()
+	}
+}

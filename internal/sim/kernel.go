@@ -65,6 +65,7 @@ func (h Event) Time() Time {
 // exactly with the heap's.
 type Kernel struct {
 	now      Time
+	lastAt   Time // time of the last executed event (Now may run ahead to a RunUntil limit)
 	queue    []*event // 4-ary min-heap on (at, seq)
 	imm      []*event // power-of-two ring: events at the current instant
 	immHead  int
@@ -231,6 +232,7 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			panic("sim: time went backwards")
 		}
 		k.now = e.at
+		k.lastAt = e.at
 		k.executed++
 		fn, p := e.fn, e.proc
 		k.recycle(e)
@@ -249,6 +251,32 @@ func (k *Kernel) RunUntil(limit Time) Time {
 // Pending reports the number of events currently queued (including
 // cancelled events that have not yet been popped).
 func (k *Kernel) Pending() int { return len(k.queue) + k.immN }
+
+// PeekTime reports the timestamp of the earliest queued event, or false
+// if the queue is empty. Cancelled events still count: they are popped
+// (and skipped) in timestamp order like any other, so including them
+// keeps the answer independent of when cancellations are collected.
+func (k *Kernel) PeekTime() (Time, bool) {
+	switch {
+	case k.immN > 0 && len(k.queue) > 0:
+		ie, he := k.imm[k.immHead], k.queue[0]
+		if he.at < ie.at {
+			return he.at, true
+		}
+		return ie.at, true
+	case k.immN > 0:
+		return k.imm[k.immHead].at, true
+	case len(k.queue) > 0:
+		return k.queue[0].at, true
+	}
+	return 0, false
+}
+
+// LastEventAt reports the virtual time of the last executed event. It
+// differs from Now after RunUntil has advanced the clock to an event-free
+// limit; the partitioned engine uses it to report a final time that does
+// not depend on window geometry.
+func (k *Kernel) LastEventAt() Time { return k.lastAt }
 
 // --- same-instant FIFO ring ---
 

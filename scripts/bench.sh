@@ -101,7 +101,7 @@ go test -run '^$' -bench . -benchmem ./internal/sim >>"$BENCHOUT"
 go test -run '^$' -bench . -benchmem ./internal/ethernet >>"$BENCHOUT"
 go test -run '^$' -bench . -benchmem ./internal/dsp >>"$BENCHOUT"
 
-awk -v min_ms="$MIN_MS" -v base_ms="$BASELINE_SERIAL_MS" '
+awk -v min_ms="$MIN_MS" -v base_ms="$BASELINE_SERIAL_MS" -v cores="$(nproc 2>/dev/null || echo 1)" '
 BEGIN {
 	# name → "baseline_ns baseline_allocs" at the pre-optimization tree.
 	base["EventThroughput"] = "64.87 0"
@@ -119,6 +119,7 @@ BEGIN {
 	base["FFT2D_64x64"] = "175956 130"
 	printf "{\n"
 	printf "  \"bench\": \"hot-path microbenchmarks and serial end-to-end fxrepro -quick\",\n"
+	printf "  \"cores\": %d,\n", cores
 	printf "  \"serial_quick\": {\"baseline_ms\": %d, \"min_ms\": %d, \"runs\": 7, \"speedup\": %.2f},\n", base_ms, min_ms, base_ms / min_ms
 	printf "  \"microbenchmarks\": [\n"
 	first = 1
@@ -143,6 +144,15 @@ END {
 }' "$BENCHOUT" >"$SIM_OUT"
 
 cat "$SIM_OUT"
+
+# Switch forwarding is a per-frame hot path: it must not allocate in
+# steady state (frames pool through head-indexed queues and once-built
+# callbacks — see internal/ethernet/switch.go).
+SWITCH_ALLOCS=$(awk '/^BenchmarkSwitchForwarding/ {print $(NF - 1)}' "$BENCHOUT")
+if [ "$SWITCH_ALLOCS" != "0" ]; then
+	echo "bench: FAIL: switch forwarding allocates $SWITCH_ALLOCS/op, want 0" >&2
+	exit 1
+fi
 
 # --- service benchmark → BENCH_serve.json ----------------------------
 # fxnetd under open-loop mixed load: boot on an ephemeral port, warm the
@@ -192,3 +202,9 @@ sh scripts/bench_analysis.sh
 # Spectral-model catalog: fit-once/admit-in-microseconds speedup floor,
 # 5% mean-bandwidth error ceiling, byte-identical .fxmodel determinism.
 sh scripts/bench_catalog.sh
+
+# --- parallel-DES suite → BENCH_pdes.json ----------------------------
+# Conservative PDES over a 4-segment / 64-host topology: byte-identical
+# serial vs parallel traces, zero-alloc partition hot loops, and a >= 2x
+# parallel speedup floor enforced when the host has >= 4 cores.
+sh scripts/bench_pdes.sh

@@ -1,0 +1,104 @@
+#!/bin/sh
+# Parallel-DES benchmark: one 2dfft run on a 4-segment / 64-host switched
+# topology, executed serially and in parallel through the partitioned
+# conservative engine. Writes BENCH_pdes.json.
+#
+# Three gates:
+#   1. Byte identity — the serial and parallel traces must be exactly the
+#      same bytes (the contract DESIGN.md §13 proves; also enforced under
+#      -race by cmd/fxrepro's topology golden tests).
+#   2. Zero steady-state allocations in the engine window loop and the
+#      switch forwarding path (the partition hot loops).
+#   3. Parallel speedup >= 2x over serial — enforced only when the host
+#      has >= 4 cores, because one worker goroutine per segment cannot
+#      beat serial execution on fewer cores; the JSON records "cores" so
+#      readers can judge the numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${PDES_OUT:-BENCH_pdes.json}"
+RUNS="${PDES_RUNS:-3}"
+TOPO="lan0:0-15,lan1:16-31,lan2:32-47,lan3:48-63"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/fxrun" ./cmd/fxrun
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# bench_mode <serial|parallel> <outfile>: min-of-RUNS wall clock, ms.
+bench_mode() {
+	mode=$1; trace=$2; min=
+	i=0
+	while [ "$i" -lt "$RUNS" ]; do
+		i=$((i + 1))
+		start=$(now_ms)
+		"$TMP/fxrun" -program 2dfft -p 64 -n 256 -iters 20 \
+			-topology "$TOPO" -pdes "$mode" -o "$trace" 2>/dev/null
+		ms=$(( $(now_ms) - start ))
+		if [ -z "$min" ] || [ "$ms" -lt "$min" ]; then min=$ms; fi
+	done
+	echo "$min"
+}
+
+echo "bench: pdes serial (4 segments, 64 hosts, min of $RUNS)" >&2
+SERIAL_MS=$(bench_mode serial "$TMP/serial.trace")
+echo "bench: pdes parallel (4 segments, 64 hosts, min of $RUNS)" >&2
+PARALLEL_MS=$(bench_mode parallel "$TMP/parallel.trace")
+
+SERIAL_SHA=$(sha256sum "$TMP/serial.trace" | cut -d' ' -f1)
+PARALLEL_SHA=$(sha256sum "$TMP/parallel.trace" | cut -d' ' -f1)
+if [ "$SERIAL_SHA" != "$PARALLEL_SHA" ]; then
+	echo "bench: FAIL: serial trace $SERIAL_SHA != parallel trace $PARALLEL_SHA" >&2
+	exit 1
+fi
+
+echo "bench: engine + switch zero-alloc gates" >&2
+go test -run '^$' -bench 'BenchmarkEngineWindow' -benchmem ./internal/sim >"$TMP/bench.out"
+go test -run '^$' -bench 'BenchmarkSwitchForwarding' -benchmem ./internal/ethernet >>"$TMP/bench.out"
+ENGINE_ALLOCS=$(awk '/^BenchmarkEngineWindow/ {print $(NF-1)}' "$TMP/bench.out")
+SWITCH_ALLOCS=$(awk '/^BenchmarkSwitchForwarding/ {print $(NF-1)}' "$TMP/bench.out")
+ENGINE_NS=$(awk '/^BenchmarkEngineWindow/ {print $3}' "$TMP/bench.out")
+SWITCH_NS=$(awk '/^BenchmarkSwitchForwarding/ {print $3}' "$TMP/bench.out")
+if [ "$ENGINE_ALLOCS" != "0" ]; then
+	echo "bench: FAIL: engine window loop allocates $ENGINE_ALLOCS/op, want 0" >&2
+	exit 1
+fi
+if [ "$SWITCH_ALLOCS" != "0" ]; then
+	echo "bench: FAIL: switch forwarding allocates $SWITCH_ALLOCS/op, want 0" >&2
+	exit 1
+fi
+
+CORES=$(nproc 2>/dev/null || echo 1)
+SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $SERIAL_MS/$PARALLEL_MS}")
+ENFORCED=false
+if [ "$CORES" -ge 4 ]; then
+	ENFORCED=true
+	if ! awk "BEGIN{exit !($SPEEDUP >= 2)}"; then
+		echo "bench: FAIL: pdes speedup $SPEEDUP at 4 segments on $CORES cores, want >= 2" >&2
+		exit 1
+	fi
+fi
+
+printf '{
+  "bench": "conservative parallel DES: 2dfft P=64 on 4 segments",
+  "cores": %s,
+  "topology": "%s",
+  "runs": %s,
+  "serial_ms": %s,
+  "parallel_ms": %s,
+  "parallel_speedup": %s,
+  "speedup_floor": 2,
+  "speedup_floor_enforced": %s,
+  "trace_sha256": "%s",
+  "digests_identical": true,
+  "engine_window_ns_op": %s,
+  "engine_window_allocs_op": %s,
+  "switch_forwarding_ns_op": %s,
+  "switch_forwarding_allocs_op": %s
+}\n' "$CORES" "$TOPO" "$RUNS" "$SERIAL_MS" "$PARALLEL_MS" "$SPEEDUP" \
+	"$ENFORCED" "$SERIAL_SHA" "$ENGINE_NS" "$ENGINE_ALLOCS" \
+	"$SWITCH_NS" "$SWITCH_ALLOCS" >"$OUT"
+
+cat "$OUT"

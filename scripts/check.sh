@@ -13,8 +13,11 @@ go test ./...
 # The streaming-analysis pipeline shares pooled FFT scratch across
 # workers and merges parallel spectral stages back in index order; run
 # those packages under the race detector first so a synchronization
-# regression fails fast, then sweep the whole tree.
+# regression fails fast. The conservative parallel engine runs one
+# worker goroutine per segment partition, so the DES kernel and the
+# Ethernet layer get the same fail-fast treatment. Then sweep the tree.
 go test -race ./internal/dsp/... ./internal/analysis/...
+go test -race ./internal/sim/... ./internal/ethernet/...
 go test -race ./...
 
 # Crash-safety smoke: SIGKILL fxnetd mid-queue, restart over the same
