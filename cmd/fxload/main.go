@@ -13,9 +13,20 @@
 // recorded, so the tool keeps measuring through shedding, breaker
 // trips, and restarts of a crash-safe server.
 //
+// Against a sharded cluster, -targets sprays the same mix across every
+// shard's URL, -keys widens the submission pool to N distinct run
+// configurations, and -zipf skews which keys are drawn (s > 1 selects a
+// Zipf(s) law over the key ranks, the classic hot-key shape; 0 is
+// uniform). After the run the tool scrapes every target's /metrics and
+// reports the cluster-wide picture: how many simulations actually
+// executed versus how much work was answered from memo, disk, peers,
+// or proxying — the warm-cluster dedup rate the sharding exists to buy.
+//
 // Usage:
 //
 //	fxload -url http://127.0.0.1:8080 -rps 800 -duration 10s -json BENCH_serve.json
+//	fxload -targets http://127.0.0.1:9001,http://127.0.0.1:9002 \
+//	       -keys 32 -zipf 1.3 -rps 600 -duration 10s -json BENCH_cluster.json
 package main
 
 import (
@@ -30,6 +41,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,10 +82,13 @@ func main() {
 	log.SetPrefix("fxload: ")
 	var (
 		base     = flag.String("url", "http://127.0.0.1:8080", "fxnetd base URL")
+		targets  = flag.String("targets", "", "comma-separated shard URLs; overrides -url (requests spray across all)")
 		rps      = flag.Float64("rps", 800, "offered request rate (open loop)")
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		clients  = flag.Int("clients", 8, "distinct client identities (X-Client-ID values)")
 		retries  = flag.Int("retries", 3, "attempts per idempotent request before recording the outcome")
+		keys     = flag.Int("keys", 4, "distinct run configurations in the submission pool")
+		zipfS    = flag.Float64("zipf", 0, "Zipf skew exponent over key ranks (0 or <=1 = uniform)")
 		seed     = flag.Int64("seed", 1, "mix-selection seed")
 		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
 		ver      = version.Register()
@@ -80,7 +96,29 @@ func main() {
 	flag.Parse()
 	version.ExitIfRequested(ver)
 
-	rep, err := drive(*base, *rps, *duration, *clients, *retries, *seed)
+	urls := []string{*base}
+	if *targets != "" {
+		urls = urls[:0]
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			log.Fatal("-targets given but empty")
+		}
+	}
+
+	rep, err := drive(driveConfig{
+		targets:  urls,
+		rps:      *rps,
+		duration: *duration,
+		clients:  *clients,
+		retries:  *retries,
+		keys:     *keys,
+		zipfS:    *zipfS,
+		seed:     *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,9 +135,10 @@ func main() {
 	}
 }
 
-// report is the JSON output shape (BENCH_serve.json).
+// report is the JSON output shape (BENCH_serve.json / BENCH_cluster.json).
 type report struct {
-	URL string `json:"url"`
+	URL     string   `json:"url"`
+	Targets []string `json:"targets,omitempty"` // all sprayed URLs when > 1
 	// Cores records the load generator's CPU count: achieved throughput
 	// and latency quantiles are only comparable between hosts with the
 	// same parallelism budget.
@@ -110,11 +149,48 @@ type report struct {
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
 	Throttled   int     `json:"throttled"`
+	Keys        int     `json:"keys"`
+	ZipfS       float64 `json:"zipf_s,omitempty"`
 
 	LatencyMs quantiles            `json:"latency_ms"`
 	ByOp      map[string]opSummary `json:"by_op"`
 
-	Server json.RawMessage `json:"server,omitempty"` // /healthz snapshot after the run
+	// Cluster is the post-run /metrics view across every target: what
+	// actually executed versus what the memo, disk cache, peer fetch, and
+	// dedup layers absorbed. Present whenever the scrape succeeds, even
+	// against a single unclustered node.
+	Cluster *clusterReport  `json:"cluster,omitempty"`
+	Server  json.RawMessage `json:"server,omitempty"` // /healthz snapshot after the run
+}
+
+// clusterReport aggregates each target's farm and cluster counters after
+// the run. ReuseRate is the headline number: the fraction of farm
+// submissions cluster-wide that did NOT cost a simulation — answered by
+// memo, disk cache, peer fetch, or single-flight dedup instead.
+type clusterReport struct {
+	Targets        []targetStats `json:"targets"`
+	Submitted      int64         `json:"submitted_total"`
+	Executed       int64         `json:"executed_total"`
+	CacheHits      int64         `json:"cache_hits_total"`
+	PeerHits       int64         `json:"peer_hits_total"`
+	Deduped        int64         `json:"deduped_total"`
+	ProxiedSubmits int64         `json:"proxied_submits_total"`
+	ReuseRate      float64       `json:"reuse_rate"`
+	// CrossShardHitRate is the fraction of cache hits satisfied from a
+	// peer's cache rather than local disk — how much the /v1/cache tier
+	// actually moved.
+	CrossShardHitRate float64 `json:"cross_shard_hit_rate"`
+}
+
+// targetStats is one shard's slice of the post-run scrape.
+type targetStats struct {
+	URL            string `json:"url"`
+	Submitted      int64  `json:"submitted_total"`
+	Executed       int64  `json:"executed_total"`
+	CacheHits      int64  `json:"cache_hits_total"`
+	PeerHits       int64  `json:"peer_hits_total"`
+	Deduped        int64  `json:"deduped_total"`
+	ProxiedSubmits int64  `json:"proxied_submits_total"`
 }
 
 type quantiles struct {
@@ -132,8 +208,16 @@ type opSummary struct {
 }
 
 func (r *report) print(w io.Writer) {
+	if len(r.Targets) > 1 {
+		fmt.Fprintf(w, "spraying %d targets, %d keys (zipf %.2g)\n", len(r.Targets), r.Keys, r.ZipfS)
+	}
 	fmt.Fprintf(w, "offered %.0f req/s for %.1fs -> achieved %.1f req/s (%d requests, %d errors, %d throttled)\n",
 		r.TargetRPS, r.DurationS, r.AchievedRPS, r.Requests, r.Errors, r.Throttled)
+	if c := r.Cluster; c != nil && c.Submitted > 0 {
+		fmt.Fprintf(w, "cluster: %d farm submissions, %d executed, %d cache hits (%d from peers), %d deduped, %d proxied -> reuse %.1f%%, cross-shard hits %.1f%%\n",
+			c.Submitted, c.Executed, c.CacheHits, c.PeerHits, c.Deduped, c.ProxiedSubmits,
+			100*c.ReuseRate, 100*c.CrossShardHitRate)
+	}
 	fmt.Fprintf(w, "latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		r.LatencyMs.P50, r.LatencyMs.P90, r.LatencyMs.P99, r.LatencyMs.Max)
 	ops := make([]string, 0, len(r.ByOp))
@@ -163,33 +247,55 @@ func quantilesOf(durs []time.Duration) quantiles {
 	}
 }
 
-func drive(base string, rps float64, duration time.Duration, clients, retries int, seed int64) (*report, error) {
-	if rps <= 0 {
+// driveConfig parameterizes one load run.
+type driveConfig struct {
+	targets  []string
+	rps      float64
+	duration time.Duration
+	clients  int
+	retries  int
+	keys     int
+	zipfS    float64
+	seed     int64
+}
+
+func drive(cfg driveConfig) (*report, error) {
+	if cfg.rps <= 0 {
 		return nil, fmt.Errorf("rps must be positive")
 	}
-	if clients < 1 {
-		clients = 1
+	if cfg.clients < 1 {
+		cfg.clients = 1
 	}
-	if retries < 1 {
-		retries = 1
+	if cfg.retries < 1 {
+		cfg.retries = 1
 	}
+	if cfg.keys < 1 {
+		cfg.keys = 1
+	}
+	clients, retries, seed := cfg.clients, cfg.retries, cfg.seed
 	httpc := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        4 * clients * 16,
 			MaxIdleConnsPerHost: 4 * clients * 16,
 		},
 	}
-	// One shared retrying client; per-request identities rotate via an
-	// explicit X-Client-ID header so ClientID stays unset.
-	fx := &client.Client{
-		Base: base,
-		HTTP: httpc,
-		Retry: client.Policy{
-			MaxAttempts: retries,
-			BaseDelay:   10 * time.Millisecond,
-			MaxDelay:    250 * time.Millisecond,
-			Deadline:    30 * time.Second,
-		},
+	// One retrying client per target, sharing the transport; per-request
+	// identities rotate via an explicit X-Client-ID header so ClientID
+	// stays unset. Ops pick a target uniformly at random — against a
+	// cluster this deliberately sends most keyed submits to shards that do
+	// not own the key, exercising the routing layer.
+	fxs := make([]*client.Client, len(cfg.targets))
+	for i, u := range cfg.targets {
+		fxs[i] = &client.Client{
+			Base: u,
+			HTTP: httpc,
+			Retry: client.Policy{
+				MaxAttempts: retries,
+				BaseDelay:   10 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+				Deadline:    30 * time.Second,
+			},
+		}
 	}
 	var reqSeq atomic.Int64
 	hdr := func() http.Header {
@@ -197,12 +303,24 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 		h.Set("X-Client-ID", fmt.Sprintf("fxload-%d", reqSeq.Add(1)%int64(clients)))
 		return h
 	}
-	get := func(path string) (int, []byte, error) {
-		resp, err := fx.Do(context.Background(), http.MethodGet, path, nil, hdr())
+	get := func(c *client.Client, path string) (int, []byte, error) {
+		resp, err := c.Do(context.Background(), http.MethodGet, path, nil, hdr())
 		if err != nil {
 			return 0, nil, err
 		}
 		return resp.Status, resp.Body, nil
+	}
+
+	// drawSeed maps a goroutine's rng to a run-config seed in [1, keys].
+	// With zipf > 1 the ranks follow a Zipf(s) law — seed 1 is the hot
+	// key — which is the skew the cluster bench uses to probe tail
+	// latency when one shard owns the popular key.
+	drawSeed := func(rng *rand.Rand) int64 {
+		if cfg.zipfS > 1 && cfg.keys > 1 {
+			z := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.keys-1))
+			return 1 + int64(z.Uint64())
+		}
+		return 1 + rng.Int63n(int64(cfg.keys))
 	}
 
 	// Submitted run IDs feed the status-poll op; seed one run up front so
@@ -227,7 +345,7 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 
 	ops := []opGen{
 		{"submit", 0.10, func(c *client.Client, rng *rand.Rand) (int, error) {
-			body := runBody(1 + rng.Int63n(4))
+			body := runBody(drawSeed(rng))
 			h := hdr()
 			h.Set(client.IdempotencyKeyHeader, client.IdempotencyKey(body))
 			resp, err := c.Do(context.Background(), http.MethodPost, "/v1/runs", body, h)
@@ -245,10 +363,12 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 		{"status", 0.30, func(c *client.Client, rng *rand.Rand) (int, error) {
 			id := pickID(rng)
 			if id == "" {
-				code, _, err := get("/healthz")
+				code, _, err := get(c, "/healthz")
 				return code, err
 			}
-			code, _, err := get("/v1/runs/" + id)
+			// Any target can answer: polls for jobs owned elsewhere proxy
+			// to the owning shard.
+			code, _, err := get(c, "/v1/runs/"+id)
 			return code, err
 		}},
 		{"negotiate", 0.20, func(c *client.Client, rng *rand.Rand) (int, error) {
@@ -267,11 +387,11 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 			return resp.Status, nil
 		}},
 		{"commitments", 0.10, func(c *client.Client, rng *rand.Rand) (int, error) {
-			code, _, err := get("/v1/qos/commitments")
+			code, _, err := get(c, "/v1/qos/commitments")
 			return code, err
 		}},
 		{"healthz", 0.30, func(c *client.Client, rng *rand.Rand) (int, error) {
-			code, _, err := get("/healthz")
+			code, _, err := get(c, "/healthz")
 			return code, err
 		}},
 	}
@@ -279,15 +399,16 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 	// Warm up through the retrying client: one run submitted and executed
 	// so status polls and the submit op's duplicates hit a memoized
 	// result. Submit is keyed, so this survives a server that is still
-	// replaying its journal.
+	// replaying its journal. Key 1 is the hot key under Zipf skew, so
+	// warming it mirrors the steady state the run measures.
 	warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	acc, err := fx.Submit(warmCtx, runBody(1))
+	acc, err := fxs[0].Submit(warmCtx, runBody(1))
 	if err != nil {
 		return nil, fmt.Errorf("warm-up submit: %w", err)
 	}
 	addID(acc.ID)
-	st, err := fx.WaitDone(warmCtx, acc.ID, 10*time.Millisecond)
+	st, err := fxs[0].WaitDone(warmCtx, acc.ID, 10*time.Millisecond)
 	if err != nil {
 		return nil, fmt.Errorf("warm-up poll: %w", err)
 	}
@@ -302,8 +423,8 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 		samples []sample
 		wg      sync.WaitGroup
 	)
-	interval := time.Duration(float64(time.Second) / rps)
-	total := int(rps * duration.Seconds())
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	total := int(cfg.rps * cfg.duration.Seconds())
 	rngSrc := rand.New(rand.NewSource(seed))
 	// Pre-draw the op sequence so the hot loop only launches goroutines.
 	plan := make([]*opGen, total)
@@ -331,7 +452,7 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			t0 := time.Now()
-			code, err := op.do(fx, rng)
+			code, err := op.do(fxs[rng.Intn(len(fxs))], rng)
 			s := sample{op: op.name, code: code, latency: time.Since(t0), err: err != nil}
 			mu.Lock()
 			samples = append(samples, s)
@@ -342,12 +463,17 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 	elapsed := time.Since(start)
 
 	rep := &report{
-		URL:       base,
+		URL:       cfg.targets[0],
 		Cores:     runtime.NumCPU(),
-		TargetRPS: rps,
+		TargetRPS: cfg.rps,
 		DurationS: elapsed.Seconds(),
 		Requests:  len(samples),
+		Keys:      cfg.keys,
+		ZipfS:     cfg.zipfS,
 		ByOp:      make(map[string]opSummary),
+	}
+	if len(cfg.targets) > 1 {
+		rep.Targets = cfg.targets
 	}
 	rep.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
 	var all []time.Duration
@@ -374,8 +500,65 @@ func drive(base string, rps float64, duration time.Duration, clients, retries in
 		rep.ByOp[op] = sum
 	}
 
-	if code, body, err := get("/healthz"); err == nil && code == http.StatusOK {
+	rep.Cluster = scrapeCluster(fxs, get)
+	if code, body, err := get(fxs[0], "/healthz"); err == nil && code == http.StatusOK {
 		rep.Server = json.RawMessage(body)
 	}
 	return rep, nil
+}
+
+// scrapeCluster reads every target's /metrics after the run and sums the
+// farm counters into the cluster-wide reuse picture. Any target that
+// fails to answer is skipped; nil is returned only if none answered.
+func scrapeCluster(fxs []*client.Client, get func(*client.Client, string) (int, []byte, error)) *clusterReport {
+	c := &clusterReport{}
+	for _, fx := range fxs {
+		code, body, err := get(fx, "/metrics")
+		if err != nil || code != http.StatusOK {
+			continue
+		}
+		ts := targetStats{
+			URL:            fx.Base,
+			Submitted:      int64(metricValue(body, `fxnetd_farm_submitted_total`)),
+			Executed:       int64(metricValue(body, `fxnetd_farm_executed_total`)),
+			CacheHits:      int64(metricValue(body, `fxnetd_farm_cache_hits_total`)),
+			PeerHits:       int64(metricValue(body, `fxnetd_farm_peer_hits_total`)),
+			Deduped:        int64(metricValue(body, `fxnetd_farm_deduped_total`)),
+			ProxiedSubmits: int64(metricValue(body, `fxnetd_cluster_proxied_total{kind="submit"}`)),
+		}
+		c.Targets = append(c.Targets, ts)
+		c.Submitted += ts.Submitted
+		c.Executed += ts.Executed
+		c.CacheHits += ts.CacheHits
+		c.PeerHits += ts.PeerHits
+		c.Deduped += ts.Deduped
+		c.ProxiedSubmits += ts.ProxiedSubmits
+	}
+	if len(c.Targets) == 0 {
+		return nil
+	}
+	if c.Submitted > 0 {
+		c.ReuseRate = 1 - float64(c.Executed)/float64(c.Submitted)
+	}
+	if c.CacheHits > 0 {
+		c.CrossShardHitRate = float64(c.PeerHits) / float64(c.CacheHits)
+	}
+	return c
+}
+
+// metricValue extracts one sample (exact name, including any label set)
+// from a Prometheus text exposition; absent metrics read as 0, so
+// unclustered targets simply report no proxying.
+func metricValue(body []byte, name string) float64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
 }

@@ -12,11 +12,20 @@
 // run cache, admissions restore the capacity ledger, and a torn tail is
 // truncated, not fatal.
 //
+// With -cluster-self/-cluster-peers the daemon joins a consistent-hash
+// shard ring: run keys route to their owning shard (transparent proxy
+// by default), cache entries move between shards over /v1/cache/{key}
+// with digest verification, and the QoS broker admits against the
+// cluster-wide capacity minus what peers report committed (gossiped
+// every -cluster-gossip).
+//
 // Usage:
 //
 //	fxnetd -addr :8080 -j 8 -cache .fxcache -journal .fxcache/journal.wal
 //	fxnetd -addr 127.0.0.1:0 -portfile /tmp/fxnetd.port   # ephemeral port
 //	fxnetd -journal .fxcache/journal.wal -replay          # offline self-check
+//	fxnetd -addr :8081 -cache /var/a -cluster-self s0 \
+//	       -cluster-peers 's0=http://h0:8081,s1=http://h1:8081,s2=http://h2:8081'
 //
 // Endpoints:
 //
@@ -32,6 +41,9 @@
 //	                                  answers from fitted models)
 //	GET    /v1/qos/commitments        outstanding commitments
 //	DELETE /v1/qos/commitments/{id}   release a commitment
+//	GET    /v1/cache/{key}            raw cache entry for peer fetch (?kind=spec)
+//	GET    /v1/cluster/ring           ring layout; ?key=K names the key's owner
+//	GET    /v1/cluster/ledger         this shard's slice of the QoS ledger
 //	GET    /metrics, /healthz (liveness), /readyz (readiness), /debug/pprof/
 //
 // On SIGTERM or SIGINT the daemon flips /readyz to not-ready, stops
@@ -54,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"fxnet/internal/cluster"
 	"fxnet/internal/journal"
 	"fxnet/internal/server"
 	"fxnet/internal/version"
@@ -75,7 +88,18 @@ func main() {
 		climit     = flag.Int("client-limit", 16, "max in-flight API requests per client (0 = unlimited)")
 		maxQueue   = flag.Int("max-queue", 0, "farm queue depth where load shedding begins (0 = 256)")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight work on shutdown")
-		ver        = version.Register()
+
+		memoEntries = flag.Int("memo-entries", 0, "max in-memory memoized results (0 = unbounded)")
+		memoBytes   = flag.Int64("memo-bytes", 0, "max estimated bytes of in-memory memoized results (0 = unbounded)")
+
+		clusterSelf    = flag.String("cluster-self", "", "this shard's ID in the cluster ring (empty = not clustered)")
+		clusterPeers   = flag.String("cluster-peers", "", "full ring membership as id1=url1,id2=url2,... (must include -cluster-self)")
+		clusterVNodes  = flag.Int("cluster-vnodes", 0, "virtual nodes per peer on the hash ring (0 = 64)")
+		clusterVersion = flag.Int("cluster-ring-version", 1, "ring configuration version; peers gossip it and flag divergence")
+		clusterRoute   = flag.String("cluster-route", "proxy", "off-ring request handling: proxy, redirect, or off")
+		clusterGossip  = flag.Duration("cluster-gossip", 2*time.Second, "QoS ledger gossip interval (0 = no gossip)")
+		clusterCap     = flag.Float64("cluster-capacity", 0, "cluster-wide QoS capacity in bytes/s (0 = the local -capacity)")
+		ver            = version.Register()
 	)
 	flag.Parse()
 	version.ExitIfRequested(ver)
@@ -87,18 +111,35 @@ func main() {
 		return
 	}
 	opts := server.Options{
-		Workers:     *workers,
-		CacheDir:    *cache,
-		CatalogDir:  *catDir,
-		Memoize:     true,
-		CapacityBps: *capacity,
-		MaxP:        *maxP,
-		ClientLimit: *climit,
-		JournalPath: *jpath,
-		MaxQueue:    *maxQueue,
-		Log:         log.Default(),
+		Workers:        *workers,
+		CacheDir:       *cache,
+		CatalogDir:     *catDir,
+		Memoize:        true,
+		MemoMaxEntries: *memoEntries,
+		MemoMaxBytes:   *memoBytes,
+		CapacityBps:    *capacity,
+		MaxP:           *maxP,
+		ClientLimit:    *climit,
+		JournalPath:    *jpath,
+		MaxQueue:       *maxQueue,
+		Log:            log.Default(),
+
+		ClusterRoute:       *clusterRoute,
+		ClusterCapacityBps: *clusterCap,
 	}
-	if err := run(*addr, *portfile, opts, *drainTO); err != nil {
+	if *clusterSelf != "" || *clusterPeers != "" {
+		peers, err := cluster.ParsePeers(*clusterPeers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cluster = cluster.Config{
+			Version: *clusterVersion,
+			VNodes:  *clusterVNodes,
+			Self:    *clusterSelf,
+			Peers:   peers,
+		}
+	}
+	if err := run(*addr, *portfile, opts, *drainTO, *clusterGossip); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -135,7 +176,7 @@ func replayCheck(path string) error {
 	return nil
 }
 
-func run(addr, portfile string, opts server.Options, drainTO time.Duration) error {
+func run(addr, portfile string, opts server.Options, drainTO, gossipInterval time.Duration) error {
 	s, err := server.New(opts)
 	if err != nil {
 		return err
@@ -188,6 +229,15 @@ func run(addr, portfile string, opts server.Options, drainTO time.Duration) erro
 		log.Printf("ready")
 	}
 	rcancel()
+
+	// Ledger gossip starts after recovery so the commitments this shard
+	// reports to peers include everything the journal restored.
+	if s.Ring() != nil {
+		log.Printf("cluster: shard %s in %d-peer ring (version %d)",
+			s.Ring().SelfID(), len(s.Ring().Peers()), s.Ring().Version())
+		stopGossip := s.StartClusterGossip(gossipInterval)
+		defer stopGossip()
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the slice of the farm cache the fetcher needs: install a
+// streamed entry after verifying its embedded digest. *farm.Cache
+// implements it.
+type Store interface {
+	InstallRaw(key string, stream bool, r io.Reader) (int64, error)
+}
+
+// Fetcher is the third tier of the run-cache lookup: when a key misses
+// memory and local disk, ask the peers that may hold it for the
+// content-addressed entry over GET /v1/cache/{key}. The entry is
+// streamed straight into the local cache install path, which verifies
+// the embedded SHA-256 before publishing and quarantines a mismatch —
+// a peer can cost a fetch, never poison the cache.
+//
+// The farm's single-flight machinery wraps every fetch (a cache miss
+// holds the key's execution slot), so one miss triggers at most one
+// peer sweep no matter how many clients asked.
+type Fetcher struct {
+	ring  *Ring
+	store Store
+	http  *http.Client
+	// Timeout bounds each peer attempt; zero selects 10s.
+	Timeout time.Duration
+	// MaxPeers bounds how many peers one miss may try; zero selects 2.
+	MaxPeers int
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	failures atomic.Int64
+}
+
+// NewFetcher builds a fetcher over a ring and a local store. httpc nil
+// selects a dedicated client (the fetcher streams large bodies; it must
+// not share fxload-style aggressive timeouts).
+func NewFetcher(ring *Ring, store Store, httpc *http.Client) *Fetcher {
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	return &Fetcher{ring: ring, store: store, http: httpc}
+}
+
+// Hits, Misses, and Failures report fetch outcomes: an installed entry,
+// a sweep where no peer had it, and transport/verification errors.
+func (f *Fetcher) Hits() int64     { return f.hits.Load() }
+func (f *Fetcher) Misses() int64   { return f.misses.Load() }
+func (f *Fetcher) Failures() int64 { return f.failures.Load() }
+
+// candidates orders the peers worth asking for a key: the owner first
+// (the shard the ring routes this key's work to), then — only when this
+// shard is itself the owner, the resharding case where history lives
+// under an older layout — the other peers in ID order.
+func (f *Fetcher) candidates(key string) []Peer {
+	owner := f.ring.Owner(key)
+	if owner.ID != f.ring.SelfID() {
+		return []Peer{owner}
+	}
+	return f.ring.Others()
+}
+
+// Fetch tries to pull the entry for key (stream selects the .fxspec
+// form) from candidate peers into the local store. It reports whether
+// an entry was installed; the caller re-probes the local cache.
+func (f *Fetcher) Fetch(ctx context.Context, key string, stream bool) bool {
+	cands := f.candidates(key)
+	max := f.MaxPeers
+	if max <= 0 {
+		max = 2
+	}
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	sawError := false
+	for _, p := range cands {
+		ok, err := f.fetchFrom(ctx, p, key, stream)
+		if ok {
+			f.hits.Add(1)
+			return true
+		}
+		if err != nil {
+			sawError = true
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if sawError {
+		f.failures.Add(1)
+	} else {
+		f.misses.Add(1)
+	}
+	return false
+}
+
+// fetchFrom asks one peer. A 404 is a clean miss (nil error); any other
+// failure — transport, status, digest mismatch on install — is an error.
+func (f *Fetcher) fetchFrom(ctx context.Context, p Peer, key string, stream bool) (bool, error) {
+	to := f.Timeout
+	if to <= 0 {
+		to = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, to)
+	defer cancel()
+	url := p.URL + "/v1/cache/" + key
+	if stream {
+		url += "?kind=spec"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("cluster: peer %s: cache fetch status %d", p.ID, resp.StatusCode)
+	}
+	if _, err := f.store.InstallRaw(key, stream, resp.Body); err != nil {
+		return false, fmt.Errorf("cluster: peer %s: %w", p.ID, err)
+	}
+	return true, nil
+}

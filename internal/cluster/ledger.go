@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Ledger is this shard's view of the cluster-wide QoS capacity ledger.
+// Every shard admits programs against one shared capacity C; its own
+// grants are journaled locally (crash-safe, exactly as a single node),
+// and each peer's committed mean bandwidth arrives by gossip. Admission
+// on any shard then sees an effective capacity of
+//
+//	C − Σ committed(peer)   over every other peer
+//
+// with its own commitments tracked by the local broker as before.
+//
+// Gossip is eventually consistent, so two shards racing for the last
+// slice of capacity can briefly over-admit; the window is one gossip
+// interval. A peer that stops answering keeps its last reported
+// commitment — capacity leaks conservative (a dead peer's grants stay
+// reserved until the ring is re-versioned), never over-committed.
+type Ledger struct {
+	mu    sync.Mutex
+	peers map[string]*peerLedger
+}
+
+// peerLedger is one peer's last gossiped state.
+type peerLedger struct {
+	committedBps float64
+	ringVersion  int
+	updated      time.Time
+	up           bool
+}
+
+// PeerState is a snapshot row for metrics and /healthz.
+type PeerState struct {
+	ID           string  `json:"id"`
+	CommittedBps float64 `json:"committed_bps"`
+	RingVersion  int     `json:"ring_version"`
+	AgeSeconds   float64 `json:"age_s"`
+	Up           bool    `json:"up"`
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{peers: make(map[string]*peerLedger)}
+}
+
+// Update records a successful gossip exchange with a peer.
+func (l *Ledger) Update(peerID string, committedBps float64, ringVersion int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.peers[peerID]
+	if p == nil {
+		p = &peerLedger{}
+		l.peers[peerID] = p
+	}
+	p.committedBps = committedBps
+	p.ringVersion = ringVersion
+	p.updated = time.Now()
+	p.up = true
+}
+
+// MarkDown records a failed gossip exchange; the peer's last committed
+// value is retained (conservative), only its liveness flips.
+func (l *Ledger) MarkDown(peerID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.peers[peerID]
+	if p == nil {
+		p = &peerLedger{}
+		l.peers[peerID] = p
+	}
+	p.up = false
+}
+
+// RemoteCommitted sums the committed mean bandwidth every known peer
+// last reported, up or not.
+func (l *Ledger) RemoteCommitted() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for _, p := range l.peers {
+		sum += p.committedBps
+	}
+	return sum
+}
+
+// PeersUp counts peers whose last gossip exchange succeeded.
+func (l *Ledger) PeersUp() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, p := range l.peers {
+		if p.up {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot lists every known peer's state.
+func (l *Ledger) Snapshot() []PeerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PeerState, 0, len(l.peers))
+	for id, p := range l.peers {
+		st := PeerState{
+			ID:           id,
+			CommittedBps: p.committedBps,
+			RingVersion:  p.ringVersion,
+			Up:           p.up,
+		}
+		if !p.updated.IsZero() {
+			st.AgeSeconds = time.Since(p.updated).Seconds()
+		}
+		out = append(out, st)
+	}
+	sortPeerStates(out)
+	return out
+}
+
+func sortPeerStates(ps []PeerState) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import "testing"
+
+func TestLedgerSumsRemoteCommitted(t *testing.T) {
+	l := NewLedger()
+	if got := l.RemoteCommitted(); got != 0 {
+		t.Fatalf("empty ledger committed = %g", got)
+	}
+	l.Update("s1", 1000, 1)
+	l.Update("s2", 500, 1)
+	if got := l.RemoteCommitted(); got != 1500 {
+		t.Fatalf("committed = %g, want 1500", got)
+	}
+	// Updates replace, not accumulate.
+	l.Update("s1", 200, 1)
+	if got := l.RemoteCommitted(); got != 700 {
+		t.Fatalf("committed = %g, want 700", got)
+	}
+	if got := l.PeersUp(); got != 2 {
+		t.Fatalf("peers up = %d, want 2", got)
+	}
+}
+
+func TestLedgerMarkDownRetainsCommitment(t *testing.T) {
+	l := NewLedger()
+	l.Update("s1", 800, 3)
+	l.MarkDown("s1")
+	// A dead peer's grants stay reserved: capacity must leak
+	// conservative, never over-committed.
+	if got := l.RemoteCommitted(); got != 800 {
+		t.Fatalf("committed after MarkDown = %g, want 800", got)
+	}
+	if got := l.PeersUp(); got != 0 {
+		t.Fatalf("peers up = %d, want 0", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 || snap[0].ID != "s1" || snap[0].Up || snap[0].CommittedBps != 800 || snap[0].RingVersion != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestLedgerMarkDownUnknownPeer(t *testing.T) {
+	l := NewLedger()
+	l.MarkDown("never-seen")
+	if got := l.RemoteCommitted(); got != 0 {
+		t.Fatalf("committed = %g", got)
+	}
+	if n := len(l.Snapshot()); n != 1 {
+		t.Fatalf("snapshot rows = %d", n)
+	}
+}
+
+func TestLedgerSnapshotSorted(t *testing.T) {
+	l := NewLedger()
+	for _, id := range []string{"c", "a", "b"} {
+		l.Update(id, 1, 1)
+	}
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].ID > snap[i].ID {
+			t.Fatalf("snapshot not sorted: %+v", snap)
+		}
+	}
+}

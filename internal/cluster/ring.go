@@ -1,0 +1,215 @@
+// Package cluster turns fxnetd into an N-peer sharded service: a
+// consistent-hash ring assigns every content-addressed run key a single
+// owning shard, a peer ledger sums the QoS capacity each shard has
+// committed so admission respects cluster-wide capacity, and a fetcher
+// moves cache entries between shards over /v1/cache/{key} — the
+// peer-to-peer content distribution Dichev et al. argue is the natural
+// transport for measurement artifacts.
+//
+// The ring is deterministic and configuration-driven: every peer is
+// given the same (version, vnodes, peer list) and computes the same
+// placement with no coordination protocol. Version is the agreement
+// check — peers gossip it and log divergence — because a cluster whose
+// members disagree about ownership still answers correctly (the farm
+// key dedups work, the cache tiering moves results), it just proxies
+// more than it should.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Peer is one fxnetd shard.
+type Peer struct {
+	// ID names the shard; it prefixes job IDs (r-<id>-00000001) so any
+	// peer can route a poll to the shard that owns the job.
+	ID string `json:"id"`
+	// URL is the shard's base URL, e.g. "http://10.0.0.1:8080".
+	URL string `json:"url"`
+}
+
+// Config is the versioned ring layout every peer must share.
+type Config struct {
+	// Version identifies the layout; peers gossip it and flag mismatch.
+	Version int `json:"version"`
+	// VNodes is the number of virtual nodes per peer; more vnodes mean
+	// smoother key distribution at the cost of a larger point table.
+	// <= 0 selects DefaultVNodes.
+	VNodes int `json:"vnodes,omitempty"`
+	// Self names this shard; must appear in Peers.
+	Self string `json:"self"`
+	// Peers is the full membership, including Self.
+	Peers []Peer `json:"peers"`
+}
+
+// DefaultVNodes balances placement smoothness against table size: at
+// 64 vnodes/peer a 3-shard ring keeps per-shard load within a few
+// percent of 1/3.
+const DefaultVNodes = 64
+
+// peerIDPattern keeps shard IDs embeddable in job IDs and metrics
+// labels.
+var peerIDPattern = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+// Validate checks the configuration for self-consistency.
+func (c *Config) Validate() error {
+	if len(c.Peers) == 0 {
+		return errors.New("cluster: no peers")
+	}
+	seen := make(map[string]bool, len(c.Peers))
+	selfFound := false
+	for _, p := range c.Peers {
+		if !peerIDPattern.MatchString(p.ID) {
+			return fmt.Errorf("cluster: bad peer id %q (want [A-Za-z0-9_-]+)", p.ID)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.URL == "" {
+			return fmt.Errorf("cluster: peer %q has no URL", p.ID)
+		}
+		if p.ID == c.Self {
+			selfFound = true
+		}
+	}
+	if c.Self == "" {
+		return errors.New("cluster: self not set")
+	}
+	if !selfFound {
+		return fmt.Errorf("cluster: self %q not in peer list", c.Self)
+	}
+	return nil
+}
+
+// ParsePeers parses the CLI peer-list form "id1=url1,id2=url2,...".
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	peer int // index into Ring.peers
+}
+
+// Ring is the consistent-hash placement function. Build once from a
+// Config; all methods are safe for concurrent use (the ring is
+// immutable after New).
+type Ring struct {
+	cfg    Config
+	peers  []Peer
+	byID   map[string]Peer
+	points []point
+	self   int
+}
+
+// NewRing builds the ring. Placement depends only on (peer IDs, vnodes):
+// every peer with the same configuration computes the same owner for
+// every key, regardless of peer-list order or which peer it is.
+func NewRing(cfg Config) (*Ring, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	vn := cfg.VNodes
+	if vn <= 0 {
+		vn = DefaultVNodes
+	}
+	// Sort peers by ID so placement is independent of list order.
+	peers := make([]Peer, len(cfg.Peers))
+	copy(peers, cfg.Peers)
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+
+	r := &Ring{cfg: cfg, peers: peers, byID: make(map[string]Peer, len(peers)), self: -1}
+	r.points = make([]point, 0, len(peers)*vn)
+	for i, p := range peers {
+		r.byID[p.ID] = p
+		if p.ID == cfg.Self {
+			r.self = i
+		}
+		for v := 0; v < vn; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p.ID, v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (astronomically unlikely) break by peer index
+		// so the tie is still deterministic everywhere.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256, which is
+// already the currency run keys are minted in.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Version reports the ring configuration's version.
+func (r *Ring) Version() int { return r.cfg.Version }
+
+// Self reports this shard's peer entry.
+func (r *Ring) Self() Peer { return r.peers[r.self] }
+
+// SelfID reports this shard's ID.
+func (r *Ring) SelfID() string { return r.cfg.Self }
+
+// Peers lists the membership in ID order.
+func (r *Ring) Peers() []Peer { return r.peers }
+
+// Others lists every peer except self, in ID order.
+func (r *Ring) Others() []Peer {
+	out := make([]Peer, 0, len(r.peers)-1)
+	for i, p := range r.peers {
+		if i != r.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Lookup resolves a peer ID.
+func (r *Ring) Lookup(id string) (Peer, bool) {
+	p, ok := r.byID[id]
+	return p, ok
+}
+
+// Owner returns the shard that owns a key: the first virtual node at or
+// after the key's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(key string) Peer {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.peers[r.points[i].peer]
+}
+
+// Owns reports whether this shard owns the key.
+func (r *Ring) Owns(key string) bool { return r.Owner(key).ID == r.cfg.Self }

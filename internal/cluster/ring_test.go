@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("s%d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return peers
+}
+
+func TestRingDeterministicAcrossPeersAndOrder(t *testing.T) {
+	peers := testPeers(3)
+	reversed := []Peer{peers[2], peers[1], peers[0]}
+
+	rings := make([]*Ring, 0, 6)
+	for _, self := range peers {
+		for _, list := range [][]Peer{peers, reversed} {
+			r, err := NewRing(Config{Version: 1, Self: self.ID, Peers: list})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rings = append(rings, r)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := rings[0].Owner(key).ID
+		for _, r := range rings[1:] {
+			if got := r.Owner(key).ID; got != want {
+				t.Fatalf("key %q: ring for self=%s says owner %s, first ring says %s",
+					key, r.SelfID(), got, want)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(Config{Version: 1, Self: "s0", Peers: testPeers(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i)).ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		// 64 vnodes/peer keeps shards within a loose band of 1/3; the
+		// bound here guards against a placement bug (everything on one
+		// shard), not statistical perfection.
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("peer %s owns %.1f%% of keys, outside [15%%, 55%%]", id, 100*frac)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d peers own keys, want 3", len(counts))
+	}
+}
+
+func TestRingOwnershipStableUnderGrowth(t *testing.T) {
+	// Consistent hashing's point: adding a shard moves only the keys the
+	// new shard takes over; keys that stay keep their owner.
+	r3, err := NewRing(Config{Version: 1, Self: "s0", Peers: testPeers(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(Config{Version: 2, Self: "s0", Peers: testPeers(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := r3.Owner(key).ID, r4.Owner(key).ID
+		if before != after {
+			moved++
+			if after != "s3" {
+				t.Fatalf("key %q moved %s -> %s, but only the new shard s3 may gain keys", key, before, after)
+			}
+		}
+	}
+	// Expect ~1/4 of keys to move; anything over half means rehashing.
+	if frac := float64(moved) / n; frac > 0.5 {
+		t.Errorf("%.1f%% of keys moved when adding one shard; want ~25%%", 100*frac)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	peers := testPeers(2)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no peers", Config{Version: 1, Self: "s0"}},
+		{"self missing", Config{Version: 1, Self: "zz", Peers: peers}},
+		{"empty self", Config{Version: 1, Peers: peers}},
+		{"dup id", Config{Version: 1, Self: "s0", Peers: []Peer{peers[0], peers[0]}}},
+		{"bad id", Config{Version: 1, Self: "a b", Peers: []Peer{{ID: "a b", URL: "http://x"}}}},
+		{"no url", Config{Version: 1, Self: "s0", Peers: []Peer{{ID: "s0"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewRing(tc.cfg); err == nil {
+			t.Errorf("%s: NewRing accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:1/, b = http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[0].URL != "http://h1:1" ||
+		peers[1].ID != "b" || peers[1].URL != "http://h2:2" {
+		t.Fatalf("unexpected parse: %+v", peers)
+	}
+	for _, bad := range []string{"", "a", "=http://x", "a="} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRingLookupAndOthers(t *testing.T) {
+	r, err := NewRing(Config{Version: 7, Self: "s1", Peers: testPeers(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 7 {
+		t.Fatalf("version = %d", r.Version())
+	}
+	if r.Self().ID != "s1" {
+		t.Fatalf("self = %+v", r.Self())
+	}
+	if p, ok := r.Lookup("s2"); !ok || p.URL == "" {
+		t.Fatalf("lookup s2 = %+v %v", p, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("lookup of unknown peer succeeded")
+	}
+	others := r.Others()
+	if len(others) != 2 {
+		t.Fatalf("others = %+v", others)
+	}
+	for _, p := range others {
+		if p.ID == "s1" {
+			t.Fatal("others includes self")
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"fxnet/internal/core"
@@ -50,9 +51,30 @@ type Cache struct {
 	dir string
 
 	quarantined atomic.Int64
+	// quarantinedKind counts quarantines by entry kind ("run", "spec",
+	// "other") so disk rot is attributable per tier.
+	quarantineMu    sync.Mutex
+	quarantinedKind map[string]int64
+
+	// statMu guards the entry census (count and bytes) that the cluster
+	// tiering metrics export per shard. The census is seeded by a
+	// directory scan at open and maintained incrementally by
+	// store/install/quarantine.
+	statMu  sync.Mutex
+	entries int64
+	bytes   int64
 }
 
-// OpenCache opens (creating if needed) a cache directory.
+// CacheStats is a snapshot of the on-disk census.
+type CacheStats struct {
+	// Entries and Bytes count the published .fxrun/.fxspec files
+	// (quarantined and temp files excluded).
+	Entries int64
+	Bytes   int64
+}
+
+// OpenCache opens (creating if needed) a cache directory and takes a
+// census of its published entries.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, errors.New("farm: empty cache directory")
@@ -60,7 +82,67 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("farm: open cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir, quarantinedKind: make(map[string]int64)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("farm: open cache: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !isEntryName(e.Name()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.entries++
+		c.bytes += info.Size()
+	}
+	return c, nil
+}
+
+// isEntryName reports whether a file name is a published cache entry.
+func isEntryName(name string) bool {
+	ext := filepath.Ext(name)
+	return ext == ".fxrun" || ext == ".fxspec"
+}
+
+// entryKind labels a path for the per-kind quarantine counters.
+func entryKind(path string) string {
+	switch filepath.Ext(path) {
+	case ".fxrun":
+		return "run"
+	case ".fxspec":
+		return "spec"
+	default:
+		return "other"
+	}
+}
+
+// Stats reports the entry census.
+func (c *Cache) Stats() CacheStats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return CacheStats{Entries: c.entries, Bytes: c.bytes}
+}
+
+// accountPublish records a new or replaced entry of size n bytes where
+// an entry of oldSize bytes (0 = none) previously lived.
+func (c *Cache) accountPublish(oldSize, n int64, existed bool) {
+	c.statMu.Lock()
+	if !existed {
+		c.entries++
+	}
+	c.bytes += n - oldSize
+	c.statMu.Unlock()
+}
+
+// accountRemove records an entry leaving the published namespace.
+func (c *Cache) accountRemove(size int64) {
+	c.statMu.Lock()
+	c.entries--
+	c.bytes -= size
+	c.statMu.Unlock()
 }
 
 // Dir reports the cache directory.
@@ -120,6 +202,18 @@ func (c *Cache) Load(key string, cfg core.RunConfig) (res *core.Result, rep *cor
 // its corrupt/ subdirectory.
 func (c *Cache) Quarantined() int64 { return c.quarantined.Load() }
 
+// QuarantinedKinds reports quarantine counts by entry kind ("run",
+// "spec", "other").
+func (c *Cache) QuarantinedKinds() map[string]int64 {
+	c.quarantineMu.Lock()
+	defer c.quarantineMu.Unlock()
+	out := make(map[string]int64, len(c.quarantinedKind))
+	for k, v := range c.quarantinedKind {
+		out[k] = v
+	}
+	return out
+}
+
 // quarantine moves an undecodable entry into corrupt/ so the evidence
 // survives while the key goes back to missing. Failures (the entry
 // vanished, the disk is read-only) degrade to the old leave-it behavior.
@@ -128,10 +222,25 @@ func (c *Cache) quarantine(path string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
+	var size int64
+	published := filepath.Dir(path) == filepath.Clean(c.dir) && isEntryName(path)
+	if published {
+		if info, err := os.Stat(path); err == nil {
+			size = info.Size()
+		} else {
+			published = false
+		}
+	}
 	if err := os.Rename(path, filepath.Join(dir, filepath.Base(path))); err != nil {
 		return
 	}
+	if published {
+		c.accountRemove(size)
+	}
 	c.quarantined.Add(1)
+	c.quarantineMu.Lock()
+	c.quarantinedKind[entryKind(path)]++
+	c.quarantineMu.Unlock()
 }
 
 // LoadStream retrieves a spectrum-level entry for a streaming-analysis
@@ -200,13 +309,120 @@ func (c *Cache) store(path, key string, res *core.Result, rep *core.Report, magi
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("farm: store: %w", err)
-	}
-	if err := syncDir(c.dir); err != nil {
+	if err := c.publish(tmp.Name(), path, int64(len(body))); err != nil {
 		return fmt.Errorf("farm: store: %w", err)
 	}
 	return nil
+}
+
+// publish renames a fully written temp file into place, fsyncs the
+// directory, and updates the census.
+func (c *Cache) publish(tmpName, path string, size int64) error {
+	var oldSize int64
+	existed := false
+	if info, err := os.Stat(path); err == nil {
+		oldSize, existed = info.Size(), true
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if err := syncDir(c.dir); err != nil {
+		return err
+	}
+	c.accountPublish(oldSize, size, existed)
+	return nil
+}
+
+// entryPath maps (key, stream) to the entry file path.
+func (c *Cache) entryPath(key string, stream bool) string {
+	if stream {
+		return c.streamPath(key)
+	}
+	return c.path(key)
+}
+
+// OpenEntry opens the raw, verified-format entry file for a key so it
+// can be streamed to a peer (the /v1/cache/{key} supply side). The
+// caller must close the reader. The bytes are the exact on-disk entry —
+// magic, SHA-256 digest, payload — so the receiving peer re-verifies
+// the digest before publishing the entry locally.
+func (c *Cache) OpenEntry(key string, stream bool) (io.ReadCloser, int64, error) {
+	f, err := os.Open(c.entryPath(key, stream))
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, info.Size(), nil
+}
+
+// InstallRaw streams a peer-fetched entry into the cache: the body is
+// spooled to a temp file while the embedded SHA-256 is recomputed, and
+// only a digest-clean entry is published (temp + fsync + rename +
+// directory fsync, same as Store). A corrupt body is quarantined —
+// moved to corrupt/ under the entry's final name with a .fetched
+// suffix — and reported as an error; the local key stays a miss, so a
+// lying peer costs a fetch, never a wrong result.
+func (c *Cache) InstallRaw(key string, stream bool, r io.Reader) (int64, error) {
+	magic := cacheMagic
+	if stream {
+		magic = streamMagic
+	}
+	path := c.entryPath(key, stream)
+
+	head := make([]byte, len(magic)+sha256.Size)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, fmt.Errorf("farm: install %s: short header: %w", key, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return 0, fmt.Errorf("farm: install %s: bad magic %q", key, head[:len(magic)])
+	}
+	wantDigest := head[len(magic):]
+
+	tmp, err := os.CreateTemp(c.dir, "tmp-"+key[:16]+"-*")
+	if err != nil {
+		return 0, fmt.Errorf("farm: install: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(head); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("farm: install: %w", err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("farm: install %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("farm: install: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("farm: install: %w", err)
+	}
+	if sum := h.Sum(nil); !bytes.Equal(sum, wantDigest) {
+		// Keep the evidence under the entry's name, clearly marked as a
+		// fetched body that failed verification.
+		dir := filepath.Join(c.dir, "corrupt")
+		if os.MkdirAll(dir, 0o755) == nil {
+			if os.Rename(tmp.Name(), filepath.Join(dir, filepath.Base(path)+".fetched")) == nil {
+				c.quarantined.Add(1)
+				c.quarantineMu.Lock()
+				c.quarantinedKind[entryKind(path)]++
+				c.quarantineMu.Unlock()
+			}
+		}
+		return 0, fmt.Errorf("farm: install %s: digest mismatch on fetched entry", key)
+	}
+	size := int64(len(head)) + n
+	if err := c.publish(tmp.Name(), path, size); err != nil {
+		return 0, fmt.Errorf("farm: install: %w", err)
+	}
+	return size, nil
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.

@@ -11,6 +11,7 @@
 package farm
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"fxnet/internal/core"
+	"fxnet/internal/dsp"
 )
 
 // Options configures a Farm.
@@ -29,9 +31,26 @@ type Options struct {
 	Cache *Cache
 	// Memoize keeps completed results in memory, so resubmitting a key
 	// never re-simulates within this process even without a disk cache
-	// (the benchmark harness's mode). Results are retained for the
-	// farm's lifetime.
+	// (the benchmark harness's mode). Retention is bounded by
+	// MemoMaxEntries/MemoMaxBytes; with both zero, results are retained
+	// for the farm's lifetime (the pre-LRU behavior).
 	Memoize bool
+	// MemoMaxEntries and MemoMaxBytes bound the in-memory memo: when
+	// either cap is exceeded the least-recently-used entries are
+	// evicted (and count in Stats.MemoEvicted). Bytes are an estimate —
+	// trace records plus characterization series — not a malloc audit;
+	// the point is that a long-lived daemon's memo stops growing without
+	// bound, not accounting to the byte. Zero = uncapped on that axis.
+	MemoMaxEntries int
+	MemoMaxBytes   int64
+	// PeerFetch, when non-nil, is the third cache tier: on a local disk
+	// miss it may pull the key's content-addressed entry from a cluster
+	// peer into the local cache and report success, after which the farm
+	// re-probes the disk. It runs inside the key's single-flight slot,
+	// so one miss triggers at most one peer fetch regardless of how many
+	// submitters are waiting, and before a worker slot is taken, so
+	// network wait never occupies a simulation worker.
+	PeerFetch func(ctx context.Context, key string, stream bool) bool
 	// OnProgress, when non-nil, receives one event per completed job.
 	// Events are delivered serially; the callback must not call back
 	// into the farm.
@@ -106,6 +125,11 @@ type Stats struct {
 	Deduped   int64
 	Failed    int64
 	Cancelled int64
+	// PeerHits counts disk-cache loads that were satisfied only after a
+	// peer fetch installed the entry (a subset of CacheHits).
+	// MemoEvicted counts memoized results dropped by the LRU caps.
+	PeerHits    int64
+	MemoEvicted int64
 	// Running is the number of simulations holding a worker slot right
 	// now (the service's "in-flight sims" gauge). Queued jobs are
 	// Submitted − Completed − Running.
@@ -122,12 +146,23 @@ type call struct {
 	cached bool
 }
 
+// memoEntry is one LRU-tracked memoized result.
+type memoEntry struct {
+	slot string
+	c    *call
+	size int64
+	elem *list.Element // element in Farm.memoList, value = *memoEntry
+}
+
 // Farm executes run configurations on a bounded worker pool.
 type Farm struct {
-	sem        chan struct{}
-	cache      *Cache
-	memoize    bool
-	onProgress func(Event)
+	sem            chan struct{}
+	cache          *Cache
+	memoize        bool
+	memoMaxEntries int
+	memoMaxBytes   int64
+	peerFetch      func(ctx context.Context, key string, stream bool) bool
+	onProgress     func(Event)
 	// runFn executes one configuration; tests stub it to model slow or
 	// blocking simulations. Defaults to core.Run.
 	runFn func(core.RunConfig) (*core.Result, error)
@@ -138,7 +173,9 @@ type Farm struct {
 	mu         sync.Mutex
 	progressMu sync.Mutex
 	calls      map[string]*call
-	memo       map[string]*call
+	memo       map[string]*memoEntry
+	memoList   *list.List // front = most recently used
+	memoBytes  int64
 	stats      Stats
 	wallSum    time.Duration // total wall of executed runs, for ETA
 	wallN      int64
@@ -151,15 +188,74 @@ func New(opts Options) *Farm {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Farm{
-		sem:         make(chan struct{}, w),
-		cache:       opts.Cache,
-		memoize:     opts.Memoize,
-		onProgress:  opts.OnProgress,
-		runFn:       core.Run,
-		runStreamFn: core.RunStream,
-		calls:       make(map[string]*call),
-		memo:        make(map[string]*call),
+		sem:            make(chan struct{}, w),
+		cache:          opts.Cache,
+		memoize:        opts.Memoize,
+		memoMaxEntries: opts.MemoMaxEntries,
+		memoMaxBytes:   opts.MemoMaxBytes,
+		peerFetch:      opts.PeerFetch,
+		onProgress:     opts.OnProgress,
+		runFn:          core.Run,
+		runStreamFn:    core.RunStream,
+		calls:          make(map[string]*call),
+		memo:           make(map[string]*memoEntry),
+		memoList:       list.New(),
 	}
+}
+
+// memoGet looks a slot up in the memo and marks it most recently used.
+// Caller holds f.mu.
+func (f *Farm) memoGet(slot string) (*call, bool) {
+	e, ok := f.memo[slot]
+	if !ok {
+		return nil, false
+	}
+	f.memoList.MoveToFront(e.elem)
+	return e.c, true
+}
+
+// memoPut inserts a completed call and evicts LRU entries past the
+// caps. Caller holds f.mu.
+func (f *Farm) memoPut(slot string, c *call) {
+	if old, ok := f.memo[slot]; ok {
+		f.memoList.Remove(old.elem)
+		f.memoBytes -= old.size
+	}
+	e := &memoEntry{slot: slot, c: c, size: memoSize(c)}
+	e.elem = f.memoList.PushFront(e)
+	f.memo[slot] = e
+	f.memoBytes += e.size
+	for f.memoList.Len() > 1 &&
+		((f.memoMaxEntries > 0 && f.memoList.Len() > f.memoMaxEntries) ||
+			(f.memoMaxBytes > 0 && f.memoBytes > f.memoMaxBytes)) {
+		back := f.memoList.Back()
+		ev := back.Value.(*memoEntry)
+		f.memoList.Remove(back)
+		delete(f.memo, ev.slot)
+		f.memoBytes -= ev.size
+		f.stats.MemoEvicted++
+	}
+}
+
+// memoSize estimates a memoized result's memory footprint: trace
+// records (the columnar capture dominates), characterization series,
+// and spectra, plus a fixed overhead floor.
+func memoSize(c *call) int64 {
+	const perPacket = 48 // columnar record + index share, estimated
+	size := int64(4096)
+	if c.res != nil && c.res.Trace != nil {
+		size += int64(c.res.Trace.Len()) * perPacket
+	}
+	if c.rep != nil {
+		size += int64(len(c.rep.AggSeries)+len(c.rep.ConnSeries)) * 8
+		for _, sp := range []*dsp.Spectrum{c.rep.AggSpectrum, c.rep.ConnSpectrum} {
+			if sp != nil {
+				size += int64(len(sp.Freq)+len(sp.Power)) * 8
+				size += int64(len(sp.Coeff)) * 16
+			}
+		}
+	}
+	return size
 }
 
 // Workers reports the worker-pool bound.
@@ -267,7 +363,7 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 	f.mu.Lock()
 	f.stats.Submitted++
 	for {
-		if c, ok := f.memo[slot]; ok {
+		if c, ok := f.memoGet(slot); ok {
 			f.stats.Deduped++
 			f.mu.Unlock()
 			jr.Result, jr.Report, jr.Err = c.res, c.rep, c.err
@@ -312,7 +408,7 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 	f.mu.Lock()
 	delete(f.calls, slot)
 	if f.memoize && c.err == nil {
-		f.memo[slot] = c
+		f.memoPut(slot, c)
 	}
 	switch {
 	case c.err == nil:
@@ -330,24 +426,34 @@ func (f *Farm) do(ctx context.Context, job Job) JobResult {
 	return jr
 }
 
-// lead performs the actual work for a key: disk-cache probe, then a
-// worker-pool slot and the simulation. A context cancelled before the
-// slot is acquired frees the job without consuming a worker.
+// lead performs the actual work for a key through the cache tiers:
+// local disk probe, then (on a miss) a peer fetch that re-probes the
+// disk, then a worker-pool slot and the simulation. A context cancelled
+// before the slot is acquired frees the job without consuming a worker.
 func (f *Farm) lead(ctx context.Context, key string, job Job, c *call) {
 	cfg := job.Config
 	if f.cache != nil {
-		var res *core.Result
-		var rep *core.Report
-		var ok bool
-		if job.Stream {
-			res, rep, ok = f.cache.LoadStream(key, cfg)
-		} else {
-			res, rep, ok = f.cache.Load(key, cfg)
+		load := func() (*core.Result, *core.Report, bool) {
+			if job.Stream {
+				return f.cache.LoadStream(key, cfg)
+			}
+			return f.cache.Load(key, cfg)
+		}
+		res, rep, ok := load()
+		peer := false
+		if !ok && f.peerFetch != nil && ctx.Err() == nil {
+			if f.peerFetch(ctx, key, job.Stream) {
+				res, rep, ok = load()
+				peer = ok
+			}
 		}
 		if ok {
 			c.res, c.rep, c.cached = res, rep, true
 			f.mu.Lock()
 			f.stats.CacheHits++
+			if peer {
+				f.stats.PeerHits++
+			}
 			f.mu.Unlock()
 			return
 		}

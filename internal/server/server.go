@@ -37,6 +37,7 @@ import (
 	"fxnet/internal/airshed"
 	"fxnet/internal/analysis"
 	"fxnet/internal/catalog"
+	"fxnet/internal/cluster"
 	"fxnet/internal/core"
 	"fxnet/internal/dsp"
 	"fxnet/internal/farm"
@@ -60,6 +61,22 @@ type Options struct {
 	// fxnetd: a service that re-simulates identical submissions is
 	// wasting its own point).
 	Memoize bool
+	// MemoMaxEntries and MemoMaxBytes bound the in-memory memo with an
+	// LRU; zero = uncapped on that axis (the historical behavior).
+	MemoMaxEntries int
+	MemoMaxBytes   int64
+	// Cluster configures the consistent-hash shard ring this node
+	// participates in; an empty peer list disables clustering.
+	Cluster cluster.Config
+	// ClusterRoute selects what happens to requests whose key (or job
+	// ID) another shard owns: "proxy" (default) forwards transparently,
+	// "redirect" answers 307, "off" serves everything locally.
+	ClusterRoute string
+	// ClusterCapacityBps is the cluster-wide schedulable QoS capacity
+	// that the gossiped ledger divides among shards; <= 0 reuses the
+	// local CapacityBps (each shard then assumes it may use the whole
+	// network unless peers report commitments).
+	ClusterCapacityBps float64
 	// CapacityBps is the QoS broker's schedulable capacity in bytes/s;
 	// <= 0 selects the calibrated shared-segment default (1.1 MB/s).
 	CapacityBps float64
@@ -106,6 +123,7 @@ type Server struct {
 	limiter *clientLimiter
 	breaker *breaker
 	shedder *shedder
+	clu     *clusterState
 	logger  *log.Logger
 	started time.Time
 
@@ -134,7 +152,12 @@ const defaultCapacityBps = 1.1e6
 // re-enqueued until Recover — the caller decides when the node starts
 // doing work (and can abort mid-replay on SIGTERM).
 func New(opts Options) (*Server, error) {
-	fo := farm.Options{Workers: opts.Workers, Memoize: opts.Memoize}
+	fo := farm.Options{
+		Workers:        opts.Workers,
+		Memoize:        opts.Memoize,
+		MemoMaxEntries: opts.MemoMaxEntries,
+		MemoMaxBytes:   opts.MemoMaxBytes,
+	}
 	if opts.CacheDir != "" {
 		c, err := farm.OpenCache(opts.CacheDir)
 		if err != nil {
@@ -149,6 +172,38 @@ func New(opts Options) (*Server, error) {
 	logger := opts.Log
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
+	}
+	var clu *clusterState
+	if len(opts.Cluster.Peers) > 0 {
+		ring, err := cluster.NewRing(opts.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		route := opts.ClusterRoute
+		switch route {
+		case "":
+			route = RouteProxy
+		case RouteProxy, RouteRedirect, RouteOff:
+		default:
+			return nil, fmt.Errorf("server: unknown cluster route %q (have proxy, redirect, off)", route)
+		}
+		clu = &clusterState{
+			ring:   ring,
+			ledger: cluster.NewLedger(),
+			route:  route,
+			httpc:  &http.Client{Timeout: 30 * time.Second},
+		}
+		clu.capacityBps = opts.ClusterCapacityBps
+		if clu.capacityBps <= 0 {
+			clu.capacityBps = cap
+		}
+		// A clustered broker starts from the cluster-wide capacity;
+		// gossip subtracts what peers have committed each round.
+		cap = clu.capacityBps
+		if fo.Cache != nil {
+			clu.fetcher = cluster.NewFetcher(ring, fo.Cache, nil)
+			fo.PeerFetch = clu.fetcher.Fetch
+		}
 	}
 	f := farm.New(fo)
 	catDir := opts.CatalogDir
@@ -171,6 +226,7 @@ func New(opts Options) (*Server, error) {
 		catalog: cat,
 		fitter:  fitter,
 		broker:  newBroker(cap, opts.MaxP),
+		clu:     clu,
 		metrics: newMetrics(),
 		limiter: newClientLimiter(opts.ClientLimit),
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
@@ -179,6 +235,11 @@ func New(opts Options) (*Server, error) {
 		started: time.Now(),
 	}
 	s.jobs.fitter = fitter
+	if clu != nil {
+		// Shard-prefixed job IDs let any peer route a poll to the shard
+		// that owns the job.
+		s.jobs.shard = clu.ring.SelfID()
+	}
 	s.shedder = newShedder(opts.MaxQueue, func() int64 {
 		fs := f.Stats()
 		q := fs.Submitted - fs.Completed - fs.Running
@@ -236,6 +297,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/qos/negotiate", s.instrument("qos_negotiate", true, classSubmit, s.handleNegotiate))
 	mux.HandleFunc("GET /v1/qos/commitments", s.instrument("qos_list", true, classPoll, s.handleCommitments))
 	mux.HandleFunc("DELETE /v1/qos/commitments/{id}", s.instrument("qos_release", true, classPoll, s.handleRelease))
+	mux.HandleFunc("GET /v1/cache/{key}", s.instrument("cache_entry", false, classPoll, s.handleCacheEntry))
+	mux.HandleFunc("GET /v1/cluster/ring", s.instrument("cluster_ring", false, classOps, s.handleClusterRing))
+	mux.HandleFunc("GET /v1/cluster/ledger", s.instrument("cluster_ledger", false, classOps, s.handleClusterLedger))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, classOps, s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, classOps, s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", false, classOps, s.handleReadyz))
@@ -463,8 +527,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "execution circuit breaker open")
 		return
 	}
+	// The body is captured whole so an off-ring submission can be
+	// re-posted verbatim to the shard that owns its key.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
 	var req RunRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -476,6 +547,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	stream, err := req.stream()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := farm.Key(cfg)
+	if s.routeSubmit(w, r, key, body) {
 		return
 	}
 
@@ -498,7 +573,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// a half-acknowledged journal record with no job would be a lie in
 	// the other direction.
 	id := s.jobs.allocID()
-	sub := submittedRec{ID: id, Key: farm.Key(cfg), IdemKey: idemKey, Request: req}
+	sub := submittedRec{ID: id, Key: key, IdemKey: idemKey, Request: req}
 	if stream {
 		sub.Analysis = "stream"
 	} else {
@@ -537,6 +612,11 @@ func (s *Server) accept(w http.ResponseWriter, j *job, idempotentReplay bool) {
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	// A job ID minted by another shard is served there; routeJob writes
+	// the (proxied) response itself.
+	if s.routeJob(w, r) {
+		return nil, false
+	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
@@ -828,10 +908,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP fxnetd_journal_truncated_bytes Torn-tail bytes dropped from the journal at boot.\n# TYPE fxnetd_journal_truncated_bytes gauge")
 	fmt.Fprintf(w, "fxnetd_journal_truncated_bytes %d\n", s.jstats.truncated.Load())
 
+	fmt.Fprintln(w, "# HELP fxnetd_farm_peer_hits_total Cache hits satisfied by fetching the entry from a cluster peer.\n# TYPE fxnetd_farm_peer_hits_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_peer_hits_total %d\n", fs.PeerHits)
+	fmt.Fprintln(w, "# HELP fxnetd_farm_memo_evicted_total Memoized results evicted by the in-memory LRU caps.\n# TYPE fxnetd_farm_memo_evicted_total counter")
+	fmt.Fprintf(w, "fxnetd_farm_memo_evicted_total %d\n", fs.MemoEvicted)
+
 	if c := s.farm.Cache(); c != nil {
+		cs := c.Stats()
+		fmt.Fprintln(w, "# HELP fxnetd_cache_entries Published run-cache entries on disk.\n# TYPE fxnetd_cache_entries gauge")
+		fmt.Fprintf(w, "fxnetd_cache_entries %d\n", cs.Entries)
+		fmt.Fprintln(w, "# HELP fxnetd_cache_bytes Bytes of published run-cache entries on disk.\n# TYPE fxnetd_cache_bytes gauge")
+		fmt.Fprintf(w, "fxnetd_cache_bytes %d\n", cs.Bytes)
 		fmt.Fprintln(w, "# HELP fxnetd_cache_quarantined_total Corrupt cache entries quarantined instead of silently re-executed.\n# TYPE fxnetd_cache_quarantined_total counter")
 		fmt.Fprintf(w, "fxnetd_cache_quarantined_total %d\n", c.Quarantined())
+		fmt.Fprintln(w, "# HELP fxnetd_cache_quarantined_kind_total Quarantined cache entries by kind.\n# TYPE fxnetd_cache_quarantined_kind_total counter")
+		kinds := c.QuarantinedKinds()
+		for _, kind := range []string{"run", "spec", "other"} {
+			fmt.Fprintf(w, "fxnetd_cache_quarantined_kind_total{kind=%q} %d\n", kind, kinds[kind])
+		}
 	}
+
+	s.writeClusterMetrics(w)
 
 	cenabled := 0
 	if s.catalog != nil {

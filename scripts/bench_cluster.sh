@@ -1,0 +1,239 @@
+#!/bin/sh
+# Cluster benchmark: 3-shard fxnetd ring versus a single node, each
+# serving process pinned to GOMAXPROCS=1 with one farm worker so the
+# comparison is capacity, not scheduler luck. Writes BENCH_cluster.json.
+#
+# Phase 1 (throughput): N distinct simulations submitted through one
+# node, then the same N sprayed round-robin across 3 shards. The gate —
+# enforced only when the host has >= 4 cores, because three pinned
+# daemons plus the driver cannot be parallel on fewer — is aggregate
+# cluster throughput >= 2x the single node.
+#
+# Phase 2 (warm cluster under skew): the shards are pre-warmed with a
+# key population, then fxload sprays a Zipf-skewed keyed workload across
+# all three fronts. Two things are recorded: tail latency under skew,
+# and the dedup invariant — the warm cluster must execute ZERO new
+# simulations no matter which shard each request lands on. The ring runs
+# with -cluster-route off here so reuse flows through the /v1/cache peer
+# tier (a front serving a key it never executed must fetch the entry
+# from the shard that did), making the cross-shard cache hit rate a real
+# measurement; transparent proxy routing is cluster_smoke.sh's subject.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${CLUSTER_OUT:-BENCH_cluster.json}"
+JOBS="${CLUSTER_JOBS:-45}"
+LOAD_RPS="${CLUSTER_LOAD_RPS:-300}"
+LOAD_DUR="${CLUSTER_LOAD_DURATION:-6s}"
+LOAD_KEYS="${CLUSTER_LOAD_KEYS:-24}"
+ZIPF="${CLUSTER_ZIPF:-1.3}"
+TMP="$(mktemp -d)"
+PIDS=
+cleanup() {
+	for P in $PIDS; do kill "$P" 2>/dev/null || true; done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/fxnetd" ./cmd/fxnetd
+go build -o "$TMP/fxload" ./cmd/fxload
+go build -o "$TMP/freeports" ./scripts/freeports
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# metric <base> <name>: read one counter from a shard's /metrics.
+metric() {
+	curl -fsS "$1/metrics" | sed -n "s/^$2 //p"
+}
+
+# wait_healthy <base>
+wait_healthy() {
+	i=0
+	until curl -fsS "$1/healthz" 2>/dev/null | grep -q '"status": "ok"'; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "bench: FAIL: shard at $1 never became healthy" >&2
+			cat "$TMP"/log* >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# drain_jobs <want> <base...>: wall-clock ms until the bases' summed
+# fxnetd_farm_completed_total reaches <want>.
+drain_jobs() {
+	want=$1
+	shift
+	i=0
+	while :; do
+		done_n=0
+		for B in "$@"; do
+			C=$(metric "$B" fxnetd_farm_completed_total)
+			done_n=$((done_n + ${C:-0}))
+		done
+		[ "$done_n" -ge "$want" ] && break
+		i=$((i + 1))
+		if [ "$i" -gt 1200 ]; then
+			echo "bench: FAIL: only $done_n/$want jobs completed after 2 minutes" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# The phase-1 workload: ~140ms of simulation each, so N jobs dominate
+# request overhead on both sides of the comparison.
+job_body() {
+	echo "{\"program\":\"seq\",\"p\":4,\"n\":64,\"iters\":5,\"seed\":$1}"
+}
+
+echo "bench: single node, $JOBS simulations, GOMAXPROCS=1 -j 1" >&2
+PORT=$("$TMP/freeports" 1)
+GOMAXPROCS=1 "$TMP/fxnetd" -addr "127.0.0.1:$PORT" -j 1 -cache "$TMP/cache-single" >"$TMP/log-single" 2>&1 &
+SINGLE_PID=$!
+PIDS="$SINGLE_PID"
+B="http://127.0.0.1:$PORT"
+wait_healthy "$B"
+T0=$(now_ms)
+s=1
+while [ "$s" -le "$JOBS" ]; do
+	curl -fsS -X POST "$B/v1/runs" -d "$(job_body "$s")" >/dev/null
+	s=$((s + 1))
+done
+drain_jobs "$JOBS" "$B"
+SINGLE_MS=$(( $(now_ms) - T0 ))
+kill "$SINGLE_PID"
+wait "$SINGLE_PID" 2>/dev/null || true
+PIDS=
+echo "bench: single node drained $JOBS jobs in ${SINGLE_MS}ms" >&2
+
+echo "bench: 3-shard ring, same $JOBS simulations round-robin" >&2
+set -- $("$TMP/freeports" 3)
+P0=$1 P1=$2 P2=$3
+PEERS="s0=http://127.0.0.1:$P0,s1=http://127.0.0.1:$P1,s2=http://127.0.0.1:$P2"
+for i in 0 1 2; do
+	eval "PORT=\$P$i"
+	GOMAXPROCS=1 "$TMP/fxnetd" -addr "127.0.0.1:$PORT" -j 1 -cache "$TMP/cache$i" \
+		-cluster-self "s$i" -cluster-peers "$PEERS" -cluster-route off \
+		-cluster-gossip 500ms >"$TMP/log$i" 2>&1 &
+	PIDS="$PIDS $!"
+done
+B0="http://127.0.0.1:$P0" B1="http://127.0.0.1:$P1" B2="http://127.0.0.1:$P2"
+for BB in "$B0" "$B1" "$B2"; do wait_healthy "$BB"; done
+
+T0=$(now_ms)
+s=1
+while [ "$s" -le "$JOBS" ]; do
+	case $((s % 3)) in
+	0) F=$B0 ;; 1) F=$B1 ;; 2) F=$B2 ;;
+	esac
+	curl -fsS -X POST "$F/v1/runs" -d "$(job_body "$s")" >/dev/null
+	s=$((s + 1))
+done
+drain_jobs "$JOBS" "$B0" "$B1" "$B2"
+CLUSTER_MS=$(( $(now_ms) - T0 ))
+echo "bench: cluster drained $JOBS jobs in ${CLUSTER_MS}ms" >&2
+
+CORES=$(nproc 2>/dev/null || echo 1)
+SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $SINGLE_MS/$CLUSTER_MS}")
+ENFORCED=false
+if [ "$CORES" -ge 4 ]; then
+	ENFORCED=true
+	if ! awk "BEGIN{exit !($SPEEDUP >= 2)}"; then
+		echo "bench: FAIL: cluster speedup $SPEEDUP on $CORES cores, want >= 2" >&2
+		exit 1
+	fi
+fi
+
+echo "bench: pre-warming $LOAD_KEYS keys on their ring owners, then fxload Zipf($ZIPF) spray at $LOAD_RPS rps" >&2
+# The peer-fetch tier asks a key's ring OWNER (that is where routing
+# places work), so the warm set must live on the owners: learn each
+# key by submitting through s0, look up its owner, and warm the owner
+# too if it is a different shard.
+PREWARM=0
+s=1
+while [ "$s" -le "$LOAD_KEYS" ]; do
+	BODY="{\"program\":\"sor\",\"p\":4,\"n\":32,\"iters\":4,\"seed\":$s}"
+	KEY=$(curl -fsS -X POST "$B0/v1/runs" -d "$BODY" |
+		sed -n 's/.*"key": "\([^"]*\)".*/\1/p')
+	PREWARM=$((PREWARM + 1))
+	OWNER_URL=$(curl -fsS "$B0/v1/cluster/ring?key=$KEY" |
+		sed -n 's/.*"owner_url": "\([^"]*\)".*/\1/p')
+	if [ -n "$OWNER_URL" ] && [ "$OWNER_URL" != "$B0" ]; then
+		curl -fsS -X POST "$OWNER_URL/v1/runs" -d "$BODY" >/dev/null
+		PREWARM=$((PREWARM + 1))
+	fi
+	s=$((s + 1))
+done
+drain_jobs $((JOBS + PREWARM)) "$B0" "$B1" "$B2"
+EXEC_BEFORE=0
+for BB in "$B0" "$B1" "$B2"; do
+	E=$(metric "$BB" fxnetd_farm_executed_total)
+	EXEC_BEFORE=$((EXEC_BEFORE + ${E:-0}))
+done
+
+"$TMP/fxload" -targets "$B0,$B1,$B2" -keys "$LOAD_KEYS" -zipf "$ZIPF" \
+	-rps "$LOAD_RPS" -duration "$LOAD_DUR" -json "$TMP/load.json" >&2
+
+EXEC_AFTER=0
+for BB in "$B0" "$B1" "$B2"; do
+	E=$(metric "$BB" fxnetd_farm_executed_total)
+	EXEC_AFTER=$((EXEC_AFTER + ${E:-0}))
+done
+WARM_DELTA=$((EXEC_AFTER - EXEC_BEFORE))
+if [ "$WARM_DELTA" != "0" ]; then
+	echo "bench: FAIL: warm cluster executed $WARM_DELTA new simulations under load, want 0" >&2
+	exit 1
+fi
+
+# Pull the aggregate numbers out of fxload's report. The first
+# latency_ms block is the all-ops aggregate; the LAST occurrence of each
+# cluster counter is the cluster-wide sum (per-target lines come first).
+jnum() { sed -n "s/.*\"$1\": \([0-9.eE+-]*\).*/\1/p" "$TMP/load.json" | $2 -1; }
+ACHIEVED=$(jnum achieved_rps head)
+REQUESTS=$(jnum requests head)
+ERRORS=$(jnum errors head)
+THROTTLED=$(jnum throttled head)
+P50=$(jnum p50 head)
+P99=$(jnum p99 head)
+PMAX=$(jnum max head)
+REUSE=$(jnum reuse_rate tail)
+XSHARD=$(jnum cross_shard_hit_rate tail)
+PEER_HITS=$(jnum peer_hits_total tail)
+CACHE_HITS=$(jnum cache_hits_total tail)
+
+printf '{
+  "bench": "3-shard fxnetd cluster vs single node (GOMAXPROCS=1, -j 1 each)",
+  "cores": %s,
+  "route": "off",
+  "jobs": %s,
+  "job_config": "seq p=4 n=64 iters=5",
+  "single_node_ms": %s,
+  "cluster_ms": %s,
+  "cluster_speedup": %s,
+  "speedup_floor": 2,
+  "speedup_floor_enforced": %s,
+  "load": {
+    "target_rps": %s,
+    "achieved_rps": %s,
+    "duration": "%s",
+    "requests": %s,
+    "errors": %s,
+    "throttled": %s,
+    "keys": %s,
+    "zipf_s": %s,
+    "latency_ms": { "p50": %s, "p99": %s, "max": %s }
+  },
+  "warm_executed_delta": %s,
+  "reuse_rate": %s,
+  "cross_shard_cache_hit_rate": %s,
+  "peer_hits_total": %s,
+  "cache_hits_total": %s
+}\n' "$CORES" "$JOBS" "$SINGLE_MS" "$CLUSTER_MS" "$SPEEDUP" "$ENFORCED" \
+	"$LOAD_RPS" "$ACHIEVED" "$LOAD_DUR" "$REQUESTS" "$ERRORS" "$THROTTLED" \
+	"$LOAD_KEYS" "$ZIPF" "$P50" "$P99" "$PMAX" \
+	"$WARM_DELTA" "$REUSE" "$XSHARD" "$PEER_HITS" "$CACHE_HITS" >"$OUT"
+
+cat "$OUT"

@@ -24,3 +24,9 @@ go test -race ./...
 # journal, and require every acknowledged job to complete with a
 # byte-identical trace — the promises the journal exists to keep.
 ./scripts/chaos.sh
+
+# Cluster smoke: 3-shard ring on ephemeral ports — ring agreement,
+# warm-cluster dedup through every front (exactly one simulation
+# cluster-wide), ledger gossip, and graceful degradation after a
+# SIGKILL'd peer.
+./scripts/cluster_smoke.sh

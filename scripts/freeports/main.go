@@ -1,0 +1,49 @@
+// Command freeports prints N free TCP ports on 127.0.0.1, one per
+// line. A cluster needs every member's URL before any member boots, so
+// the usual -portfile dance (bind :0, read the port back) cannot work:
+// the ports must be chosen first. This holds N listeners open while
+// picking — so the kernel cannot hand out duplicates — then closes them
+// all and prints. The tiny window between close and the daemons binding
+// is an accepted race for smoke-test use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("freeports: ")
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			log.Fatalf("usage: freeports [n>=1]; got %q", os.Args[1])
+		}
+		n = v
+	}
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		_, port, err := net.SplitHostPort(ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(port)
+	}
+}
