@@ -315,7 +315,10 @@ func traceCmd() {
 	if *synth == "" {
 		return
 	}
-	st := m.GenerateTrace(fxnet.Duration(*duration*1e9), bin, *pktSize, 0, 1)
+	st, err := m.GenerateTrace(fxnet.Duration(*duration*1e9), bin, *pktSize, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	st.Meta["model"] = m.String()
 	out, err := os.Create(*synth)
 	if err != nil {

@@ -143,7 +143,7 @@ const admitReps = 64
 
 type programTiming struct {
 	Program    string  `json:"program"`
-	FitMs      float64 `json:"fit_ms"`  // simulate(or run-cache)-then-fit wall, all P
+	FitMs      float64 `json:"fit_ms"` // simulate(or run-cache)-then-fit wall, all P
 	CatalogHit bool    `json:"catalog_hit"`
 	AdmitUs    float64 `json:"admit_us"` // catalog lookup + negotiate, min of reps
 	Speedup    float64 `json:"speedup"`  // fit_ms·1000 / admit_us

@@ -114,6 +114,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fxrun: %s finished at t=%s, %d packets captured\n",
 			*program, res.Elapsed, res.Trace.Len())
 	}
+	if res.Engine.Windows > 0 {
+		fmt.Fprintf(os.Stderr, "fxrun: pdes windows=%d active_mean=%.2f nulls=%d cross_msgs=%d\n",
+			res.Engine.Windows, res.Engine.MeanActive(),
+			res.Engine.NullPublishes, res.Engine.CrossMessages)
+	}
 	if res.RunErr != nil {
 		fmt.Fprintf(os.Stderr, "fxrun: program aborted under faults: %v\n", res.RunErr)
 	} else if *faults != "" && res.Team != nil {

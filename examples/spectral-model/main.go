@@ -51,7 +51,10 @@ func main() {
 	fmt.Printf("\n32-spike model: %s\n", best)
 
 	// Close the loop: synthesize traffic from the model and re-measure.
-	synth := best.GenerateTrace(fxnet.Duration(60)*1_000_000_000, fxnet.PaperWindow, 1460, 0, 1)
+	synth, err := best.GenerateTrace(fxnet.Duration(60)*1_000_000_000, fxnet.PaperWindow, 1460, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	synthSpec := fxnet.SpectrumOf(synth, fxnet.PaperWindow)
 	fmt.Println("\nsynthetic trace from the model:")
 	fmt.Printf("  packets:            %d\n", synth.Len())

@@ -454,7 +454,7 @@ func FitModel(series []float64, dt float64, k int, minSepHz float64) (*Bandwidth
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(8)
-	if err == nil && string(head) == "FXTRACE1" {
+	if err == nil && (string(head) == "FXTRACE1" || string(head) == "FXTRACE2") {
 		return trace.ReadBinary(br)
 	}
 	return trace.ReadText(br)

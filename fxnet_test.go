@@ -156,6 +156,25 @@ func TestFacadeTraceIO(t *testing.T) {
 	if fromBin.Len() != res.Trace.Len() || fromTxt.Len() != res.Trace.Len() {
 		t.Errorf("roundtrip lengths: bin %d, text %d, want %d", fromBin.Len(), fromTxt.Len(), res.Trace.Len())
 	}
+
+	// Wide-address traces select the FXTRACE2 record; ReadTrace must
+	// auto-detect that magic too, not fall back to the text parser.
+	wide := &fxnet.Trace{Packets: append([]fxnet.Packet(nil), res.Trace.Packets...)}
+	wide.Packets[0].Dst = 1000
+	var wbin bytes.Buffer
+	if err := wide.WriteBinary(&wbin); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(wbin.Bytes(), []byte("FXTRACE2")) {
+		t.Fatalf("wide trace magic = %q, want FXTRACE2", wbin.Bytes()[:8])
+	}
+	fromWide, err := fxnet.ReadTrace(&wbin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromWide.Len() != wide.Len() || fromWide.Packets[0].Dst != 1000 {
+		t.Errorf("wide roundtrip: len %d dst %d, want %d / 1000", fromWide.Len(), fromWide.Packets[0].Dst, wide.Len())
+	}
 }
 
 func TestFacadeSpectrumAndStats(t *testing.T) {

@@ -208,7 +208,7 @@ func TestPhaseCoincidence(t *testing.T) {
 		for i, c := range conns {
 			tr.Packets = append(tr.Packets, trace.Packet{
 				Time: base.Add(sim.Duration(i) * sim.Millisecond),
-				Size: 1000, Src: uint8(c[0]), Dst: uint8(c[1]),
+				Size: 1000, Src: uint16(c[0]), Dst: uint16(c[1]),
 			})
 		}
 	}
@@ -221,7 +221,7 @@ func TestPhaseCoincidence(t *testing.T) {
 		c := conns[b%3]
 		tr2.Packets = append(tr2.Packets, trace.Packet{
 			Time: sim.Time(sim.Duration(b) * sim.Second),
-			Size: 1000, Src: uint8(c[0]), Dst: uint8(c[1]),
+			Size: 1000, Src: uint16(c[0]), Dst: uint16(c[1]),
 		})
 	}
 	got := PhaseCoincidence(tr2, conns, 100*sim.Millisecond)

@@ -76,7 +76,7 @@ func CharacterizeTracePool(tr *trace.Trace, program string, repConn [2]int, pool
 	// per-pair work can join the fan-out.
 	var pairs [][2]int
 	for _, pr := range tr.Pairs() {
-		if pr[1] != 0xFF {
+		if pr[1] != int(trace.Broadcast) {
 			pairs = append(pairs, pr)
 		}
 	}

@@ -87,7 +87,7 @@ func (h *histCounts) histogram() *stats.Histogram {
 }
 
 // pairKey identifies a (src, dst) connection compactly.
-type pairKey struct{ src, dst uint8 }
+type pairKey struct{ src, dst uint16 }
 
 // corrTracker streams the per-connection bandwidth series that feed the
 // connection-correlation statistic. All series share the aggregate
@@ -97,7 +97,7 @@ type corrTracker struct {
 	series map[pairKey][]float64
 }
 
-func (c *corrTracker) add(t0, t sim.Time, src, dst uint8, size uint16) {
+func (c *corrTracker) add(t0, t sim.Time, src, dst uint16, size uint16) {
 	if c.series == nil {
 		c.series = make(map[pairKey][]float64)
 	}
@@ -169,7 +169,7 @@ type coinTracker struct {
 	counts  []int
 }
 
-func (c *coinTracker) add(t sim.Time, src, dst uint8) {
+func (c *coinTracker) add(t sim.Time, src, dst uint16) {
 	if c.cur == nil {
 		c.cur = make(map[pairKey]struct{})
 		c.all = make(map[pairKey]struct{})
@@ -252,7 +252,7 @@ func (sc *StreamCharacterizer) Fold(ch *trace.Chunk) {
 
 // addPacket is the per-packet fold. Packets must arrive in capture
 // (time) order, as the collector delivers them.
-func (sc *StreamCharacterizer) addPacket(t sim.Time, size uint16, src, dst uint8, proto ethernet.Proto, flags uint8) {
+func (sc *StreamCharacterizer) addPacket(t sim.Time, size uint16, src, dst uint16, proto ethernet.Proto, flags uint8) {
 	v := float64(size)
 	if sc.n == 0 {
 		sc.first = t
@@ -278,7 +278,7 @@ func (sc *StreamCharacterizer) addPacket(t sim.Time, size uint16, src, dst uint8
 		sc.connLast = t
 	}
 
-	if dst != 0xFF {
+	if dst != trace.Broadcast {
 		sc.corr.add(sc.first, t, src, dst, size)
 	}
 	if proto == ethernet.ProtoTCP && flags&ethernet.FlagData != 0 {

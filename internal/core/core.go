@@ -130,6 +130,10 @@ type Result struct {
 	// faults (nil for successful runs, including degraded ones). A run
 	// that aborts cleanly is a valid measurement, not a Run error.
 	RunErr *fx.RunError
+	// Engine carries the conservative parallel engine's scheduling
+	// counters for topology runs (zero-valued for single-segment runs
+	// and results served from the cache).
+	Engine sim.EngineStats
 }
 
 // PDESMode selects how a multi-segment run's partitions advance.

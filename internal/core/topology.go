@@ -25,8 +25,8 @@ import (
 const DefaultTrunkLatency = sim.Millisecond
 
 // MaxTopologyHosts caps the total pinned hosts: trace addresses are
-// stored in a byte with 255 reserved for broadcast.
-const MaxTopologyHosts = 254
+// stored in 16 bits with 0xFFFF reserved for broadcast.
+const MaxTopologyHosts = 65534
 
 // TopoSegment is one named Ethernet segment of a multi-segment topology.
 type TopoSegment struct {
@@ -58,27 +58,33 @@ func (t *Topology) trunkLatency(i int) sim.Duration {
 	return DefaultTrunkLatency
 }
 
-// Lookahead is the conservative parallelization horizon: the minimum
-// cross-segment delay, i.e. the sum of the two smallest trunk latencies.
-// A frame leaving segment i during a window cannot reach any segment j
-// sooner than trunk(i)+trunk(j) ≥ Lookahead after it was sent, so every
-// partition can advance Lookahead beyond the global minimum event time
-// without hearing from its peers. Zero for single-segment topologies.
-func (t *Topology) Lookahead() sim.Duration {
-	if len(t.Segments) < 2 {
-		return 0
+// LookaheadMatrix is the conservative parallelization structure: entry
+// [i][j] is the minimum delay any frame leaving segment i needs to reach
+// segment j over the bridge graph. Segments are bridged through a
+// backbone star, so the direct hop costs trunk(i)+trunk(j) — and because
+// every trunk latency is positive, no relay through a third segment can
+// undercut the direct hop (trunk(i)+2·trunk(k)+trunk(j) > trunk(i)+
+// trunk(j)), making the matrix path-closed as the engine requires. Each
+// partition pair advances independently up to its own entry: two
+// segments joined by slow trunks run far ahead of a low-latency pair
+// instead of crawling at the global minimum, which is what the old
+// scalar Lookahead (the sum of the two smallest trunk latencies) forced.
+// Nil for single-segment topologies.
+func (t *Topology) LookaheadMatrix() [][]sim.Duration {
+	n := len(t.Segments)
+	if n < 2 {
+		return nil
 	}
-	lo1, lo2 := sim.Duration(1<<62), sim.Duration(1<<62)
-	for i := range t.Segments {
-		d := t.trunkLatency(i)
-		switch {
-		case d < lo1:
-			lo1, lo2 = d, lo1
-		case d < lo2:
-			lo2 = d
+	m := make([][]sim.Duration, n)
+	for i := range m {
+		m[i] = make([]sim.Duration, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = t.trunkLatency(i) + t.trunkLatency(j)
+			}
 		}
 	}
-	return lo1 + lo2
+	return m
 }
 
 // NumHosts reports the total number of pinned hosts.

@@ -86,7 +86,15 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 		parts[i] = sim.New(partitionSeed(cfg.Seed, topo.Segments[i].Name))
 		delay[i] = topo.trunkLatency(i)
 	}
-	eng := sim.NewEngine(parts, topo.Lookahead())
+	var eng *sim.Engine
+	if nSeg > 1 {
+		// Per-pair horizons: each partition pair advances independently
+		// up to its own trunk-path bound, so one low-latency trunk no
+		// longer serializes the whole topology.
+		eng = sim.NewEngineMatrix(parts, topo.LookaheadMatrix())
+	} else {
+		eng = sim.NewEngine(parts, 0)
+	}
 
 	segOf := topo.segmentOf()
 	segs := make([]*ethernet.Segment, nSeg)
@@ -113,7 +121,7 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 	bridges := make([]*ethernet.Bridge, nSeg)
 	for i := range bridges {
 		i := i
-		bridges[i] = ethernet.NewBridge(segs[i], i, nSeg, func(dstSeg int, f *ethernet.Frame) {
+		bridges[i] = ethernet.NewBridge(segs[i], i, nSeg, p, func(dstSeg int, f *ethernet.Frame) {
 			src := i
 			at := parts[src].Now().Add(delay[src] + delay[dstSeg])
 			eng.Send(src, dstSeg, at, "trunk", func() {
@@ -143,10 +151,12 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 	}
 	names = append(names, "monitor")
 
-	// Per-segment capture buffers, merged at each barrier. Buffered
-	// captures are all strictly older than the barrier's horizon and
-	// future ones are at least that new, so draining fully at every
-	// barrier yields the global (time, segment) order.
+	// Per-segment capture buffers, merged at each barrier up to the
+	// engine's watermark. Partitions now advance to different horizons,
+	// so a buffer may hold captures newer than another partition's
+	// progress — but every event still to run anywhere is at or after
+	// the watermark, so draining strictly below it yields the global
+	// (time, segment) order; the remainder waits for a later barrier.
 	capBuf := make([][]ethernet.Capture, nSeg)
 	mt := &mergedTaps{}
 	for i := range segs {
@@ -157,14 +167,16 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 	}
 	col := trace.Capture(mt)
 	cur := make([]int, nSeg)
-	eng.OnBarrier(func() {
+	eng.OnBarrier(func(watermark sim.Time) {
 		for i := range cur {
 			cur[i] = 0
 		}
 		for {
 			best := -1
 			for i := range capBuf {
-				if cur[i] == len(capBuf[i]) {
+				// Per-segment buffers are time-ordered, so once a head
+				// reaches the watermark the rest of that buffer has too.
+				if cur[i] == len(capBuf[i]) || capBuf[i][cur[i]].Time >= watermark {
 					continue
 				}
 				if best < 0 || capBuf[i][cur[i]].Time < capBuf[best][cur[best]].Time {
@@ -181,7 +193,10 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 			}
 		}
 		for i := range capBuf {
-			capBuf[i] = capBuf[i][:0]
+			if n := cur[i]; n > 0 {
+				rest := copy(capBuf[i], capBuf[i][n:])
+				capBuf[i] = capBuf[i][:rest]
+			}
 		}
 	})
 
@@ -191,13 +206,20 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 	}
 	machine := pvm.NewMachine(parts[0], hosts, pvmCfg)
 	if nSeg > 1 {
-		// Task exits fold into the machine's live count only at
-		// barriers, so daemon quiescence checks see the same value in
-		// serial and parallel mode (see pvm.DeferTaskExits). A single
-		// partition runs to completion with no intermediate barriers,
-		// so it must keep the immediate accounting (and needs no
-		// deferral: there is no cross-partition observer).
-		eng.OnBarrier(machine.DeferTaskExits())
+		// A task exit is physical news: its own partition sees it
+		// immediately, and it reaches every other partition one trunk
+		// path later through the engine's message path. The signal each
+		// partition observes is then a pure function of virtual time —
+		// identical in serial and parallel mode, and independent of how
+		// the per-pair engine cuts its rounds (see
+		// pvm.DistributeExits). A single partition keeps the exact
+		// immediate count: there is no cross-partition observer.
+		machine.DistributeExits(nSeg,
+			func(hostIndex int) int { return segOf[hostIndex] },
+			func(srcPart, dstPart int, fn func()) {
+				at := parts[srcPart].Now().Add(delay[srcPart] + delay[dstPart])
+				eng.Send(srcPart, dstPart, at, "pvm.exit", fn)
+			})
 	}
 
 	team, repConn, progName := launchTeam(cfg, machine, spec, isKernel, p)
@@ -254,5 +276,6 @@ func runTopology(cfg RunConfig, stream bool, opts RunOpts, spec kernels.Spec, is
 		RepConn:  repConn,
 		Team:     final,
 		RunErr:   runErr,
+		Engine:   eng.Stats(),
 	}, rep, nil
 }

@@ -25,8 +25,8 @@ func TestParseTopology(t *testing.T) {
 	if topo.Segments[1].TrunkLatency != 0 {
 		t.Fatalf("segment 1 latency should be unset (default)")
 	}
-	if got := topo.Lookahead(); got != 3*sim.Millisecond {
-		t.Fatalf("lookahead %v, want 3ms (2ms + default 1ms)", got)
+	if m := topo.LookaheadMatrix(); m[0][1] != 3*sim.Millisecond || m[1][0] != 3*sim.Millisecond {
+		t.Fatalf("lookahead matrix %v, want 3ms off-diagonal (2ms + default 1ms)", m)
 	}
 	if err := topo.ValidateFor(32); err != nil {
 		t.Fatal(err)
@@ -38,19 +38,19 @@ func TestParseTopology(t *testing.T) {
 
 func TestParseTopologyRejects(t *testing.T) {
 	bad := []string{
-		"",                      // empty
-		"lan0",                  // no hosts
-		"lan0:0-1,lan0:2-3",     // duplicate name
-		"lan0:0-1,lan1:1-2",     // host pinned twice
-		"lan0:0-1~0ms,lan1:2",   // zero trunk latency
-		"lan0:0-1~-5ms,lan1:2",  // negative trunk latency
-		"lan0:0-1@0,lan1:2",     // zero bit rate
-		"lan0:0-1@-10,lan1:2",   // negative bit rate
-		"la n0:0-1",             // bad name
-		"lan0:a-b",              // bad range
-		"lan0:5-2",              // inverted range
-		"lan0:0-300",            // beyond address space
-		"lan0:",                 // empty hosts
+		"",                     // empty
+		"lan0",                 // no hosts
+		"lan0:0-1,lan0:2-3",    // duplicate name
+		"lan0:0-1,lan1:1-2",    // host pinned twice
+		"lan0:0-1~0ms,lan1:2",  // zero trunk latency
+		"lan0:0-1~-5ms,lan1:2", // negative trunk latency
+		"lan0:0-1@0,lan1:2",    // zero bit rate
+		"lan0:0-1@-10,lan1:2",  // negative bit rate
+		"la n0:0-1",            // bad name
+		"lan0:a-b",             // bad range
+		"lan0:5-2",             // inverted range
+		"lan0:0-65535",         // beyond address space
+		"lan0:",                // empty hosts
 	}
 	for _, spec := range bad {
 		if _, err := ParseTopology(spec); err == nil {
@@ -109,8 +109,14 @@ func FuzzParseTopology(f *testing.F) {
 				t.Fatalf("parsed %q with negative latency", spec)
 			}
 		}
-		if len(topo.Segments) > 1 && topo.Lookahead() <= 0 {
-			t.Fatalf("parsed %q with non-positive lookahead", spec)
+		if m := topo.LookaheadMatrix(); len(topo.Segments) > 1 {
+			for i := range m {
+				for j := range m[i] {
+					if i != j && m[i][j] <= 0 {
+						t.Fatalf("parsed %q with non-positive lookahead L[%d][%d]", spec, i, j)
+					}
+				}
+			}
 		}
 		// ...and its canonical form must be a fixed point.
 		canon, err := ParseTopology(topo.Spec())
@@ -121,6 +127,111 @@ func FuzzParseTopology(f *testing.F) {
 			t.Fatalf("canonical spec not stable: %q → %q", topo.Spec(), canon.Spec())
 		}
 	})
+}
+
+func TestLookaheadMatrixShapes(t *testing.T) {
+	ms := sim.Millisecond
+	us := sim.Microsecond
+	cases := []struct {
+		name string
+		spec string
+		want map[[2]int]sim.Duration // spot checks; omitted pairs unchecked
+	}{
+		{
+			// Star of equals: every pair costs two default trunks.
+			name: "star-uniform",
+			spec: "a:0,b:1,c:2,d:3",
+			want: map[[2]int]sim.Duration{
+				{0, 1}: 2 * ms, {1, 2}: 2 * ms, {0, 3}: 2 * ms, {3, 0}: 2 * ms,
+			},
+		},
+		{
+			// Single trunk pair: the degenerate two-segment fabric.
+			name: "single-trunk",
+			spec: "left:0-1~500us,right:2-3~500us",
+			want: map[[2]int]sim.Duration{{0, 1}: 1 * ms, {1, 0}: 1 * ms},
+		},
+		{
+			// Chain-like spread: a fast middle segment is near both
+			// slow ends, but the ends stay far from each other — the
+			// per-pair structure a scalar lookahead collapses.
+			name: "chain-fast-middle",
+			spec: "west:0~2ms,mid:1~100us,east:2~2ms",
+			want: map[[2]int]sim.Duration{
+				{0, 1}: 2*ms + 100*us,
+				{1, 2}: 2*ms + 100*us,
+				{0, 2}: 4 * ms,
+			},
+		},
+		{
+			// Asymmetric latencies: each pair prices its own trunks.
+			name: "asymmetric",
+			spec: "a:0~1ms,b:1~3ms,c:2~7ms",
+			want: map[[2]int]sim.Duration{
+				{0, 1}: 4 * ms, {0, 2}: 8 * ms, {1, 2}: 10 * ms,
+			},
+		},
+	}
+	for _, tc := range cases {
+		topo, err := ParseTopology(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m := topo.LookaheadMatrix()
+		n := len(topo.Segments)
+		for pair, want := range tc.want {
+			if got := m[pair[0]][pair[1]]; got != want {
+				t.Errorf("%s: L[%d][%d] = %v, want %v", tc.name, pair[0], pair[1], got, want)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if m[i][i] != 0 {
+				t.Errorf("%s: diagonal L[%d][%d] = %v", tc.name, i, i, m[i][i])
+			}
+			for j := 0; j < n; j++ {
+				if m[i][j] != m[j][i] {
+					t.Errorf("%s: asymmetric star matrix L[%d][%d]=%v L[%d][%d]=%v",
+						tc.name, i, j, m[i][j], j, i, m[j][i])
+				}
+				// Path-closure: no relay can beat the direct entry, the
+				// property the engine's horizon math relies on.
+				for k := 0; k < n; k++ {
+					if i != j && k != i && k != j && m[i][k]+m[k][j] < m[i][j] {
+						t.Errorf("%s: L[%d][%d]=%v undercut via %d (%v)",
+							tc.name, i, j, m[i][j], k, m[i][k]+m[k][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLookaheadMatrixSingleSegmentNil(t *testing.T) {
+	topo, err := ParseTopology("lan0:0-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := topo.LookaheadMatrix(); m != nil {
+		t.Fatalf("single-segment matrix = %v, want nil", m)
+	}
+}
+
+func TestTopologyWideHostRange(t *testing.T) {
+	// The parser accepts thousand-host pins now that trace addresses
+	// are 16-bit; only the broadcast address stays reserved.
+	topo, err := ParseTopology("lan0:0-1023,lan1:1024-2047")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := topo.NumHosts(); n != 2048 {
+		t.Fatalf("NumHosts = %d, want 2048", n)
+	}
+	if err := topo.ValidateFor(2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTopology("lan0:0-65534"); err == nil {
+		t.Fatal("accepted 65535 hosts; 0xFFFF must stay reserved for broadcast")
+	}
 }
 
 // topoDigest runs cfg with the given PDES mode and returns the binary

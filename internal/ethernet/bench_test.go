@@ -39,6 +39,28 @@ func BenchmarkSharedContention(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkBridgeForwarding measures the bridge's per-frame forwarding
+// decision — source learning, destination lookup, trunk hand-off — the
+// path every delivered frame takes in a multi-segment fabric. It must
+// not allocate: thousand-host topologies hit it millions of times.
+func BenchmarkBridgeForwarding(b *testing.B) {
+	k := sim.New(1)
+	seg := NewSegment(k, 0)
+	br := NewBridge(seg, 0, 16, 1024, func(dstSeg int, f *Frame) {})
+	tx := seg.Attach("h0")
+	tx.OnReceive(func(f *Frame) {})
+	br.learn(512, 3)
+	f := &Frame{Src: 0, Dst: 512, NetLen: 1500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.sawFrame(tx, f)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { br.sawFrame(tx, f) }); allocs > 0 {
+		b.Fatalf("bridge forwarding allocates %v per frame", allocs)
+	}
+}
+
 // BenchmarkSwitchForwarding measures the store-and-forward path.
 func BenchmarkSwitchForwarding(b *testing.B) {
 	k := sim.New(1)

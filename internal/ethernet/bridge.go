@@ -2,7 +2,7 @@ package ethernet
 
 // bridgeIDBase is the station address of segment 0's bridge. Host
 // addresses are bounded far below it (the trace format caps them at
-// 254), so bridge stations never collide with — or match the Dst of —
+// 65534), so bridge stations never collide with — or match the Dst of —
 // any host frame.
 const bridgeIDBase = 1 << 20
 
@@ -23,7 +23,12 @@ type Bridge struct {
 	station *Station
 	segIdx  int
 	nSeg    int
-	learned map[int]int // source address → segment index
+	// learned maps a source address to segment index + 1 (0 = not yet
+	// learned). A dense slice sized for the topology's host count keeps
+	// the forwarding decision a bounds check and an array load —
+	// thousand-host fabrics hit this on every delivered frame, where
+	// the old map paid a hash per lookup.
+	learned []int32
 	send    func(dstSeg int, f *Frame)
 
 	// Relayed counts frames this bridge pushed into trunks (floods count
@@ -32,20 +37,47 @@ type Bridge struct {
 }
 
 // NewBridge attaches a bridge station to seg (segment segIdx of nSeg)
-// and wires it to observe delivered frames. send conveys a frame into
-// another segment's bridge; the topology runner routes it across the
-// partition boundary with trunk latency applied.
-func NewBridge(seg *Segment, segIdx, nSeg int, send func(dstSeg int, f *Frame)) *Bridge {
+// and wires it to observe delivered frames. hostCap sizes the learning
+// table: host station addresses are expected in [0, hostCap). send
+// conveys a frame into another segment's bridge; the topology runner
+// routes it across the partition boundary with trunk latency applied.
+func NewBridge(seg *Segment, segIdx, nSeg, hostCap int, send func(dstSeg int, f *Frame)) *Bridge {
+	if hostCap < 1 {
+		hostCap = 1
+	}
 	b := &Bridge{
 		seg:     seg,
 		segIdx:  segIdx,
 		nSeg:    nSeg,
-		learned: make(map[int]int),
+		learned: make([]int32, hostCap),
 		send:    send,
 	}
 	b.station = seg.AttachID("bridge", bridgeIDBase+segIdx)
 	seg.OnForward(b.sawFrame)
 	return b
+}
+
+// learn records that addr was seen on segment seg, growing the table if
+// an address beyond the declared host capacity appears.
+func (b *Bridge) learn(addr, seg int) {
+	if addr < 0 {
+		return
+	}
+	if addr >= len(b.learned) {
+		grown := make([]int32, addr+1)
+		copy(grown, b.learned)
+		b.learned = grown
+	}
+	b.learned[addr] = int32(seg) + 1
+}
+
+// lookup reports the segment addr was learned on.
+func (b *Bridge) lookup(addr int) (seg int, known bool) {
+	if addr < 0 || addr >= len(b.learned) {
+		return 0, false
+	}
+	v := b.learned[addr]
+	return int(v) - 1, v != 0
 }
 
 // sawFrame is the promiscuous observation hook: runs at the end of every
@@ -57,12 +89,12 @@ func (b *Bridge) sawFrame(tx *Station, f *Frame) {
 		// and relaying it again would loop.
 		return
 	}
-	b.learned[f.Src] = b.segIdx
+	b.learn(f.Src, b.segIdx)
 	if f.Dst == Broadcast {
 		b.flood(f)
 		return
 	}
-	seg, known := b.learned[f.Dst]
+	seg, known := b.lookup(f.Dst)
 	switch {
 	case !known:
 		b.flood(f)
@@ -89,6 +121,6 @@ func (b *Bridge) flood(f *Frame) {
 // learn the source's segment, then transmit the frame locally with its
 // original source address preserved.
 func (b *Bridge) DeliverFromTrunk(srcSeg int, f *Frame) {
-	b.learned[f.Src] = srcSeg
+	b.learn(f.Src, srcSeg)
 	b.station.Forward(f)
 }

@@ -60,8 +60,12 @@ func Key(cfg core.RunConfig) string {
 	// every pre-topology config — and every cache entry written for one —
 	// keeps its exact key. Spec() is canonical (sorted, collapsed host
 	// ranges; defaults omitted), so equivalent topologies hash equal.
+	// The field name carries its own version: per-pair lookahead changed
+	// the multi-segment event schedule, so "topology-v2" misses every
+	// entry the old engine produced while leaving single-kernel keys —
+	// the vast majority of any warm cache — untouched.
 	if cfg.Topology != nil {
-		writeField(h, "topology", cfg.Topology.Spec())
+		writeField(h, "topology-v2", cfg.Topology.Spec())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

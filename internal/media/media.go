@@ -107,8 +107,8 @@ func emitFrameBytes(tr *trace.Trace, at sim.Time, bytes, pktPayload, src, dst in
 		tr.Packets = append(tr.Packets, trace.Packet{
 			Time:  at.Add(sim.Duration(off) * perPacket),
 			Size:  uint16(payload + 58),
-			Src:   uint8(src),
-			Dst:   uint8(dst),
+			Src:   trace.MustAddr(src),
+			Dst:   trace.MustAddr(dst),
 			Proto: ethernet.ProtoUDP,
 			Flags: ethernet.FlagData,
 		})
@@ -173,7 +173,7 @@ func GenerateOnOff(cfg OnOffConfig, duration sim.Duration, seed int64) *trace.Tr
 				for pt := t; pt < t.Add(period) && pt < sim.Time(duration); pt = pt.Add(perPacket) {
 					tr.Packets = append(tr.Packets, trace.Packet{
 						Time: pt, Size: uint16(cfg.PacketBytes + 58),
-						Src: uint8(s % 4), Dst: uint8((s + 1) % 4),
+						Src: uint16(s % 4), Dst: uint16((s + 1) % 4),
 						Proto: ethernet.ProtoUDP, Flags: ethernet.FlagData,
 					})
 				}

@@ -146,10 +146,19 @@ func Fit(series []float64, dt float64, k int, minSepHz float64) (*BandwidthModel
 // approximates the model: for each bin of width bin, the modeled byte
 // budget is emitted as pktSize-byte packets spaced evenly through the
 // bin (fractional bytes carry over). Negative model excursions emit
-// nothing. The packets flow src→dst as TCP data.
-func (m *BandwidthModel) GenerateTrace(duration sim.Duration, bin sim.Duration, pktSize int, src, dst int) *trace.Trace {
+// nothing. The packets flow src→dst as TCP data; it returns an error if
+// either endpoint is outside the trace address space.
+func (m *BandwidthModel) GenerateTrace(duration sim.Duration, bin sim.Duration, pktSize int, src, dst int) (*trace.Trace, error) {
 	if pktSize <= 0 {
 		panic("model: nonpositive packet size")
+	}
+	srcAddr, err := trace.Addr(src)
+	if err != nil {
+		return nil, err
+	}
+	dstAddr, err := trace.Addr(dst)
+	if err != nil {
+		return nil, err
 	}
 	tr := trace.New()
 	tr.Meta["generator"] = "spectral-model"
@@ -168,10 +177,10 @@ func (m *BandwidthModel) GenerateTrace(duration sim.Duration, bin sim.Duration, 
 			off := sim.Duration(float64(bin) * (float64(i) + 0.5) / float64(n))
 			tr.Packets = append(tr.Packets, trace.Packet{
 				Time: t0.Add(off), Size: uint16(pktSize),
-				Src: uint8(src), Dst: uint8(dst),
+				Src: srcAddr, Dst: dstAddr,
 				Proto: ethernet.ProtoTCP, Flags: ethernet.FlagData,
 			})
 		}
 	}
-	return tr
+	return tr, nil
 }

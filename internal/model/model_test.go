@@ -113,7 +113,10 @@ func TestGenerateTraceMatchesModel(t *testing.T) {
 	dt := 0.01
 	series := twoTone(2048, dt)
 	m, _ := Fit(series, dt, 2, 1.0)
-	tr := m.GenerateTrace(20*sim.Second, analysis.PaperWindow, 1000, 0, 1)
+	tr, err := m.GenerateTrace(20*sim.Second, analysis.PaperWindow, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.Len() == 0 {
 		t.Fatal("no packets generated")
 	}
@@ -133,7 +136,10 @@ func TestGenerateTraceMatchesModel(t *testing.T) {
 func TestGenerateTraceClampsNegative(t *testing.T) {
 	// A model that swings negative must still produce a valid trace.
 	m := &BandwidthModel{DC: 10, Components: []Component{{Freq: 1, Coeff: complex(20, 0)}}}
-	tr := m.GenerateTrace(5*sim.Second, analysis.PaperWindow, 500, 0, 1)
+	tr, err := m.GenerateTrace(5*sim.Second, analysis.PaperWindow, 500, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range tr.Packets {
 		if p.Size != 500 {
 			t.Fatalf("packet size %d", p.Size)
@@ -154,6 +160,16 @@ func TestGenerateTraceBadPacketSizePanics(t *testing.T) {
 	(&BandwidthModel{DC: 1}).GenerateTrace(sim.Second, analysis.PaperWindow, 0, 0, 1)
 }
 
+func TestGenerateTraceRejectsBadAddress(t *testing.T) {
+	m := &BandwidthModel{DC: 1}
+	if _, err := m.GenerateTrace(sim.Second, analysis.PaperWindow, 1000, 0, 70000); err == nil {
+		t.Error("no error for out-of-range destination")
+	}
+	if _, err := m.GenerateTrace(sim.Second, analysis.PaperWindow, 1000, -1, 1); err == nil {
+		t.Error("no error for negative source")
+	}
+}
+
 func TestFromSpectrumEmpty(t *testing.T) {
 	m, met := Fit(nil, 0.01, 3, 1)
 	if len(m.Components) != 0 {
@@ -168,7 +184,10 @@ func TestRoundTripThroughAnalysisSpectrum(t *testing.T) {
 	// Model built from a synthetic trace's spectrum reproduces the trace's
 	// periodicity — the full §7.2 loop.
 	orig := &BandwidthModel{DC: 200, Components: []Component{{Freq: 4, Coeff: complex(60, 0)}}}
-	tr := orig.GenerateTrace(30*sim.Second, analysis.PaperWindow, 1400, 0, 1)
+	tr, err := orig.GenerateTrace(30*sim.Second, analysis.PaperWindow, 1400, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	series, dt := analysis.BinnedBandwidth(tr, analysis.PaperWindow)
 	m2, met := Fit(series, dt, 1, 1)
 	if math.Abs(m2.DC-200) > 20 {

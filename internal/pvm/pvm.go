@@ -25,7 +25,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"fxnet/internal/netstack"
 	"fxnet/internal/sim"
@@ -100,38 +99,59 @@ type Machine struct {
 	live    int
 	daemons []*daemon
 
-	// Deferred-exit accounting for partitioned (multi-segment) runs:
-	// task exits land in pendingExits and are folded into live only at
-	// engine barriers, so every partition — including the exiting
-	// task's own — observes the pre-window value all window long. That
-	// makes the liveTasks signal identical in serial and parallel mode.
-	deferExits   bool
-	pendingExits atomic.Int64
+	// Distributed-exit accounting for partitioned (multi-segment)
+	// runs: each partition keeps its own count of the task exits
+	// visible to it. An exit is visible to the exiting task's own
+	// partition immediately and reaches every other partition as a
+	// cross-partition message delayed by the trunk path — the exit is
+	// physical news travelling the fabric, not shared state — so the
+	// signal each partition observes is a pure function of virtual
+	// time, independent of how the conservative engine cuts its
+	// rounds, and identical in serial and parallel mode.
+	exitSeen []int                                 // per partition: exits visible there
+	partOf   func(hostIndex int) int               // host → partition
+	exitSend func(srcPart, dstPart int, fn func()) // engine message transport
 
 	dead       []bool // per host index, set by MarkHostDead
 	onHostDead []func(hostIndex int)
 }
 
-// taskExited records one task-body return.
-func (m *Machine) taskExited() {
-	if m.deferExits {
-		m.pendingExits.Add(1)
+// taskExited records one task-body return on the given host.
+func (m *Machine) taskExited(hostIndex int) {
+	if m.exitSend == nil {
+		m.live--
 		return
 	}
-	m.live--
+	src := m.partOf(hostIndex)
+	m.exitSeen[src]++
+	for dst := range m.exitSeen {
+		if dst == src {
+			continue
+		}
+		dst := dst
+		m.exitSend(src, dst, func() { m.exitSeen[dst]++ })
+	}
 }
 
-// liveTasks reports the number of tasks whose exit has been folded in.
-func (m *Machine) liveTasks() int { return m.live }
-
-// DeferTaskExits switches exit accounting to barrier-deferred mode and
-// returns the fold function the topology runner registers as an engine
-// barrier hook.
-func (m *Machine) DeferTaskExits() func() {
-	m.deferExits = true
-	return func() {
-		m.live -= int(m.pendingExits.Swap(0))
+// liveTasksAt reports the number of tasks host hostIndex's partition
+// believes are still running: spawned minus the exits whose news has
+// reached that partition. Single-kernel machines share one exact count.
+func (m *Machine) liveTasksAt(hostIndex int) int {
+	if m.exitSend == nil {
+		return m.live
 	}
+	return m.live - m.exitSeen[m.partOf(hostIndex)]
+}
+
+// DistributeExits switches exit accounting to partitioned mode: partOf
+// maps a host index to its partition, and send delivers an exit
+// notification callback from one partition to another with the fabric's
+// trunk latency (the topology runner routes it through the engine's
+// cross-partition message path). Must be called before any task exits.
+func (m *Machine) DistributeExits(nPart int, partOf func(hostIndex int) int, send func(srcPart, dstPart int, fn func())) {
+	m.exitSeen = make([]int, nPart)
+	m.partOf = partOf
+	m.exitSend = send
 }
 
 // NewMachine assembles a virtual machine over hosts and starts a daemon
@@ -290,7 +310,7 @@ func (d *daemon) start() {
 	window := sim.Duration(d.m.cfg.HeartbeatMisses) * d.m.cfg.KeepaliveInterval
 	var tick func()
 	tick = func() {
-		if epoch != d.epoch || d.m.liveTasks() == 0 || d.host.Down() {
+		if epoch != d.epoch || d.m.liveTasksAt(d.index) == 0 || d.host.Down() {
 			return // superseded, quiescent, or crashed: stop generating events
 		}
 		if window > 0 && !d.m.HostDead(0) {
@@ -322,7 +342,7 @@ func (d *daemon) startFailureDetector(epoch int) {
 	started := dk.Now()
 	var check func()
 	check = func() {
-		if epoch != d.epoch || d.m.liveTasks() == 0 || d.host.Down() {
+		if epoch != d.epoch || d.m.liveTasksAt(d.index) == 0 || d.host.Down() {
 			return
 		}
 		now := dk.Now()
@@ -400,7 +420,7 @@ func (m *Machine) Spawn(name string, hostIndex int, body func(t *Task)) *Task {
 	})
 	t.proc = hk.Go("pvm.task:"+name, func(p *sim.Proc) {
 		body(t)
-		m.taskExited()
+		m.taskExited(t.hostIndex)
 	})
 	return t
 }

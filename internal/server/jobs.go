@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fxnet/internal/catalog"
@@ -27,10 +28,10 @@ const (
 
 // job is one asynchronous run submission.
 type job struct {
-	ID        string
-	Key       string
-	Cfg       core.RunConfig
-	Stream    bool
+	ID     string
+	Key    string
+	Cfg    core.RunConfig
+	Stream bool
 	// FitSpikes > 0 marks a model-fit job: the run resolves through the
 	// catalog fitter (catalog hit → run cache → simulate) with this spike
 	// budget, and the result is a catalog entry rather than a trace.
@@ -97,6 +98,32 @@ type jobRegistry struct {
 	jobs map[string]*job
 	seq  uint64
 	wg   sync.WaitGroup
+
+	// engine accumulates the conservative-PDES window statistics of every
+	// executed multi-segment run (cache-served results carry zeros), for
+	// the fxnetd_engine_* metrics.
+	engine engineCounters
+}
+
+// engineCounters aggregates sim.EngineStats across runs. Atomics: the
+// adds happen on job execution goroutines, reads on the metrics handler.
+type engineCounters struct {
+	windows    atomic.Uint64
+	activeSum  atomic.Uint64
+	nulls      atomic.Uint64
+	crossMsgs  atomic.Uint64
+	partedRuns atomic.Uint64 // runs that actually exercised the engine
+}
+
+func (c *engineCounters) add(r *core.Result) {
+	if r == nil || r.Engine.Windows == 0 {
+		return
+	}
+	c.windows.Add(r.Engine.Windows)
+	c.activeSum.Add(r.Engine.ActiveSum)
+	c.nulls.Add(r.Engine.NullPublishes)
+	c.crossMsgs.Add(r.Engine.CrossMessages)
+	c.partedRuns.Add(1)
 }
 
 func newJobRegistry(f *farm.Farm) *jobRegistry {
@@ -177,6 +204,7 @@ func (r *jobRegistry) start(id string, cfg core.RunConfig, stream bool, fitSpike
 			j.res, j.rep, j.err = jr.Result, jr.Report, jr.Err
 			j.cached, j.deduped, j.wall = jr.Cached, jr.Deduped, jr.Wall
 			j.mu.Unlock()
+			r.engine.add(jr.Result)
 		}
 		j.mu.Lock()
 		switch {

@@ -89,7 +89,7 @@ func TestShedderTiers(t *testing.T) {
 	}{
 		{0, true, true},
 		{9, true, true},
-		{10, false, true},  // tier 1
+		{10, false, true}, // tier 1
 		{19, false, true},
 		{20, false, false}, // tier 2
 		{1000, false, false},

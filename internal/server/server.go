@@ -908,6 +908,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP fxnetd_journal_truncated_bytes Torn-tail bytes dropped from the journal at boot.\n# TYPE fxnetd_journal_truncated_bytes gauge")
 	fmt.Fprintf(w, "fxnetd_journal_truncated_bytes %d\n", s.jstats.truncated.Load())
 
+	eng := &s.jobs.engine
+	windows := eng.windows.Load()
+	fmt.Fprintln(w, "# HELP fxnetd_engine_windows_total Conservative-PDES windows executed across partitioned runs.\n# TYPE fxnetd_engine_windows_total counter")
+	fmt.Fprintf(w, "fxnetd_engine_windows_total %d\n", windows)
+	fmt.Fprintln(w, "# HELP fxnetd_engine_null_publishes_total Demand-driven null-horizon publications by idle partitions.\n# TYPE fxnetd_engine_null_publishes_total counter")
+	fmt.Fprintf(w, "fxnetd_engine_null_publishes_total %d\n", eng.nulls.Load())
+	fmt.Fprintln(w, "# HELP fxnetd_engine_cross_messages_total Cross-partition messages exchanged at window barriers.\n# TYPE fxnetd_engine_cross_messages_total counter")
+	fmt.Fprintf(w, "fxnetd_engine_cross_messages_total %d\n", eng.crossMsgs.Load())
+	fmt.Fprintln(w, "# HELP fxnetd_engine_partitioned_runs_total Runs that executed the partitioned engine (cache hits excluded).\n# TYPE fxnetd_engine_partitioned_runs_total counter")
+	fmt.Fprintf(w, "fxnetd_engine_partitioned_runs_total %d\n", eng.partedRuns.Load())
+	meanActive := 0.0
+	if windows > 0 {
+		meanActive = float64(eng.activeSum.Load()) / float64(windows)
+	}
+	fmt.Fprintln(w, "# HELP fxnetd_engine_mean_active_partitions Mean partitions doing work per window, across partitioned runs.\n# TYPE fxnetd_engine_mean_active_partitions gauge")
+	fmt.Fprintf(w, "fxnetd_engine_mean_active_partitions %g\n", meanActive)
+
 	fmt.Fprintln(w, "# HELP fxnetd_farm_peer_hits_total Cache hits satisfied by fetching the entry from a cluster peer.\n# TYPE fxnetd_farm_peer_hits_total counter")
 	fmt.Fprintf(w, "fxnetd_farm_peer_hits_total %d\n", fs.PeerHits)
 	fmt.Fprintln(w, "# HELP fxnetd_farm_memo_evicted_total Memoized results evicted by the in-memory LRU caps.\n# TYPE fxnetd_farm_memo_evicted_total counter")

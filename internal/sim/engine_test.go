@@ -8,10 +8,10 @@ import (
 
 // pingPong wires nPart partitions into a ring: each partition's callback
 // records (partition, time) in a partition-local log and forwards to the
-// next partition after the trunk delay. Partition logs are merged by
-// (time, partition) at each barrier — the same discipline the topology
-// runner uses for per-segment capture buffers — so the returned log is
-// well-defined in both serial and parallel mode.
+// next partition after the trunk delay. Partition logs are merged in
+// (time, partition) order up to each barrier's watermark — the same
+// discipline the topology runner uses for per-segment capture buffers —
+// so the returned log is well-defined in both serial and parallel mode.
 func pingPong(parallel bool, nPart, rounds int, delay Duration) []string {
 	parts := make([]*Kernel, nPart)
 	for i := range parts {
@@ -24,11 +24,11 @@ func pingPong(parallel bool, nPart, rounds int, delay Duration) []string {
 	}
 	local := make([][]entry, nPart)
 	var merged []string
-	eng.OnBarrier(func() {
+	eng.OnBarrier(func(w Time) {
 		for {
 			best := -1
 			for i := range local {
-				if len(local[i]) == 0 {
+				if len(local[i]) == 0 || local[i][0].at >= w {
 					continue
 				}
 				if best < 0 || local[i][0].at < local[best][0].at {
@@ -82,8 +82,9 @@ func TestEngineSerialParallelIdentical(t *testing.T) {
 }
 
 func TestEngineBarrierMergeOrder(t *testing.T) {
-	// Three partitions all send to partition 0 at the same timestamp in
-	// the same window; injection order must be (at, src, seq).
+	// Three partitions all send to partition 0 at the same timestamp;
+	// injection order must be (at, src, seq) regardless of the round
+	// schedule that delivered them.
 	run := func(parallel bool) []string {
 		parts := []*Kernel{New(1), New(2), New(3), New(4)}
 		eng := NewEngine(parts, 4*Millisecond)
@@ -126,8 +127,162 @@ func TestEngineLookaheadViolationPanics(t *testing.T) {
 	eng.Run(false)
 }
 
+func TestEnginePairHorizonViolationPanics(t *testing.T) {
+	// A message that clears the smallest pairwise bound in the matrix
+	// (1 ms, between partitions 0 and 1) but undercuts the bound of the
+	// pair it actually travels on (0 → 2, 10 ms) must still panic: the
+	// contract is per pair, not global.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on pair-horizon violation")
+		}
+	}()
+	lat := [][]Duration{
+		{0, Millisecond, 10 * Millisecond},
+		{Millisecond, 0, 10 * Millisecond},
+		{10 * Millisecond, 10 * Millisecond, 0},
+	}
+	parts := []*Kernel{New(1), New(2), New(3)}
+	eng := NewEngineMatrix(parts, lat)
+	parts[1].At(0, "keep-busy", func() {}) // partition 1 stays observable
+	parts[0].At(0, "bad", func() {
+		// 5 ms clears the global minimum (1 ms) but not L[0][2] = 10 ms.
+		eng.Send(0, 2, parts[0].Now().Add(5*Millisecond), "early", func() {})
+	})
+	eng.Run(false)
+}
+
+func TestEngineMatrixClosure(t *testing.T) {
+	// The matrix is closed over paths: a cheap relay through partition 1
+	// tightens the direct 0 → 2 entry from 100 ms to 2 ms, and the
+	// closed value is what both the horizon math and the violation check
+	// must price.
+	lat := [][]Duration{
+		{0, Millisecond, 100 * Millisecond},
+		{Millisecond, 0, Millisecond},
+		{100 * Millisecond, Millisecond, 0},
+	}
+	eng := NewEngineMatrix([]*Kernel{New(1), New(2), New(3)}, lat)
+	if got := eng.Lookahead(0, 2); got != 2*Millisecond {
+		t.Fatalf("closed L[0][2] = %v, want %v", got, 2*Millisecond)
+	}
+	if got := eng.Lookahead(0, 1); got != Millisecond {
+		t.Fatalf("closed L[0][1] = %v, want %v", got, Millisecond)
+	}
+}
+
+func TestEngineAsymmetricPairsDecouple(t *testing.T) {
+	// Partitions 0 and 1 exchange traffic every 2 ms over a tight 1 ms
+	// pair bound; partition 2 sits behind 200 ms bounds with 100 purely
+	// local events. Under the per-pair horizons partition 2 must clear
+	// all its work in one round instead of being dragged through the
+	// fast pair's lockstep — visible as ActiveSum barely above Windows.
+	run := func(parallel bool) ([]string, EngineStats) {
+		lat := [][]Duration{
+			{0, Millisecond, 200 * Millisecond},
+			{Millisecond, 0, 200 * Millisecond},
+			{200 * Millisecond, 200 * Millisecond, 0},
+		}
+		parts := []*Kernel{New(1), New(2), New(3)}
+		eng := NewEngineMatrix(parts, lat)
+		type entry struct {
+			at   Time
+			text string
+		}
+		local := make([][]entry, len(parts))
+		var merged []string
+		eng.OnBarrier(func(w Time) {
+			for {
+				best := -1
+				for i := range local {
+					if len(local[i]) == 0 || local[i][0].at >= w {
+						continue
+					}
+					if best < 0 || local[i][0].at < local[best][0].at {
+						best = i
+					}
+				}
+				if best < 0 {
+					return
+				}
+				merged = append(merged, local[best][0].text)
+				local[best] = local[best][1:]
+			}
+		})
+		var hop func(src, n int) func()
+		hop = func(src, n int) func() {
+			return func() {
+				k := parts[src]
+				local[src] = append(local[src], entry{k.Now(), fmt.Sprintf("p%d@%d", src, k.Now())})
+				if n >= 50 {
+					return
+				}
+				eng.Send(src, 1-src, k.Now().Add(2*Millisecond), "hop", hop(1-src, n+1))
+			}
+		}
+		parts[0].At(0, "seed", hop(0, 0))
+		for i := 0; i < 100; i++ {
+			at := Time(i) * Time(Millisecond)
+			parts[2].At(at, "local", func() {
+				local[2] = append(local[2], entry{parts[2].Now(), fmt.Sprintf("p2@%d", parts[2].Now())})
+			})
+		}
+		eng.Run(parallel)
+		return merged, eng.Stats()
+	}
+	serial, sst := run(false)
+	par, pst := run(true)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("serial and parallel logs differ:\nserial: %v\nparallel: %v", serial, par)
+	}
+	if sst != pst {
+		t.Fatalf("serial stats %+v != parallel stats %+v", sst, pst)
+	}
+	if len(serial) != 51+100 {
+		t.Fatalf("got %d events, want %d", len(serial), 151)
+	}
+	// 51 ping-pong hops need ≥ 25 rounds; partition 2 may be active in
+	// at most 2 of them (its 99 ms of work fits far inside one 200 ms
+	// horizon). A lockstep engine would show ActiveSum ≈ 2×Windows.
+	if sst.Windows < 10 {
+		t.Fatalf("suspiciously few rounds: %+v", sst)
+	}
+	if sst.ActiveSum > sst.Windows+2 {
+		t.Fatalf("slow partition dragged into lockstep: %+v", sst)
+	}
+}
+
+func TestEngineNullHorizonRoundTripSafety(t *testing.T) {
+	// Partition 1 starts empty; partition 0 has a far-future local event
+	// at 10 ms plus a chain that bounces off partition 1 and returns at
+	// 4 ms. The demand-driven null horizon must price the round trip
+	// (L[0][1] + L[1][0]) so partition 0 does not run to 10 ms before
+	// the 4 ms reply lands in its past.
+	var log []string
+	parts := []*Kernel{New(1), New(2)}
+	eng := NewEngine(parts, Millisecond)
+	parts[0].At(Time(10*Millisecond), "far", func() {
+		log = append(log, "far@10ms")
+	})
+	parts[0].At(0, "start", func() {
+		eng.Send(0, 1, parts[0].Now().Add(2*Millisecond), "ping", func() {
+			eng.Send(1, 0, parts[1].Now().Add(2*Millisecond), "pong", func() {
+				log = append(log, "pong@4ms")
+			})
+		})
+	})
+	eng.Run(false)
+	want := []string{"pong@4ms", "far@10ms"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	if st := eng.Stats(); st.NullPublishes == 0 {
+		t.Fatalf("expected null horizons to be published: %+v", st)
+	}
+}
+
 func TestEngineSkipsIdleTime(t *testing.T) {
-	// Two partitions with events 1 hour apart: windows must jump, not
+	// Two partitions with events 1 hour apart: rounds must jump, not
 	// crawl in lookahead-sized steps. Executed counts prove only the
 	// scheduled events ran.
 	parts := []*Kernel{New(1), New(2)}
@@ -144,6 +299,10 @@ func TestEngineSkipsIdleTime(t *testing.T) {
 	if want := Time(4) * Time(Hour); last != want {
 		t.Fatalf("final time %v, want %v", last, want)
 	}
+	st := eng.Stats()
+	if st.Windows == 0 || st.Windows > 10 {
+		t.Fatalf("unexpected round count: %+v", st)
+	}
 }
 
 func TestEngineReturnsLastEventTime(t *testing.T) {
@@ -156,10 +315,22 @@ func TestEngineReturnsLastEventTime(t *testing.T) {
 	}
 }
 
+func TestEngineFinalBarrierWatermarkIsMax(t *testing.T) {
+	parts := []*Kernel{New(1), New(2)}
+	eng := NewEngine(parts, Millisecond)
+	var last Time
+	eng.OnBarrier(func(w Time) { last = w })
+	parts[0].At(0, "a", func() {})
+	eng.Run(false)
+	if last != maxTime {
+		t.Fatalf("final watermark %v, want maxTime", last)
+	}
+}
+
 func BenchmarkEngineWindow(b *testing.B) {
 	// Steady-state ping-pong across two partitions with once-allocated
-	// callbacks: the window loop, barrier merge, and kernels must not
-	// allocate per hop.
+	// callbacks: the round loop, staged injection, barrier, and kernels
+	// must not allocate per hop.
 	parts := []*Kernel{New(1), New(2)}
 	eng := NewEngine(parts, 2*Millisecond)
 	n := 0

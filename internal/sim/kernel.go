@@ -65,7 +65,7 @@ func (h Event) Time() Time {
 // exactly with the heap's.
 type Kernel struct {
 	now      Time
-	lastAt   Time // time of the last executed event (Now may run ahead to a RunUntil limit)
+	lastAt   Time     // time of the last executed event (Now may run ahead to a RunUntil limit)
 	queue    []*event // 4-ary min-heap on (at, seq)
 	imm      []*event // power-of-two ring: events at the current instant
 	immHead  int

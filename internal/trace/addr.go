@@ -1,0 +1,37 @@
+package trace
+
+import "fmt"
+
+// Host addresses in a trace are 16-bit: wide enough for the
+// thousand-host topologies the partitioned engine simulates, with the
+// all-ones value reserved for broadcast.
+const (
+	// Broadcast is the in-memory (and wide on-disk) destination address
+	// of a broadcast frame. The narrow v1 record encodes it as 0xFF.
+	Broadcast uint16 = 0xFFFF
+	// MaxHostAddr is the largest addressable host.
+	MaxHostAddr = 0xFFFE
+)
+
+// Addr converts a host index to the trace's address width, rejecting
+// values that would silently truncate: negatives and anything above
+// MaxHostAddr (the broadcast value is not a host address). It is the
+// single choke point for int→address narrowing; use it anywhere a host
+// index of unproven range meets a Packet.
+func Addr(v int) (uint16, error) {
+	if v < 0 || v > MaxHostAddr {
+		return 0, fmt.Errorf("trace: host address %d out of range [0, %d]", v, MaxHostAddr)
+	}
+	return uint16(v), nil
+}
+
+// MustAddr is Addr for callers whose range is already enforced upstream
+// (topology validation caps hosts at MaxHostAddr); it panics on the
+// invariant violation instead of returning an error.
+func MustAddr(v int) uint16 {
+	a, err := Addr(v)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

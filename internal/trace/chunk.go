@@ -13,8 +13,8 @@ import (
 type Chunk struct {
 	Time    []sim.Time
 	Size    []uint16
-	Src     []uint8
-	Dst     []uint8
+	Src     []uint16
+	Dst     []uint16
 	Proto   []ethernet.Proto
 	Flags   []uint8
 	SrcPort []uint16
@@ -27,8 +27,8 @@ func NewChunk(n int) *Chunk {
 	return &Chunk{
 		Time:    make([]sim.Time, 0, n),
 		Size:    make([]uint16, 0, n),
-		Src:     make([]uint8, 0, n),
-		Dst:     make([]uint8, 0, n),
+		Src:     make([]uint16, 0, n),
+		Dst:     make([]uint16, 0, n),
 		Proto:   make([]ethernet.Proto, 0, n),
 		Flags:   make([]uint8, 0, n),
 		SrcPort: make([]uint16, 0, n),

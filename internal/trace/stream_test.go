@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
+	"sort"
 	"testing"
 
 	"fxnet/internal/ethernet"
@@ -15,8 +17,8 @@ func synthPacket(i int) Packet {
 	return Packet{
 		Time:    sim.Time(int64(i)*7919 + 13),
 		Size:    uint16(64 + i%1455),
-		Src:     uint8(i % 9),
-		Dst:     uint8((i + 3) % 9),
+		Src:     uint16(i % 9),
+		Dst:     uint16((i + 3) % 9),
 		Proto:   ethernet.Proto(i % 3),
 		Flags:   uint8(i % 4),
 		SrcPort: uint16(1024 + i%5000),
@@ -102,6 +104,174 @@ func TestReaderRoundTripChunkBoundaries(t *testing.T) {
 	}
 }
 
+// writeV1 encodes a trace exactly as the pre-widening codec did: the
+// FXTRACE1 magic and 18-byte records with one-byte addresses, broadcast
+// as 0xFF. It is the reference against which the current writer's
+// narrow mode must stay byte-identical, so every golden digest pinned
+// before addresses widened remains valid.
+func writeV1(t testing.TB, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("FXTRACE1")
+	writeStr := func(s string) {
+		binary.Write(&buf, binary.LittleEndian, uint32(len(s)))
+		buf.WriteString(s)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(tr.Hosts)))
+	for _, h := range tr.Hosts {
+		writeStr(h)
+	}
+	meta := tr.metaForWrite()
+	binary.Write(&buf, binary.LittleEndian, uint32(len(meta)))
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeStr(k)
+		writeStr(meta[k])
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(len(tr.Packets)))
+	var rec [18]byte
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(int64(p.Time)))
+		binary.LittleEndian.PutUint16(rec[8:], p.Size)
+		rec[10] = uint8(p.Src)
+		rec[11] = uint8(p.Dst) // Broadcast truncates to the v1 0xFF
+		rec[12] = uint8(p.Proto)
+		rec[13] = p.Flags
+		binary.LittleEndian.PutUint16(rec[14:], p.SrcPort)
+		binary.LittleEndian.PutUint16(rec[16:], p.DstPort)
+		buf.Write(rec[:])
+	}
+	return buf.Bytes()
+}
+
+// TestNarrowEncodeMatchesV1ByteForByte: a trace whose addresses all fit
+// a byte — every trace the repo produced before addresses widened —
+// must encode to the exact bytes the old codec wrote. This is the
+// golden-digest compatibility contract of the versioned codec.
+func TestNarrowEncodeMatchesV1ByteForByte(t *testing.T) {
+	tr := captureThroughCollector(2*collectorChunk + 7)
+	tr.Packets = append(tr.Packets, Packet{Time: sim.Time(1 << 40), Size: 60, Src: 3, Dst: Broadcast})
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), writeV1(t, tr)) {
+		t.Fatal("narrow encoding diverged from the v1 byte stream")
+	}
+}
+
+// TestV1StreamDecodes: byte streams written by the old codec decode
+// through the versioned reader, with the 0xFF destination surfacing as
+// the widened Broadcast address.
+func TestV1StreamDecodes(t *testing.T) {
+	tr := captureThroughCollector(12)
+	tr.Packets = append(tr.Packets, Packet{Time: sim.Time(1 << 40), Size: 60, Src: 3, Dst: Broadcast})
+	got, err := ReadBinary(bytes.NewReader(writeV1(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("decoded %d packets, want %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range got.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d: got %+v want %+v", i, got.Packets[i], tr.Packets[i])
+		}
+	}
+	if got.Packets[len(got.Packets)-1].Dst != Broadcast {
+		t.Fatal("v1 broadcast byte did not widen to Broadcast")
+	}
+}
+
+// TestWideAddressRoundTrip: a trace with addresses beyond one byte must
+// switch to the wide record and round-trip exactly, through both the
+// streaming reader and the materializing decoder, including a broadcast
+// destination and fragmented reads.
+func TestWideAddressRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Hosts = []string{"h0"}
+	tr.Meta["program"] = "wide"
+	for i := 0; i < 3*collectorChunk/2; i++ {
+		p := synthPacket(i)
+		p.Src = uint16(i % 1024)
+		p.Dst = uint16((i + 511) % 1024)
+		if i%97 == 0 {
+			p.Dst = Broadcast
+		}
+		tr.Packets = append(tr.Packets, p)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(binaryMagicWide)) {
+		t.Fatalf("wide-address trace wrote magic %q", buf.Bytes()[:8])
+	}
+	rd, err := NewReader(&fragmentedReader{data: buf.Bytes(), frag: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	for i := range tr.Packets {
+		if err := rd.Next(&p); err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if p != tr.Packets[i] {
+			t.Fatalf("packet %d: got %+v want %+v", i, p, tr.Packets[i])
+		}
+	}
+	if err := rd.Next(&p); err != io.EOF {
+		t.Fatalf("Next past end: %v", err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("ReadBinary: %d packets, want %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range got.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("ReadBinary packet %d mismatch", i)
+		}
+	}
+}
+
+// TestReaderTruncationWide: a wide stream cut mid-record must surface
+// io.ErrUnexpectedEOF like the narrow one.
+func TestReaderTruncationWide(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		p := synthPacket(i)
+		p.Src = 500
+		tr.Packets = append(tr.Packets, p)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-packetRecBytesWide/2]
+	rd, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if lastErr = rd.Next(&p); lastErr != nil {
+			break
+		}
+	}
+	if lastErr != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated wide stream produced %v, want io.ErrUnexpectedEOF", lastErr)
+	}
+}
+
 // TestReaderTruncation: a stream that ends mid-record must surface
 // io.ErrUnexpectedEOF, not a silent short trace.
 func TestReaderTruncation(t *testing.T) {
@@ -163,7 +333,22 @@ func FuzzReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
+	// An old-codec stream with a broadcast record, a wide-record stream,
+	// and a wide stream truncated mid-record: the corpus spans both
+	// format versions and their failure edges.
+	v1Trace := captureThroughCollector(5)
+	v1Trace.Packets = append(v1Trace.Packets, Packet{Time: 99, Size: 60, Src: 1, Dst: Broadcast})
+	f.Add(writeV1(f, v1Trace))
+	wideTrace := captureThroughCollector(5)
+	wideTrace.Packets = append(wideTrace.Packets, Packet{Time: 77, Size: 60, Src: 1000, Dst: 2000})
+	var wideSeed bytes.Buffer
+	if err := wideTrace.WriteBinary(&wideSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wideSeed.Bytes())
+	f.Add(wideSeed.Bytes()[:wideSeed.Len()-packetRecBytesWide/2])
 	f.Add([]byte(binaryMagic))
+	f.Add([]byte(binaryMagicWide))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rd, err := NewReader(bytes.NewReader(data))

@@ -20,12 +20,14 @@ import (
 )
 
 // Packet is one captured frame. The layout is kept small: AIRSHED traces
-// run to roughly a million packets.
+// run to roughly a million packets. Addresses are 16-bit (Broadcast for
+// all-stations destinations); the binary codec still emits the compact
+// narrow record when every address fits in a byte.
 type Packet struct {
 	Time    sim.Time
 	Size    uint16
-	Src     uint8
-	Dst     uint8
+	Src     uint16
+	Dst     uint16
 	Proto   ethernet.Proto
 	Flags   uint8
 	SrcPort uint16
@@ -203,13 +205,13 @@ func (c *Collector) record(cp ethernet.Capture) {
 	if cur == nil || len(cur.Time) == cap(cur.Time) {
 		cur = c.rotate()
 	}
-	dst := uint8(max(cp.Dst, 0))
-	if cp.Dst == ethernet.Broadcast {
-		dst = 0xFF
+	dst := Broadcast
+	if cp.Dst != ethernet.Broadcast {
+		dst = MustAddr(cp.Dst)
 	}
 	cur.Time = append(cur.Time, cp.Time)
 	cur.Size = append(cur.Size, uint16(cp.Size))
-	cur.Src = append(cur.Src, uint8(cp.Src))
+	cur.Src = append(cur.Src, MustAddr(cp.Src))
 	cur.Dst = append(cur.Dst, dst)
 	cur.Proto = append(cur.Proto, cp.Proto)
 	cur.Flags = append(cur.Flags, cp.Flags)
@@ -392,7 +394,7 @@ func (t *Trace) Interarrivals() []float64 {
 
 // HostName renders a host address using the trace's host table.
 func (t *Trace) HostName(addr int) string {
-	if addr == 0xFF {
+	if addr == int(Broadcast) {
 		return "broadcast"
 	}
 	if addr >= 0 && addr < len(t.Hosts) {
@@ -401,12 +403,41 @@ func (t *Trace) HostName(addr int) string {
 	return fmt.Sprintf("host%d", addr)
 }
 
-const binaryMagic = "FXTRACE1"
+// The binary trace format is versioned by its magic: v1 records carry
+// 8-bit addresses (0xFF = broadcast), v2 records 16-bit addresses
+// (0xFFFF = broadcast). WriteBinary emits the narrow v1 record whenever
+// every address fits, so traces of small topologies — including every
+// pre-existing golden trace — are byte-identical to what the v1-only
+// codec produced; the wide record appears only when a trace actually
+// contains an address above 0xFE. Readers accept both.
+const (
+	binaryMagic     = "FXTRACE1"
+	binaryMagicWide = "FXTRACE2"
+)
 
-// WriteBinary serializes the trace in a compact little-endian format.
+// narrowAddrs reports whether every packet address fits the v1 record:
+// sources up to 0xFE, destinations up to 0xFE or broadcast (encoded as
+// 0xFF).
+func (t *Trace) narrowAddrs() bool {
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		if p.Src > 0xFE || (p.Dst > 0xFE && p.Dst != Broadcast) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteBinary serializes the trace in a compact little-endian format,
+// choosing the narrowest record width that represents every address.
 func (t *Trace) WriteBinary(w io.Writer) error {
+	narrow := t.narrowAddrs()
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	magic := binaryMagicWide
+	if narrow {
+		magic = binaryMagic
+	}
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	writeStr := func(s string) error {
@@ -445,30 +476,52 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 		return err
 	}
 	// Packets are encoded with direct byte packing rather than per-field
-	// binary.Write: the record layout is fixed (18 bytes little-endian)
-	// and reflection per field dominates serialization of million-packet
-	// traces.
-	var rec [packetRecBytes]byte
-	for i := range t.Packets {
-		p := &t.Packets[i]
-		binary.LittleEndian.PutUint64(rec[0:], uint64(int64(p.Time)))
-		binary.LittleEndian.PutUint16(rec[8:], p.Size)
-		rec[10] = p.Src
-		rec[11] = p.Dst
-		rec[12] = uint8(p.Proto)
-		rec[13] = p.Flags
-		binary.LittleEndian.PutUint16(rec[14:], p.SrcPort)
-		binary.LittleEndian.PutUint16(rec[16:], p.DstPort)
-		if _, err := bw.Write(rec[:]); err != nil {
-			return err
+	// binary.Write: the record layout is fixed little-endian (18 bytes
+	// narrow, 20 wide) and reflection per field dominates serialization
+	// of million-packet traces.
+	if narrow {
+		var rec [packetRecBytes]byte
+		for i := range t.Packets {
+			p := &t.Packets[i]
+			binary.LittleEndian.PutUint64(rec[0:], uint64(int64(p.Time)))
+			binary.LittleEndian.PutUint16(rec[8:], p.Size)
+			rec[10] = uint8(p.Src)
+			rec[11] = uint8(p.Dst) // Broadcast = 0xFFFF truncates to the v1 broadcast 0xFF
+			rec[12] = uint8(p.Proto)
+			rec[13] = p.Flags
+			binary.LittleEndian.PutUint16(rec[14:], p.SrcPort)
+			binary.LittleEndian.PutUint16(rec[16:], p.DstPort)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	} else {
+		var rec [packetRecBytesWide]byte
+		for i := range t.Packets {
+			p := &t.Packets[i]
+			binary.LittleEndian.PutUint64(rec[0:], uint64(int64(p.Time)))
+			binary.LittleEndian.PutUint16(rec[8:], p.Size)
+			binary.LittleEndian.PutUint16(rec[10:], p.Src)
+			binary.LittleEndian.PutUint16(rec[12:], p.Dst)
+			rec[14] = uint8(p.Proto)
+			rec[15] = p.Flags
+			binary.LittleEndian.PutUint16(rec[16:], p.SrcPort)
+			binary.LittleEndian.PutUint16(rec[18:], p.DstPort)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// packetRecBytes is the on-disk packet record size: int64 time, uint16
-// size, four uint8s (src, dst, proto, flags), two uint16 ports.
-const packetRecBytes = 18
+// packetRecBytes is the narrow (v1) on-disk record size: int64 time,
+// uint16 size, four uint8s (src, dst, proto, flags), two uint16 ports.
+// packetRecBytesWide is the v2 record, with uint16 src and dst.
+const (
+	packetRecBytes     = 18
+	packetRecBytesWide = 20
+)
 
 // ReadBinary parses a trace written by WriteBinary.
 func ReadBinary(r io.Reader) (*Trace, error) {
@@ -511,6 +564,7 @@ type Reader struct {
 	marks []Mark
 	total uint64
 	read  uint64
+	wide  bool // v2 stream: 16-bit addresses
 }
 
 // NewReader parses a binary-trace header from r and returns a streaming
@@ -524,7 +578,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
 	}
-	if string(magic) != binaryMagic {
+	var wide bool
+	switch string(magic) {
+	case binaryMagic:
+	case binaryMagicWide:
+		wide = true
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	readStr := func() (string, error) {
@@ -541,7 +600,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		return string(buf), nil
 	}
-	rd := &Reader{br: br, meta: make(map[string]string)}
+	rd := &Reader{br: br, meta: make(map[string]string), wide: wide}
 	var nHosts uint32
 	if err := binary.Read(br, binary.LittleEndian, &nHosts); err != nil {
 		return nil, err
@@ -606,19 +665,40 @@ func (r *Reader) Next(p *Packet) error {
 	if r.read >= r.total {
 		return io.EOF
 	}
-	var rec [packetRecBytes]byte
-	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+	var rec [packetRecBytesWide]byte
+	n := packetRecBytes
+	if r.wide {
+		n = packetRecBytesWide
+	}
+	if _, err := io.ReadFull(r.br, rec[:n]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return err
 	}
 	r.read++
+	if r.wide {
+		*p = Packet{
+			Time:    sim.Time(int64(binary.LittleEndian.Uint64(rec[0:]))),
+			Size:    binary.LittleEndian.Uint16(rec[8:]),
+			Src:     binary.LittleEndian.Uint16(rec[10:]),
+			Dst:     binary.LittleEndian.Uint16(rec[12:]),
+			Proto:   ethernet.Proto(rec[14]),
+			Flags:   rec[15],
+			SrcPort: binary.LittleEndian.Uint16(rec[16:]),
+			DstPort: binary.LittleEndian.Uint16(rec[18:]),
+		}
+		return nil
+	}
+	dst := uint16(rec[11])
+	if dst == 0xFF { // the v1 broadcast encoding
+		dst = Broadcast
+	}
 	*p = Packet{
 		Time:    sim.Time(int64(binary.LittleEndian.Uint64(rec[0:]))),
 		Size:    binary.LittleEndian.Uint16(rec[8:]),
-		Src:     rec[10],
-		Dst:     rec[11],
+		Src:     uint16(rec[10]),
+		Dst:     dst,
 		Proto:   ethernet.Proto(rec[12]),
 		Flags:   rec[13],
 		SrcPort: binary.LittleEndian.Uint16(rec[14:]),
@@ -716,6 +796,22 @@ func ReadText(r io.Reader) (*Trace, error) {
 		if _, err := fmt.Sscanf(portOf(strings.TrimSuffix(dstName, ":")), "%d", &dstPort); err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad destination port: %w", lineNo, err)
 		}
+		srcAddr, err := Addr(src)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		var dstAddr uint16
+		switch {
+		case dst == int(Broadcast),
+			// Listings written before addresses widened to 16 bits
+			// rendered broadcast as the narrow escape value 255.
+			dst == 0xFF && strings.HasPrefix(dstName, "broadcast."):
+			dstAddr = Broadcast
+		default:
+			if dstAddr, err = Addr(dst); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+		}
 		var proto ethernet.Proto
 		switch prot {
 		case "tcp":
@@ -729,7 +825,7 @@ func ReadText(r io.Reader) (*Trace, error) {
 		}
 		t.Packets = append(t.Packets, Packet{
 			Time: sim.TimeOf(secs), Size: uint16(size),
-			Src: uint8(src), Dst: uint8(dst), Proto: proto, Flags: uint8(flags),
+			Src: srcAddr, Dst: dstAddr, Proto: proto, Flags: uint8(flags),
 			SrcPort: uint16(srcPort), DstPort: uint16(dstPort),
 		})
 	}

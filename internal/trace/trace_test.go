@@ -13,7 +13,7 @@ import (
 func pkt(tMs int, size int, src, dst int, proto ethernet.Proto, flags uint8) Packet {
 	return Packet{
 		Time: sim.Time(sim.Duration(tMs) * sim.Millisecond), Size: uint16(size),
-		Src: uint8(src), Dst: uint8(dst), Proto: proto, Flags: flags,
+		Src: uint16(src), Dst: uint16(dst), Proto: proto, Flags: flags,
 	}
 }
 
@@ -156,11 +156,11 @@ func TestCaptureBroadcastAddress(t *testing.T) {
 	col := Capture(seg)
 	a.Send(&ethernet.Frame{Dst: ethernet.Broadcast, NetLen: 50})
 	k.Run()
-	if got := col.Trace().Packets[0].Dst; got != 0xFF {
-		t.Errorf("broadcast dst = %d, want 0xFF", got)
+	if got := col.Trace().Packets[0].Dst; got != Broadcast {
+		t.Errorf("broadcast dst = %d, want %d", got, Broadcast)
 	}
-	if name := col.Trace().HostName(0xFF); name != "broadcast" {
-		t.Errorf("HostName(0xFF) = %q", name)
+	if name := col.Trace().HostName(int(Broadcast)); name != "broadcast" {
+		t.Errorf("HostName(Broadcast) = %q", name)
 	}
 }
 
@@ -239,7 +239,7 @@ func TestQuickBinaryRoundtripPreservesPackets(t *testing.T) {
 		last := sim.Time(0)
 		for i := 0; i < n; i++ {
 			last += sim.Time(times[i])
-			tr.Packets = append(tr.Packets, Packet{Time: last, Size: sizes[i], Src: uint8(i), Dst: uint8(i + 1)})
+			tr.Packets = append(tr.Packets, Packet{Time: last, Size: sizes[i], Src: uint16(i), Dst: uint16(i + 1)})
 		}
 		var buf bytes.Buffer
 		if err := tr.WriteBinary(&buf); err != nil {

@@ -1,25 +1,39 @@
 #!/bin/sh
-# Parallel-DES benchmark: one 2dfft run on a 4-segment / 64-host switched
-# topology, executed serially and in parallel through the partitioned
-# conservative engine. Writes BENCH_pdes.json.
+# Parallel-DES benchmark for the per-pair-lookahead conservative engine.
+# Writes BENCH_pdes.json.
 #
-# Three gates:
-#   1. Byte identity — the serial and parallel traces must be exactly the
-#      same bytes (the contract DESIGN.md §13 proves; also enforced under
-#      -race by cmd/fxrepro's topology golden tests).
-#   2. Zero steady-state allocations in the engine window loop and the
-#      switch forwarding path (the partition hot loops).
-#   3. Parallel speedup >= 2x over serial — enforced only when the host
-#      has >= 4 cores, because one worker goroutine per segment cannot
-#      beat serial execution on fewer cores; the JSON records "cores" so
-#      readers can judge the numbers.
+# Two workloads:
+#   - Speedup: 2dfft P=64 on a 4-segment topology with asymmetric trunks
+#     (one 0.1 ms trunk among 2 ms trunks). Under a single global window
+#     the 0.1 ms pair would drag every partition to sub-millisecond
+#     rounds; per-pair horizons let the 2 ms pairs run wide windows, so
+#     this topology is exactly where the lookahead matrix earns its keep.
+#   - Scale smoke: hist P=1024 on 16 segments (64 hosts each), serial
+#     and parallel, gated on trace byte-equality. Engine window counts
+#     from this run land in the JSON.
+#
+# Gates:
+#   1. Byte identity — serial and parallel traces must be exactly the
+#      same bytes, on both workloads (the contract DESIGN.md §13 proves;
+#      also enforced under -race by cmd/fxrepro's topology golden tests).
+#   2. Zero steady-state allocations in the engine window loop, the
+#      switch forwarding path, and the bridge forwarding decision (the
+#      partition hot loops).
+#   3. Parallel speedup >= 2x over serial on the asymmetric topology —
+#      enforced only when the host has >= 4 cores, because one worker
+#      goroutine per segment cannot beat serial execution on fewer
+#      cores; the JSON records "cores" so readers can judge the numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT="${PDES_OUT:-BENCH_pdes.json}"
 RUNS="${PDES_RUNS:-3}"
-TOPO="lan0:0-15,lan1:16-31,lan2:32-47,lan3:48-63"
+TOPO="lan0:0-15~2ms,lan1:16-31~2ms,lan2:32-47~100us,lan3:48-63~2ms"
+TOPO16=$(i=0; sep=''; while [ "$i" -lt 16 ]; do
+	printf '%slan%d:%d-%d' "$sep" "$i" $((i * 64)) $((i * 64 + 63))
+	sep=','; i=$((i + 1))
+done)
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -42,9 +56,9 @@ bench_mode() {
 	echo "$min"
 }
 
-echo "bench: pdes serial (4 segments, 64 hosts, min of $RUNS)" >&2
+echo "bench: pdes serial (4 asymmetric segments, 64 hosts, min of $RUNS)" >&2
 SERIAL_MS=$(bench_mode serial "$TMP/serial.trace")
-echo "bench: pdes parallel (4 segments, 64 hosts, min of $RUNS)" >&2
+echo "bench: pdes parallel (4 asymmetric segments, 64 hosts, min of $RUNS)" >&2
 PARALLEL_MS=$(bench_mode parallel "$TMP/parallel.trace")
 
 SERIAL_SHA=$(sha256sum "$TMP/serial.trace" | cut -d' ' -f1)
@@ -54,19 +68,43 @@ if [ "$SERIAL_SHA" != "$PARALLEL_SHA" ]; then
 	exit 1
 fi
 
-echo "bench: engine + switch zero-alloc gates" >&2
+echo "bench: 1024-host / 16-segment smoke (hist, serial vs parallel)" >&2
+"$TMP/fxrun" -program hist -p 1024 -n 4096 -iters 1 -topology "$TOPO16" \
+	-pdes serial -o "$TMP/wide-serial.trace" 2>"$TMP/wide-serial.err"
+"$TMP/fxrun" -program hist -p 1024 -n 4096 -iters 1 -topology "$TOPO16" \
+	-pdes parallel -o "$TMP/wide-parallel.trace" 2>"$TMP/wide-parallel.err"
+WIDE_SERIAL_SHA=$(sha256sum "$TMP/wide-serial.trace" | cut -d' ' -f1)
+WIDE_PARALLEL_SHA=$(sha256sum "$TMP/wide-parallel.trace" | cut -d' ' -f1)
+if [ "$WIDE_SERIAL_SHA" != "$WIDE_PARALLEL_SHA" ]; then
+	echo "bench: FAIL: 1024-host serial trace $WIDE_SERIAL_SHA != parallel $WIDE_PARALLEL_SHA" >&2
+	exit 1
+fi
+# fxrun reports "pdes windows=N active_mean=F nulls=N cross_msgs=N".
+stat_of() { sed -n "s/.*$1=\([0-9.]*\).*/\1/p" "$TMP/wide-parallel.err"; }
+ENG_WINDOWS=$(stat_of windows)
+ENG_ACTIVE=$(stat_of active_mean)
+ENG_NULLS=$(stat_of nulls)
+ENG_CROSS=$(stat_of cross_msgs)
+
+echo "bench: engine + switch + bridge zero-alloc gates" >&2
 go test -run '^$' -bench 'BenchmarkEngineWindow' -benchmem ./internal/sim >"$TMP/bench.out"
-go test -run '^$' -bench 'BenchmarkSwitchForwarding' -benchmem ./internal/ethernet >>"$TMP/bench.out"
+go test -run '^$' -bench 'BenchmarkSwitchForwarding|BenchmarkBridgeForwarding' -benchmem ./internal/ethernet >>"$TMP/bench.out"
 ENGINE_ALLOCS=$(awk '/^BenchmarkEngineWindow/ {print $(NF-1)}' "$TMP/bench.out")
 SWITCH_ALLOCS=$(awk '/^BenchmarkSwitchForwarding/ {print $(NF-1)}' "$TMP/bench.out")
+BRIDGE_ALLOCS=$(awk '/^BenchmarkBridgeForwarding/ {print $(NF-1)}' "$TMP/bench.out")
 ENGINE_NS=$(awk '/^BenchmarkEngineWindow/ {print $3}' "$TMP/bench.out")
 SWITCH_NS=$(awk '/^BenchmarkSwitchForwarding/ {print $3}' "$TMP/bench.out")
+BRIDGE_NS=$(awk '/^BenchmarkBridgeForwarding/ {print $3}' "$TMP/bench.out")
 if [ "$ENGINE_ALLOCS" != "0" ]; then
 	echo "bench: FAIL: engine window loop allocates $ENGINE_ALLOCS/op, want 0" >&2
 	exit 1
 fi
 if [ "$SWITCH_ALLOCS" != "0" ]; then
 	echo "bench: FAIL: switch forwarding allocates $SWITCH_ALLOCS/op, want 0" >&2
+	exit 1
+fi
+if [ "$BRIDGE_ALLOCS" != "0" ]; then
+	echo "bench: FAIL: bridge forwarding allocates $BRIDGE_ALLOCS/op, want 0" >&2
 	exit 1
 fi
 
@@ -76,13 +114,13 @@ ENFORCED=false
 if [ "$CORES" -ge 4 ]; then
 	ENFORCED=true
 	if ! awk "BEGIN{exit !($SPEEDUP >= 2)}"; then
-		echo "bench: FAIL: pdes speedup $SPEEDUP at 4 segments on $CORES cores, want >= 2" >&2
+		echo "bench: FAIL: pdes speedup $SPEEDUP on asymmetric trunks on $CORES cores, want >= 2" >&2
 		exit 1
 	fi
 fi
 
 printf '{
-  "bench": "conservative parallel DES: 2dfft P=64 on 4 segments",
+  "bench": "conservative parallel DES: per-pair lookahead",
   "cores": %s,
   "topology": "%s",
   "runs": %s,
@@ -93,12 +131,23 @@ printf '{
   "speedup_floor_enforced": %s,
   "trace_sha256": "%s",
   "digests_identical": true,
+  "wide_topology": "16 segments x 64 hosts (1024)",
+  "wide_trace_sha256": "%s",
+  "wide_digests_identical": true,
+  "engine_windows_total": %s,
+  "engine_mean_active_partitions": %s,
+  "engine_null_publishes": %s,
+  "engine_cross_messages": %s,
   "engine_window_ns_op": %s,
   "engine_window_allocs_op": %s,
   "switch_forwarding_ns_op": %s,
-  "switch_forwarding_allocs_op": %s
+  "switch_forwarding_allocs_op": %s,
+  "bridge_forwarding_ns_op": %s,
+  "bridge_forwarding_allocs_op": %s
 }\n' "$CORES" "$TOPO" "$RUNS" "$SERIAL_MS" "$PARALLEL_MS" "$SPEEDUP" \
-	"$ENFORCED" "$SERIAL_SHA" "$ENGINE_NS" "$ENGINE_ALLOCS" \
-	"$SWITCH_NS" "$SWITCH_ALLOCS" >"$OUT"
+	"$ENFORCED" "$SERIAL_SHA" "$WIDE_SERIAL_SHA" \
+	"$ENG_WINDOWS" "$ENG_ACTIVE" "$ENG_NULLS" "$ENG_CROSS" \
+	"$ENGINE_NS" "$ENGINE_ALLOCS" "$SWITCH_NS" "$SWITCH_ALLOCS" \
+	"$BRIDGE_NS" "$BRIDGE_ALLOCS" >"$OUT"
 
 cat "$OUT"
